@@ -1,0 +1,82 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench is a standalone binary that prints the figure's series as a
+// table plus an ASCII plot, and writes the raw numbers to
+// results_<bench>.csv in the working directory.  Scale knobs (env vars):
+//   MRIS_BENCH_SCALE  multiplies job counts (default 1.0)
+//   MRIS_SEED         base RNG seed (default 42)
+//   MRIS_REPS         replications per data point (default 10, as in the
+//                     paper's Section 7.1)
+//
+// Scale note (DESIGN.md §3): the paper runs N up to 64000 on M = 20
+// machines.  Laptop-default benches keep the same *load per machine* with
+// proportionally fewer machines and jobs so that CADP's O(n^2/eps) cost
+// stays interactive; MRIS_BENCH_SCALE=8 with M overrides reproduces the
+// paper's absolute scale.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/ascii.hpp"
+#include "exp/runner.hpp"
+#include "trace/generator.hpp"
+#include "trace/sampling.hpp"
+#include "util/env.hpp"
+
+namespace mris::bench {
+
+/// Scales a job count by MRIS_BENCH_SCALE.
+inline std::size_t scaled(std::size_t n) {
+  const double s = util::bench_scale();
+  const auto v = static_cast<std::size_t>(static_cast<double>(n) * s);
+  return v > 0 ? v : 1;
+}
+
+/// Generates the bench's base workload (paper-like defaults: 12.5-day
+/// window, heavy-tailed durations, contended VM mix), merged to 4 resources.
+inline trace::Workload base_workload(std::size_t base_jobs,
+                                     std::uint64_t seed_offset = 0) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = base_jobs;
+  cfg.seed = util::bench_seed() + seed_offset;
+  return merge_storage(trace::generate_azure_like(cfg));
+}
+
+/// Instance factory for one (N, machines) data point: replication `rep`
+/// downsamples the base workload with a distinct offset, as in Sec 7.1.
+/// `offsets` must come from trace::sample_offsets(factor, reps, ...).
+inline std::function<Instance(std::size_t)> downsample_factory(
+    const trace::Workload& base, std::size_t factor,
+    std::vector<std::size_t> offsets, int machines) {
+  return [&base, factor, offsets = std::move(offsets),
+          machines](std::size_t rep) {
+    return to_instance(trace::downsample(base, factor, offsets.at(rep)),
+                       machines);
+  };
+}
+
+/// Prints the standard bench header.
+inline void print_header(const char* name, const char* paper_ref) {
+  std::printf("\n=== %s — reproduces %s ===\n", name, paper_ref);
+  std::printf("seed=%llu reps=%zu scale=%.2f\n",
+              static_cast<unsigned long long>(util::bench_seed()),
+              util::bench_reps(), util::bench_scale());
+}
+
+/// Emits the table + plot + CSV for a finished sweep.
+inline void emit(const std::string& bench_name,
+                 const std::vector<exp::Series>& series,
+                 exp::PlotOptions opts,
+                 const std::vector<std::vector<std::string>>& table) {
+  std::printf("%s", exp::render_table(table).c_str());
+  std::printf("\n%s", exp::render_plot(series, opts).c_str());
+  const std::string csv = "results_" + bench_name + ".csv";
+  if (exp::write_series_csv(csv, series)) {
+    std::printf("raw series written to %s\n", csv.c_str());
+  }
+}
+
+}  // namespace mris::bench

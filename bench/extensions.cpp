@@ -1,0 +1,52 @@
+// Beyond the paper: DRF (the fairness baseline from related work, Sec
+// 2.2.1) and HYBRID (PQ-at-idle / MRIS-under-load) compared against the
+// paper's lineup at a light and a heavy load level.
+//
+// Expected shape: at light load HYBRID strictly improves MRIS's AWCT and
+// queuing delay (immediate commits whenever utilization is below its
+// threshold) while PQ-family schedulers remain best; at heavy load HYBRID
+// converges to MRIS's win; DRF optimizes fairness, not completion time,
+// and falls behind everywhere it binds.
+#include "bench_common.hpp"
+
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("extensions", "library extensions (DESIGN.md §5)");
+  const std::size_t reps = util::bench_reps();
+  const std::size_t n = bench::scaled(2000);
+  const std::size_t base_jobs = n * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xe77u);
+  const std::size_t factor = base_jobs / n;
+  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+
+  std::vector<exp::SchedulerSpec> lineup = {
+      exp::SchedulerSpec::Mris(),    exp::SchedulerSpec::Hybrid(),
+      exp::SchedulerSpec::Drf(),     exp::SchedulerSpec::Pq(Heuristic::kWsjf),
+      exp::SchedulerSpec::Tetris(),
+  };
+
+  for (const auto& [label, machines] :
+       std::vector<std::pair<std::string, int>>{{"light (M=16)", 16},
+                                                {"heavy (M=2)", 2}}) {
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+    std::vector<std::vector<std::string>> table = {
+        {"load: " + label, "AWCT", "makespan", "mean delay"}};
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      table.push_back({lineup[s].display_name(),
+                       exp::format_ci(points[s].awct),
+                       exp::format_ci(points[s].makespan),
+                       exp::format_ci(points[s].mean_delay)});
+    }
+    std::printf("%s\n", exp::render_table(table).c_str());
+  }
+  std::printf(
+      "expected: HYBRID <= MRIS at light load (reduced interval tax) and\n"
+      "~ MRIS at heavy load; DRF trades completion time for fairness.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1: AWCT of MRIS under different sorting heuristics, M = 20
+// machines in the paper (M = 4 at laptop default scale, same load/machine).
+//
+// Expected shape (Sec 7.3): WSJF and WSVF best, (W)SDF middling, ERF worst;
+// weighted vs unweighted variants nearly identical (small weight range).
+#include "bench_common.hpp"
+
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("fig1_sorting", "Figure 1 (Sec 7.3)");
+  const std::size_t reps = util::bench_reps();
+  const int machines = static_cast<int>(util::env_int("MRIS_MACHINES", 4));
+  const std::vector<std::size_t> n_values = {
+      bench::scaled(500), bench::scaled(1000), bench::scaled(2000),
+      bench::scaled(4000)};
+  const std::size_t base_jobs = n_values.back() * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xf19u);
+
+  std::vector<exp::Series> series;
+  for (Heuristic h : all_heuristics()) {
+    series.push_back({heuristic_name(h), {}, {}, {}});
+  }
+
+  std::vector<std::vector<std::string>> table;
+  {
+    std::vector<std::string> header = {"N"};
+    for (Heuristic h : all_heuristics()) header.push_back(heuristic_name(h));
+    table.push_back(std::move(header));
+  }
+
+  for (std::size_t n : n_values) {
+    const std::size_t factor = base_jobs / n;
+    const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+
+    std::vector<exp::SchedulerSpec> lineup;
+    for (Heuristic h : all_heuristics()) {
+      lineup.push_back(exp::SchedulerSpec::Mris(h));
+    }
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+
+    std::vector<std::string> row = {std::to_string(n)};
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      row.push_back(exp::format_ci(points[s].awct));
+      series[s].x.push_back(static_cast<double>(n));
+      series[s].y.push_back(points[s].awct.mean);
+      series[s].ci.push_back(points[s].awct.half_width);
+    }
+    table.push_back(std::move(row));
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Fig 1: AWCT of MRIS by sorting heuristic";
+  opts.xlabel = "number of jobs N";
+  opts.ylabel = "AWCT";
+  opts.log_x = true;
+  bench::emit("fig1_sorting", series, opts, table);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 2: AWCT of MRIS with the CADP knapsack backend vs the greedy
+// constraint-approximation backend (Sec 7.4), M = 20 in the paper (M = 2 at
+// laptop scale, keeping the cluster loaded so the knapsack constraint can
+// bind).
+//
+// Paper shape: MRIS-GREEDY ~2% better at N = 4000, but >3x worse at
+// N = 64000.  Measured shape at laptop scale: the two backends track each
+// other closely (the backlog needed to separate them grows with absolute
+// N); see EXPERIMENTS.md for the full discussion.
+#include "bench_common.hpp"
+
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("fig2_knapsack", "Figure 2 (Sec 7.4)");
+  const std::size_t reps = util::bench_reps();
+  const int machines = static_cast<int>(util::env_int("MRIS_MACHINES", 2));
+  const std::vector<std::size_t> n_values = {
+      bench::scaled(500), bench::scaled(1000), bench::scaled(2000),
+      bench::scaled(4000), bench::scaled(8000)};
+  const std::size_t base_jobs = n_values.back() * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xf29u);
+
+  const std::vector<exp::SchedulerSpec> lineup = {
+      exp::SchedulerSpec::Mris(Heuristic::kWsjf, knapsack::Backend::kCadp),
+      exp::SchedulerSpec::Mris(Heuristic::kWsjf,
+                               knapsack::Backend::kGreedyConstraint),
+  };
+
+  std::vector<exp::Series> series = {{"MRIS-CADP", {}, {}, {}},
+                                     {"MRIS-GREEDY", {}, {}, {}}};
+  std::vector<std::vector<std::string>> table = {
+      {"N", "MRIS-CADP", "MRIS-GREEDY", "greedy/cadp"}};
+
+  for (std::size_t n : n_values) {
+    const std::size_t factor = base_jobs / n;
+    const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      series[s].x.push_back(static_cast<double>(n));
+      series[s].y.push_back(points[s].awct.mean);
+      series[s].ci.push_back(points[s].awct.half_width);
+    }
+    table.push_back({std::to_string(n), exp::format_ci(points[0].awct),
+                     exp::format_ci(points[1].awct),
+                     exp::format_num(points[1].awct.mean /
+                                     points[0].awct.mean)});
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Fig 2: MRIS knapsack backend comparison";
+  opts.xlabel = "number of jobs N";
+  opts.ylabel = "AWCT";
+  opts.log_x = true;
+  bench::emit("fig2_knapsack", series, opts, table);
+  return 0;
+}

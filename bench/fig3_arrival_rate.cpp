@@ -1,0 +1,61 @@
+// Figure 3: effect of the job arrival rate (number of jobs over the fixed
+// 12.5-day window) on AWCT, all schedulers, M = 20 in the paper (M = 4 at
+// laptop scale — same jobs-per-machine as the paper's crossover region).
+//
+// Expected shape (Sec 7.5.1): at small N the PQ family (PQ / TETRIS /
+// BF-EXEC) beats MRIS; as N grows the cluster saturates and MRIS crosses
+// below all of them; CA-PQ is the worst-case reference throughout.
+#include "bench_common.hpp"
+
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("fig3_arrival_rate", "Figure 3 (Sec 7.5.1)");
+  const std::size_t reps = util::bench_reps();
+  const int machines = static_cast<int>(util::env_int("MRIS_MACHINES", 4));
+  const std::vector<std::size_t> n_values = {
+      bench::scaled(500), bench::scaled(1000), bench::scaled(2000),
+      bench::scaled(4000), bench::scaled(8000)};
+  const std::size_t base_jobs = n_values.back() * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xf39u);
+
+  const std::vector<exp::SchedulerSpec> lineup = exp::comparison_lineup();
+
+  std::vector<exp::Series> series;
+  for (const auto& spec : lineup) series.push_back({spec.display_name(), {}, {}, {}});
+
+  std::vector<std::vector<std::string>> table;
+  {
+    std::vector<std::string> header = {"N"};
+    for (const auto& spec : lineup) header.push_back(spec.display_name());
+    table.push_back(std::move(header));
+  }
+
+  for (std::size_t n : n_values) {
+    const std::size_t factor = base_jobs / n;
+    const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+
+    std::vector<std::string> row = {std::to_string(n)};
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      row.push_back(exp::format_ci(points[s].awct));
+      series[s].x.push_back(static_cast<double>(n));
+      series[s].y.push_back(points[s].awct.mean);
+      series[s].ci.push_back(points[s].awct.half_width);
+    }
+    table.push_back(std::move(row));
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Fig 3: AWCT vs job arrival count";
+  opts.xlabel = "number of jobs N";
+  opts.ylabel = "AWCT";
+  opts.log_x = true;
+  bench::emit("fig3_arrival_rate", series, opts, table);
+  return 0;
+}

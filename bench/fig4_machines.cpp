@@ -1,0 +1,60 @@
+// Figure 4: effect of the number of machines on AWCT at fixed N
+// (N = 64000 in the paper; scaled default N = 4000 with M swept across the
+// same loaded-to-unloaded range).
+//
+// Expected shape (Sec 7.5.1): with few machines (heavy contention) MRIS
+// achieves roughly half the AWCT of TETRIS; as machines are added the PQ
+// family catches up and eventually beats MRIS (interval construction can't
+// use the abundant capacity).
+#include "bench_common.hpp"
+
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("fig4_machines", "Figure 4 (Sec 7.5.1)");
+  const std::size_t reps = util::bench_reps();
+  const std::size_t n = bench::scaled(4000);
+  const std::vector<int> machine_counts = {1, 2, 4, 8, 16};
+  const std::size_t base_jobs = n * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xf49u);
+
+  const std::vector<exp::SchedulerSpec> lineup = exp::comparison_lineup();
+
+  std::vector<exp::Series> series;
+  for (const auto& spec : lineup) series.push_back({spec.display_name(), {}, {}, {}});
+
+  std::vector<std::vector<std::string>> table;
+  {
+    std::vector<std::string> header = {"M"};
+    for (const auto& spec : lineup) header.push_back(spec.display_name());
+    table.push_back(std::move(header));
+  }
+
+  const std::size_t factor = base_jobs / n;
+  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+  for (int machines : machine_counts) {
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+
+    std::vector<std::string> row = {std::to_string(machines)};
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      row.push_back(exp::format_ci(points[s].awct));
+      series[s].x.push_back(static_cast<double>(machines));
+      series[s].y.push_back(points[s].awct.mean);
+      series[s].ci.push_back(points[s].awct.half_width);
+    }
+    table.push_back(std::move(row));
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Fig 4: AWCT vs number of machines (N fixed)";
+  opts.xlabel = "machines M";
+  opts.ylabel = "AWCT";
+  opts.log_x = true;
+  bench::emit("fig4_machines", series, opts, table);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Lemma 6.9 / Remark 4: MRIS simultaneously optimizes AWCT and makespan —
+// it is 8R(1+eps)-competitive for makespan too.  This bench measures every
+// scheduler's makespan against the instance lower bound
+// max(V/(RM), max_j(r_j + p_j)) (Lemma 6.2 + the trivial per-job bound) on
+// trace workloads across load levels.
+#include "bench_common.hpp"
+
+#include "core/metrics.hpp"
+#include "sched/optimal.hpp"
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("makespan_objective", "Lemma 6.9 / Remark 4");
+  const std::size_t reps = util::bench_reps();
+  const std::size_t n = bench::scaled(2000);
+  const std::size_t base_jobs = n * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xa69u);
+  const std::size_t factor = base_jobs / n;
+  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+
+  const std::vector<exp::SchedulerSpec> lineup = exp::comparison_lineup();
+
+  std::vector<std::vector<std::string>> table = {
+      {"M", "scheduler", "makespan (mean ±ci)", "x over lower bound"}};
+  std::vector<exp::Series> series;
+  for (const auto& spec : lineup) series.push_back({spec.display_name(), {}, {}, {}});
+
+  for (int machines : {1, 2, 4, 8}) {
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    // Mean lower bound across replications.
+    double lb_sum = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      lb_sum += makespan_lower_bound(factory(rep));
+    }
+    const double lb = lb_sum / static_cast<double>(reps);
+
+    const auto points = exp::replicate_lineup(reps, factory, lineup);
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      table.push_back({std::to_string(machines), lineup[s].display_name(),
+                       exp::format_ci(points[s].makespan),
+                       exp::format_num(points[s].makespan.mean / lb)});
+      series[s].x.push_back(static_cast<double>(machines));
+      series[s].y.push_back(points[s].makespan.mean / lb);
+    }
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Makespan over lower bound vs machines";
+  opts.xlabel = "machines M";
+  opts.ylabel = "makespan / lower bound";
+  opts.log_x = true;
+  bench::emit("makespan_objective", series, opts, table);
+  std::printf(
+      "expected: every ratio stays far below the proven 8R(1+eps) = %g\n"
+      "worst case (R=4, eps=0.5); MRIS's gap to the PQ family narrows as\n"
+      "load grows.\n",
+      8.0 * 4 * 1.5);
+  return 0;
+}

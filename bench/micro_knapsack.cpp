@@ -1,0 +1,85 @@
+// Microbenchmarks of the knapsack subroutines (Sec 5.3 runtime claims):
+// CADP is O(n^2 / eps); the greedy constraint approximation is O(n log n).
+#include <benchmark/benchmark.h>
+
+#include "knapsack/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<mris::knapsack::Item> random_items(std::size_t n,
+                                               std::uint64_t seed) {
+  mris::util::Xoshiro256 rng(seed);
+  std::vector<mris::knapsack::Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({mris::util::uniform(rng, 0.5, 50.0),
+                     mris::util::uniform(rng, 0.5, 3.0),
+                     static_cast<std::int32_t>(i)});
+  }
+  return items;
+}
+
+void BM_Cadp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  const auto items = random_items(n, 42);
+  // Capacity that binds: ~1/4 of the total size.
+  double total = 0.0;
+  for (const auto& it : items) total += it.size;
+  const double capacity = total / 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mris::knapsack::solve_cadp(items, capacity, eps));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_Cadp)
+    ->ArgsProduct({{128, 256, 512, 1024, 2048}, {50}})
+    ->Complexity(benchmark::oNSquared);
+
+void BM_CadpEpsSweep(benchmark::State& state) {
+  const auto items = random_items(512, 42);
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  double total = 0.0;
+  for (const auto& it : items) total += it.size;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mris::knapsack::solve_cadp(items, total / 4.0, eps));
+  }
+}
+BENCHMARK(BM_CadpEpsSweep)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+
+void BM_GreedyConstraint(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto items = random_items(n, 42);
+  double total = 0.0;
+  for (const auto& it : items) total += it.size;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mris::knapsack::solve_greedy_constraint(items, total / 4.0));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_GreedyConstraint)
+    ->Range(128, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ExactDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mris::util::Xoshiro256 rng(7);
+  std::vector<mris::knapsack::Item> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({static_cast<double>(mris::util::uniform_int(rng, 1, 64)),
+                     mris::util::uniform(rng, 0.5, 3.0),
+                     static_cast<std::int32_t>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mris::knapsack::solve_exact_dp(items, static_cast<std::int64_t>(8 * n)));
+  }
+}
+BENCHMARK(BM_ExactDp)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench binaries.
+
+Every figure bench writes `results_<bench>.csv` with columns
+    series,x,y,ci95_half_width
+next to where it ran.  This script turns one or more of those files into
+matplotlib figures (PNG next to each CSV), shading the 95% confidence
+band where present.
+
+    ./scripts/plot_results.py results_fig3_arrival_rate.csv
+    ./scripts/plot_results.py --logx --logy results_*.csv
+"""
+import argparse
+import collections
+import csv
+import os
+import sys
+
+
+def load_series(path):
+    """Returns {series name: (xs, ys, cis)} preserving file order."""
+    data = collections.OrderedDict()
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        required = {"series", "x", "y"}
+        if not required.issubset(reader.fieldnames or ()):
+            raise SystemExit(
+                f"{path}: expected columns series,x,y[,ci95_half_width]")
+        for row in reader:
+            xs, ys, cis = data.setdefault(row["series"], ([], [], []))
+            xs.append(float(row["x"]))
+            ys.append(float(row["y"]))
+            ci = row.get("ci95_half_width") or ""
+            cis.append(float(ci) if ci else 0.0)
+    return data
+
+
+def plot_file(path, args, plt):
+    data = load_series(path)
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, (xs, ys, cis) in data.items():
+        line, = ax.plot(xs, ys, marker="o", markersize=3, label=name)
+        if any(cis):
+            lo = [y - c for y, c in zip(ys, cis)]
+            hi = [y + c for y, c in zip(ys, cis)]
+            ax.fill_between(xs, lo, hi, alpha=0.15, color=line.get_color())
+    if args.logx:
+        ax.set_xscale("log")
+    if args.logy:
+        ax.set_yscale("log")
+    title = os.path.basename(path).removeprefix("results_").removesuffix(".csv")
+    ax.set_title(title)
+    ax.set_xlabel(args.xlabel)
+    ax.set_ylabel(args.ylabel)
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    out = os.path.splitext(path)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_files", nargs="+")
+    parser.add_argument("--logx", action="store_true")
+    parser.add_argument("--logy", action="store_true")
+    parser.add_argument("--xlabel", default="x")
+    parser.add_argument("--ylabel", default="AWCT")
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit("matplotlib is required: pip install matplotlib")
+    for path in args.csv_files:
+        plot_file(path, args, plt)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mris {
+
+Instance::Instance(std::vector<Job> jobs, int num_machines, int num_resources)
+    : jobs_(std::move(jobs)),
+      num_machines_(num_machines),
+      num_resources_(num_resources) {
+  const std::string err = check_invariants();
+  if (!err.empty()) throw std::invalid_argument("Instance: " + err);
+}
+
+double Instance::total_volume() const { return mris::total_volume(jobs_); }
+
+Time Instance::max_processing() const {
+  Time p = 0.0;
+  for (const auto& j : jobs_) p = std::max(p, j.processing);
+  return p;
+}
+
+Time Instance::last_release() const {
+  Time r = 0.0;
+  for (const auto& j : jobs_) r = std::max(r, j.release);
+  return r;
+}
+
+Instance Instance::normalized() const {
+  if (jobs_.empty()) return *this;
+  Time min_p = std::numeric_limits<Time>::infinity();
+  for (const auto& j : jobs_) min_p = std::min(min_p, j.processing);
+  if (min_p <= 0.0 || min_p == 1.0) return *this;
+  std::vector<Job> scaled = jobs_;
+  for (auto& j : scaled) {
+    j.processing /= min_p;
+    j.release /= min_p;
+  }
+  return Instance(std::move(scaled), num_machines_, num_resources_);
+}
+
+std::string Instance::check_invariants() const {
+  if (num_machines_ < 1) return "number of machines must be >= 1";
+  if (num_resources_ < 1) return "number of resources must be >= 1";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    std::ostringstream who;
+    who << "job " << i;
+    if (j.id != static_cast<JobId>(i))
+      return who.str() + ": id must equal its index in the instance";
+    if (!(j.processing > 0.0) || !std::isfinite(j.processing))
+      return who.str() + ": processing time must be positive and finite";
+    if (!(j.weight > 0.0) || !std::isfinite(j.weight))
+      return who.str() + ": weight must be positive and finite";
+    if (j.release < 0.0 || !std::isfinite(j.release))
+      return who.str() + ": release time must be non-negative and finite";
+    if (j.demand.size() != static_cast<std::size_t>(num_resources_))
+      return who.str() + ": demand vector length must equal num_resources";
+    for (double d : j.demand) {
+      if (d < 0.0 || d > 1.0 || !std::isfinite(d))
+        return who.str() + ": each demand must lie in [0, 1]";
+    }
+    if (j.total_demand() <= 0.0)
+      return who.str() + ": at least one resource demand must be positive";
+  }
+  return {};
+}
+
+InstanceBuilder& InstanceBuilder::add(Time release, Time processing,
+                                      double weight,
+                                      std::vector<double> demand) {
+  Job j;
+  j.id = static_cast<JobId>(jobs_.size());
+  j.release = release;
+  j.processing = processing;
+  j.weight = weight;
+  j.demand = std::move(demand);
+  jobs_.push_back(std::move(j));
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::add_uniform(Time release, Time processing,
+                                              double weight,
+                                              double demand_each) {
+  return add(release, processing, weight,
+             std::vector<double>(static_cast<std::size_t>(num_resources_),
+                                 demand_each));
+}
+
+Instance InstanceBuilder::build() {
+  return Instance(std::move(jobs_), num_machines_, num_resources_);
+}
+
+}  // namespace mris

@@ -1,0 +1,66 @@
+// Job model for online non-preemptive multi-resource scheduling
+// (Section 3 of the paper).
+//
+// Each job j has a release time r_j, processing time p_j >= 1, weight w_j,
+// and a demand d_jl in [0, 1] for each of R resources.  Machine capacities
+// are normalized to one per resource.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mris {
+
+/// Simulation time.  The paper's model is continuous time; we use double
+/// throughout (trace timestamps are seconds-resolution, well within the
+/// 2^53 exact-integer range of double).
+using Time = double;
+
+/// Index of a job within an Instance.
+using JobId = std::int32_t;
+
+/// Index of a machine within a Cluster.
+using MachineId = std::int32_t;
+
+constexpr JobId kInvalidJob = -1;
+constexpr MachineId kInvalidMachine = -1;
+
+/// Owner of a job — used by fairness-oriented baselines (DRF); the MRIS
+/// model itself is tenant-agnostic.
+using TenantId = std::int32_t;
+
+struct Job {
+  JobId id = kInvalidJob;
+  Time release = 0.0;      ///< r_j: earliest feasible start
+  Time processing = 1.0;   ///< p_j >= 1
+  double weight = 1.0;     ///< w_j > 0
+  TenantId tenant = 0;     ///< owning tenant (0 when tenancy is unmodeled)
+  std::vector<double> demand;  ///< d_jl in [0,1], one entry per resource
+
+  /// Largest single-resource demand — the "dominant" demand in DRF terms.
+  double dominant_demand() const noexcept {
+    double dominant = 0.0;
+    for (double d : demand) dominant = std::max(dominant, d);
+    return dominant;
+  }
+
+  /// Total demand u_j = sum_l d_jl  (u_j <= R).
+  double total_demand() const noexcept {
+    return std::accumulate(demand.begin(), demand.end(), 0.0);
+  }
+
+  /// Volume v_j = p_j * u_j — the knapsack size used by MRIS (Sec 5.1).
+  double volume() const noexcept { return processing * total_demand(); }
+};
+
+/// Sum of job volumes, V_I in the paper.
+template <typename JobRange>
+double total_volume(const JobRange& jobs) {
+  double v = 0.0;
+  for (const auto& j : jobs) v += j.volume();
+  return v;
+}
+
+}  // namespace mris

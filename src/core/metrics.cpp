@@ -1,0 +1,111 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mris {
+
+double total_weighted_completion_time(const Instance& inst,
+                                      const Schedule& sched) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    total += inst.job(id).weight * sched.completion_time(inst, id);
+  }
+  return total;
+}
+
+double average_weighted_completion_time(const Instance& inst,
+                                        const Schedule& sched) {
+  if (inst.num_jobs() == 0) return 0.0;
+  return total_weighted_completion_time(inst, sched) /
+         static_cast<double>(inst.num_jobs());
+}
+
+Time makespan(const Instance& inst, const Schedule& sched) {
+  Time cmax = 0.0;
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    cmax = std::max(cmax, sched.completion_time(inst, static_cast<JobId>(i)));
+  }
+  return cmax;
+}
+
+double total_weighted_flow_time(const Instance& inst, const Schedule& sched) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    const Job& j = inst.job(id);
+    total += j.weight * (sched.completion_time(inst, id) - j.release);
+  }
+  return total;
+}
+
+double average_weighted_flow_time(const Instance& inst,
+                                  const Schedule& sched) {
+  if (inst.num_jobs() == 0) return 0.0;
+  return total_weighted_flow_time(inst, sched) /
+         static_cast<double>(inst.num_jobs());
+}
+
+std::vector<double> queuing_delays(const Instance& inst,
+                                   const Schedule& sched) {
+  std::vector<double> delays;
+  delays.reserve(inst.num_jobs());
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    delays.push_back(sched.start_time(id) - inst.job(id).release);
+  }
+  return delays;
+}
+
+double mean_queuing_delay(const Instance& inst, const Schedule& sched) {
+  const auto delays = queuing_delays(inst, sched);
+  if (delays.empty()) return 0.0;
+  double sum = 0.0;
+  for (double d : delays) sum += d;
+  return sum / static_cast<double>(delays.size());
+}
+
+std::vector<double> average_utilization(const Instance& inst,
+                                        const Schedule& sched) {
+  std::vector<double> util(static_cast<std::size_t>(inst.num_resources()),
+                           0.0);
+  const Time cmax = makespan(inst, sched);
+  if (cmax <= 0.0) return util;
+  for (const Job& j : inst.jobs()) {
+    for (int l = 0; l < inst.num_resources(); ++l) {
+      util[static_cast<std::size_t>(l)] +=
+          j.processing * j.demand[static_cast<std::size_t>(l)];
+    }
+  }
+  const double denom = static_cast<double>(inst.num_machines()) * cmax;
+  for (double& u : util) u /= denom;
+  return util;
+}
+
+std::vector<UsageSample> usage_over_time(const Instance& inst,
+                                         const Schedule& sched,
+                                         MachineId machine, int resource) {
+  // Accumulate usage deltas at start/completion breakpoints, then prefix-sum.
+  std::map<Time, double> delta;
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    const Assignment& a = sched.assignment(id);
+    if (!a.assigned() || a.machine != machine) continue;
+    const double d = inst.job(id).demand.at(static_cast<std::size_t>(resource));
+    if (d == 0.0) continue;
+    delta[a.start] += d;
+    delta[a.start + inst.job(id).processing] -= d;
+  }
+  std::vector<UsageSample> samples;
+  samples.reserve(delta.size() + 1);
+  double usage = 0.0;
+  for (const auto& [t, dd] : delta) {
+    usage += dd;
+    // Clamp tiny negative residue from floating-point cancellation.
+    samples.push_back({t, std::max(0.0, usage)});
+  }
+  return samples;
+}
+
+}  // namespace mris

@@ -1,0 +1,59 @@
+// Objective metrics over a completed schedule (Sections 3 and 7):
+// average weighted completion time, makespan, and queuing delays.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris {
+
+/// Sum over jobs of w_j * C_j.  Requires a complete schedule.
+double total_weighted_completion_time(const Instance& inst,
+                                      const Schedule& sched);
+
+/// AWCT = (1/N) sum_j w_j C_j — the paper's primary objective.
+double average_weighted_completion_time(const Instance& inst,
+                                        const Schedule& sched);
+
+/// max_j C_j (Lemma 6.9's secondary objective); 0 for an empty instance.
+Time makespan(const Instance& inst, const Schedule& sched);
+
+/// Sum over jobs of w_j * (C_j - r_j) — the weighted flow time objective
+/// studied by the related works [7, 15, 16, 29] (Sec 2).  Provided for
+/// cross-objective comparisons; the paper's own objective is AWCT.
+double total_weighted_flow_time(const Instance& inst, const Schedule& sched);
+
+/// (1/N) * total_weighted_flow_time.
+double average_weighted_flow_time(const Instance& inst,
+                                  const Schedule& sched);
+
+/// Per-job queuing delays S_j - r_j (Figure 5).  Order matches job ids.
+std::vector<double> queuing_delays(const Instance& inst,
+                                   const Schedule& sched);
+
+/// Mean of queuing_delays, 0 for an empty instance.
+double mean_queuing_delay(const Instance& inst, const Schedule& sched);
+
+/// Average over time of the per-resource utilization across machines:
+/// utilization[l] = (sum_j p_j d_jl) / (M * makespan).  Useful for packing
+/// quality diagnostics; returns zeros for an empty schedule.
+std::vector<double> average_utilization(const Instance& inst,
+                                        const Schedule& sched);
+
+/// One sample of a machine resource usage over time (for Figure 7's
+/// resource-use plots).
+struct UsageSample {
+  Time t = 0.0;
+  double usage = 0.0;
+};
+
+/// Piecewise-constant usage of `resource` on `machine` over the schedule
+/// horizon: one sample per breakpoint where usage changes (value holds
+/// until the next sample's t).
+std::vector<UsageSample> usage_over_time(const Instance& inst,
+                                         const Schedule& sched,
+                                         MachineId machine, int resource);
+
+}  // namespace mris

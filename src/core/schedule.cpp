@@ -1,0 +1,120 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mris {
+
+void Schedule::assign(JobId id, MachineId machine, Time start) {
+  Assignment& a = assignments_.at(static_cast<std::size_t>(id));
+  if (a.assigned()) {
+    throw std::logic_error("Schedule::assign: job " + std::to_string(id) +
+                           " already assigned (non-preemptive model)");
+  }
+  a.machine = machine;
+  a.start = start;
+}
+
+bool Schedule::complete() const noexcept {
+  return std::all_of(assignments_.begin(), assignments_.end(),
+                     [](const Assignment& a) { return a.assigned(); });
+}
+
+Time Schedule::start_time(JobId id) const {
+  const Assignment& a = assignment(id);
+  if (!a.assigned()) {
+    throw std::logic_error("Schedule::start_time: job " + std::to_string(id) +
+                           " is unassigned");
+  }
+  return a.start;
+}
+
+Time Schedule::completion_time(const Instance& inst, JobId id) const {
+  return start_time(id) + inst.job(id).processing;
+}
+
+namespace {
+
+ValidationResult fail(const std::string& message) {
+  return ValidationResult{false, message};
+}
+
+}  // namespace
+
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   double tolerance) {
+  if (sched.num_jobs() != inst.num_jobs()) {
+    return fail("schedule covers " + std::to_string(sched.num_jobs()) +
+                " jobs but instance has " + std::to_string(inst.num_jobs()));
+  }
+  const int R = inst.num_resources();
+  const int M = inst.num_machines();
+
+  // Per-job checks + bucket jobs by machine.
+  std::vector<std::vector<JobId>> by_machine(static_cast<std::size_t>(M));
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    const Assignment& a = sched.assignment(id);
+    if (!a.assigned()) return fail("job " + std::to_string(id) + " unassigned");
+    if (a.machine < 0 || a.machine >= M) {
+      return fail("job " + std::to_string(id) + " assigned to machine " +
+                  std::to_string(a.machine) + " out of range [0, " +
+                  std::to_string(M) + ")");
+    }
+    const Job& j = inst.job(id);
+    if (a.start + tolerance < j.release) {
+      std::ostringstream msg;
+      msg << "job " << id << " starts at " << a.start
+          << " before its release " << j.release;
+      return fail(msg.str());
+    }
+    if (!std::isfinite(a.start)) {
+      return fail("job " + std::to_string(id) + " has non-finite start");
+    }
+    by_machine[static_cast<std::size_t>(a.machine)].push_back(id);
+  }
+
+  // Sweep line per machine: sort (time, delta-demand) events; the running
+  // per-resource sum must never exceed 1 + tolerance.  Completions sort
+  // before starts at equal time (a finishing job frees capacity instantly:
+  // jobs occupy [S_j, C_j) per the problem definition).
+  for (MachineId m = 0; m < M; ++m) {
+    struct Event {
+      Time t;
+      int kind;  // 0 = completion (release capacity), 1 = start (acquire)
+      JobId job;
+    };
+    std::vector<Event> events;
+    events.reserve(by_machine[static_cast<std::size_t>(m)].size() * 2);
+    for (JobId id : by_machine[static_cast<std::size_t>(m)]) {
+      const Time s = sched.start_time(id);
+      events.push_back({s, 1, id});
+      events.push_back({s + inst.job(id).processing, 0, id});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.kind < b.kind;
+    });
+    std::vector<double> usage(static_cast<std::size_t>(R), 0.0);
+    for (const Event& e : events) {
+      const Job& j = inst.job(e.job);
+      const double sign = (e.kind == 1) ? 1.0 : -1.0;
+      for (int l = 0; l < R; ++l) {
+        usage[static_cast<std::size_t>(l)] +=
+            sign * j.demand[static_cast<std::size_t>(l)];
+        if (usage[static_cast<std::size_t>(l)] > 1.0 + tolerance) {
+          std::ostringstream msg;
+          msg << "machine " << m << " resource " << l << " overloaded at t="
+              << e.t << " (usage " << usage[static_cast<std::size_t>(l)]
+              << ") when job " << e.job << " starts";
+          return fail(msg.str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace mris

@@ -1,0 +1,75 @@
+// A schedule assigns each job a machine and a start time (Section 3).
+// Completion time is C_j = S_j + p_j; feasibility requires
+// sum_{j active at t} d_jl <= 1 on every machine, resource, and instant.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/job.hpp"
+
+namespace mris {
+
+/// Placement of one job.
+struct Assignment {
+  MachineId machine = kInvalidMachine;
+  Time start = 0.0;
+
+  bool assigned() const noexcept { return machine != kInvalidMachine; }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Creates an empty (all-unassigned) schedule for `num_jobs` jobs.
+  explicit Schedule(std::size_t num_jobs) : assignments_(num_jobs) {}
+
+  std::size_t num_jobs() const noexcept { return assignments_.size(); }
+
+  const Assignment& assignment(JobId id) const {
+    return assignments_.at(static_cast<std::size_t>(id));
+  }
+
+  bool is_assigned(JobId id) const { return assignment(id).assigned(); }
+
+  /// Records job `id` starting at `start` on `machine`.  Throws
+  /// std::logic_error if the job is already assigned (non-preemptive model:
+  /// a start decision is irrevocable).
+  void assign(JobId id, MachineId machine, Time start);
+
+  /// True when every job has an assignment.
+  bool complete() const noexcept;
+
+  /// Start time of a job; throws if unassigned.
+  Time start_time(JobId id) const;
+
+  /// C_j = S_j + p_j for the given instance; throws if unassigned.
+  Time completion_time(const Instance& inst, JobId id) const;
+
+  const std::vector<Assignment>& assignments() const noexcept {
+    return assignments_;
+  }
+
+ private:
+  std::vector<Assignment> assignments_;
+};
+
+/// Result of feasibility validation.
+struct ValidationResult {
+  bool ok = true;
+  std::string message;  ///< first violation found, empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Checks that `sched` is a feasible non-preemptive schedule of `inst`:
+/// every job assigned, S_j >= r_j, machine index in range, and no machine's
+/// per-resource usage exceeding capacity 1 (+eps tolerance) at any time.
+/// Runs a sweep line over start/completion breakpoints per machine.
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   double tolerance = 1e-9);
+
+}  // namespace mris

@@ -1,0 +1,89 @@
+#include "core/schedule_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mris {
+
+namespace {
+
+std::string exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_schedule_csv(std::ostream& out, const Instance& inst,
+                        const Schedule& sched) {
+  out << "job,machine,start,completion\n";
+  for (std::size_t i = 0; i < sched.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    const Assignment& a = sched.assignment(id);
+    if (a.assigned()) {
+      out << id << ',' << a.machine << ',' << exact(a.start) << ','
+          << exact(a.start + inst.job(id).processing) << '\n';
+    } else {
+      out << id << ",-1,,\n";
+    }
+  }
+}
+
+void write_schedule_csv_file(const std::string& path, const Instance& inst,
+                             const Schedule& sched) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_schedule_csv(out, inst, sched);
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+Schedule read_schedule_csv(std::istream& in, const Instance& inst) {
+  const util::CsvTable table = util::read_csv(in);
+  if (table.header !=
+      std::vector<std::string>{"job", "machine", "start", "completion"}) {
+    throw std::runtime_error(
+        "schedule csv: expected header job,machine,start,completion");
+  }
+  Schedule sched(inst.num_jobs());
+  for (const auto& row : table.rows) {
+    if (row.size() != 4) {
+      throw std::runtime_error("schedule csv: row width mismatch");
+    }
+    const long job = std::strtol(row[0].c_str(), nullptr, 10);
+    if (job < 0 || static_cast<std::size_t>(job) >= inst.num_jobs()) {
+      throw std::runtime_error("schedule csv: job id out of range: " +
+                               row[0]);
+    }
+    const long machine = std::strtol(row[1].c_str(), nullptr, 10);
+    if (machine == -1) continue;  // unassigned row
+    const double start = std::strtod(row[2].c_str(), nullptr);
+    if (!row[3].empty()) {
+      const double completion = std::strtod(row[3].c_str(), nullptr);
+      const double expected =
+          start + inst.job(static_cast<JobId>(job)).processing;
+      if (std::abs(completion - expected) > 1e-6 * std::max(1.0, expected)) {
+        throw std::runtime_error(
+            "schedule csv: completion of job " + row[0] +
+            " inconsistent with the instance's processing time "
+            "(schedule exported from a different instance?)");
+      }
+    }
+    sched.assign(static_cast<JobId>(job), static_cast<MachineId>(machine),
+                 start);
+  }
+  return sched;
+}
+
+Schedule read_schedule_csv_file(const std::string& path,
+                                const Instance& inst) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_schedule_csv(in, inst);
+}
+
+}  // namespace mris

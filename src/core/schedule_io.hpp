@@ -1,0 +1,35 @@
+// Schedule serialization: a flat CSV (job,machine,start,completion) so
+// schedules can be exported for external plotting, diffed between runs,
+// and re-imported for offline analysis or validation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris {
+
+/// Writes "job,machine,start,completion" rows, one per assigned job, in
+/// job-id order.  Unassigned jobs are written with machine -1 and empty
+/// times (partial schedules are legal exports).
+void write_schedule_csv(std::ostream& out, const Instance& inst,
+                        const Schedule& sched);
+
+/// File convenience wrapper; throws std::runtime_error if unwritable.
+void write_schedule_csv_file(const std::string& path, const Instance& inst,
+                             const Schedule& sched);
+
+/// Reads a schedule written by write_schedule_csv.  The instance provides
+/// the job count; rows with machine -1 stay unassigned.  Throws
+/// std::runtime_error on malformed input or job ids out of range.
+/// The completion column is ignored (it is derivable) but validated to be
+/// start + p_j when present, catching exports from a mismatched instance.
+Schedule read_schedule_csv(std::istream& in, const Instance& inst);
+
+/// File convenience wrapper; throws std::runtime_error if unreadable.
+Schedule read_schedule_csv_file(const std::string& path,
+                                const Instance& inst);
+
+}  // namespace mris

@@ -1,0 +1,199 @@
+#include "exp/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mris::exp {
+
+namespace {
+
+constexpr char kMarkers[] = "*o+x#@%&^~";
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(std::max(v, 1e-300)) : v;
+}
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span() const { return hi - lo; }
+};
+
+}  // namespace
+
+std::string format_num(double v) {
+  char buf[64];
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 1e6 || a < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else if (a >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string format_ci(const util::MeanCi& ci) {
+  return format_num(ci.mean) + " ±" + format_num(ci.half_width);
+}
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << "== " << opts.title << " ==\n";
+
+  Range xr, yr;
+  for (const Series& s : series) {
+    for (double x : s.x) xr.include(transform(x, opts.log_x));
+    for (double y : s.y) yr.include(transform(y, opts.log_y));
+  }
+  if (!(xr.span() >= 0) || series.empty()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (xr.span() == 0) xr.hi = xr.lo + 1;
+  if (yr.span() == 0) yr.hi = yr.lo + 1;
+
+  const int W = opts.width;
+  const int H = opts.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(H),
+                                std::string(static_cast<std::size_t>(W), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % (sizeof(kMarkers) - 1)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double xt = transform(s.x[i], opts.log_x);
+      const double yt = transform(s.y[i], opts.log_y);
+      int col = static_cast<int>(std::lround((xt - xr.lo) / xr.span() *
+                                             (W - 1)));
+      int row = static_cast<int>(std::lround((yt - yr.lo) / yr.span() *
+                                             (H - 1)));
+      col = std::clamp(col, 0, W - 1);
+      row = std::clamp(row, 0, H - 1);
+      char& cell = grid[static_cast<std::size_t>(H - 1 - row)]
+                       [static_cast<std::size_t>(col)];
+      if (cell == ' ') cell = mark;
+    }
+  }
+
+  const std::string y_hi = format_num(opts.log_y ? std::pow(10, yr.hi) : yr.hi);
+  const std::string y_lo = format_num(opts.log_y ? std::pow(10, yr.lo) : yr.lo);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size());
+  for (int r = 0; r < H; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (r == H - 1) label = y_lo + std::string(margin - y_lo.size(), ' ');
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(margin, ' ') << " +" << std::string(static_cast<std::size_t>(W), '-')
+      << "\n";
+  const std::string x_lo = format_num(opts.log_x ? std::pow(10, xr.lo) : xr.lo);
+  const std::string x_hi = format_num(opts.log_x ? std::pow(10, xr.hi) : xr.hi);
+  out << std::string(margin + 2, ' ') << x_lo
+      << std::string(
+             std::max<std::size_t>(
+                 1, static_cast<std::size_t>(W) - x_lo.size() - x_hi.size()),
+             ' ')
+      << x_hi;
+  if (!opts.xlabel.empty()) out << "   [" << opts.xlabel << "]";
+  out << "\n";
+  if (!opts.ylabel.empty()) {
+    out << std::string(margin + 2, ' ') << "y: " << opts.ylabel;
+    if (opts.log_y) out << " (log scale)";
+    out << "\n";
+  }
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kMarkers[si % (sizeof(kMarkers) - 1)] << "="
+        << series[si].name;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string render_cdf(const std::vector<Series>& series, PlotOptions opts) {
+  if (opts.ylabel.empty()) opts.ylabel = "P(X <= x)";
+  return render_plot(series, opts);
+}
+
+std::string render_usage_strip(const std::vector<UsageSample>& samples,
+                               Time t_end, const std::string& label,
+                               int width) {
+  static const char* kShades[] = {" ", ".", ":", "-", "=", "+", "*", "#",
+                                  "%", "@"};
+  std::ostringstream out;
+  out << label << "\n";
+  std::string strip;
+  for (int c = 0; c < width; ++c) {
+    const Time t =
+        t_end * (static_cast<double>(c) + 0.5) / static_cast<double>(width);
+    // Usage at time t: last sample with sample.t <= t.
+    double usage = 0.0;
+    for (const UsageSample& s : samples) {
+      if (s.t <= t) {
+        usage = s.usage;
+      } else {
+        break;
+      }
+    }
+    const int shade = std::clamp(static_cast<int>(usage * 9.999), 0, 9);
+    strip += kShades[shade];
+  }
+  out << "  [" << strip << "]  0.." << format_num(t_end) << "\n";
+  return out.str();
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      out << rows[r][c]
+          << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+    }
+    out << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      out << std::string(total, '-') << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool write_series_csv(const std::string& path,
+                      const std::vector<Series>& series) {
+  std::ofstream f(path);
+  if (!f) return false;
+  util::CsvTable table;
+  table.header = {"series", "x", "y", "ci95_half_width"};
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      table.rows.push_back({s.name, format_num(s.x[i]), format_num(s.y[i]),
+                            i < s.ci.size() ? format_num(s.ci[i]) : ""});
+    }
+  }
+  util::write_csv(f, table);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mris::exp

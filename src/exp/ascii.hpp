@@ -1,0 +1,63 @@
+// Terminal rendering for benchmark output: multi-series line plots (the
+// paper's figures), tables, CDF plots and machine-usage strips (Figure 7).
+// Plots are complemented by CSV files written next to the binaries so the
+// exact numbers can be re-plotted with any external tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace mris::exp {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> ci;  ///< optional CI half-widths (empty = none)
+};
+
+struct PlotOptions {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  int width = 72;   ///< plot-area columns
+  int height = 20;  ///< plot-area rows
+  bool log_x = false;
+  bool log_y = false;
+};
+
+/// Renders series as an ASCII scatter/line chart with a legend; each series
+/// uses a distinct marker.  Points sharing a cell show the earliest series'
+/// marker.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& opts);
+
+/// Renders an empirical-CDF plot (x = value, y = fraction in [0,1]).
+std::string render_cdf(const std::vector<Series>& series, PlotOptions opts);
+
+/// Renders one machine's piecewise-constant resource usage over [0, t_end]
+/// as a bar strip (used for the Figure 7 schedule pictures).
+std::string render_usage_strip(const std::vector<UsageSample>& samples,
+                               Time t_end, const std::string& label,
+                               int width = 72);
+
+/// A simple aligned text table.  rows[0] is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Formats "mean ± halfwidth" compactly.
+std::string format_ci(const util::MeanCi& ci);
+
+/// Formats a double with engineering-friendly precision (4 significant
+/// digits, no trailing zeros noise).
+std::string format_num(double v);
+
+/// Writes series as CSV: header "series,x,y,ci", one row per point.
+/// Creates/overwrites `path`.  Returns false (and prints nothing) on IO
+/// failure so benches stay usable in read-only checkouts.
+bool write_series_csv(const std::string& path,
+                      const std::vector<Series>& series);
+
+}  // namespace mris::exp

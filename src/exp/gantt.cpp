@@ -1,0 +1,95 @@
+#include "exp/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "exp/ascii.hpp"
+
+namespace mris::exp {
+
+namespace {
+
+struct Bar {
+  JobId job;
+  Time start;
+  Time end;
+};
+
+/// Greedy interval coloring: first lane whose last bar ends at or before
+/// this bar's start.  Bars must be sorted by start.
+std::vector<std::vector<Bar>> assign_lanes(std::vector<Bar> bars,
+                                           std::size_t max_lanes) {
+  std::sort(bars.begin(), bars.end(), [](const Bar& a, const Bar& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.job < b.job;
+  });
+  std::vector<std::vector<Bar>> lanes;
+  for (const Bar& bar : bars) {
+    bool placed = false;
+    for (auto& lane : lanes) {
+      if (lane.back().end <= bar.start + 1e-12) {
+        lane.push_back(bar);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      if (lanes.size() >= max_lanes) continue;  // elide overflow lanes
+      lanes.push_back({bar});
+    }
+  }
+  return lanes;
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& inst, const Schedule& sched,
+                         const GanttOptions& opts) {
+  std::ostringstream out;
+  if (inst.num_jobs() == 0) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+  const Time horizon = makespan(inst, sched);
+  if (horizon <= 0.0) {
+    out << "(zero-length schedule)\n";
+    return out.str();
+  }
+  const double scale = static_cast<double>(opts.width) / horizon;
+
+  for (MachineId m = 0; m < inst.num_machines(); ++m) {
+    std::vector<Bar> bars;
+    for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+      const auto id = static_cast<JobId>(i);
+      const Assignment& a = sched.assignment(id);
+      if (!a.assigned() || a.machine != m) continue;
+      bars.push_back({id, a.start, a.start + inst.job(id).processing});
+    }
+    out << "machine " << m << " (" << bars.size() << " jobs)\n";
+    for (const auto& lane : assign_lanes(std::move(bars), opts.max_lanes)) {
+      std::string row(static_cast<std::size_t>(opts.width), ' ');
+      for (const Bar& bar : lane) {
+        auto c0 = static_cast<std::size_t>(bar.start * scale);
+        auto c1 = static_cast<std::size_t>(bar.end * scale);
+        c0 = std::min(c0, static_cast<std::size_t>(opts.width) - 1);
+        c1 = std::clamp(c1, c0 + 1, static_cast<std::size_t>(opts.width));
+        for (std::size_t c = c0; c < c1; ++c) row[c] = '=';
+        row[c0] = '[';
+        row[c1 - 1] = ']';
+        if (opts.show_ids) {
+          const std::string label = std::to_string(bar.job);
+          if (c1 - c0 >= label.size() + 2) {
+            row.replace(c0 + 1, label.size(), label);
+          }
+        }
+      }
+      out << "  |" << row << "|\n";
+    }
+  }
+  out << "  time 0 .. " << format_num(horizon) << "\n";
+  return out.str();
+}
+
+}  // namespace mris::exp

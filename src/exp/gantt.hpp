@@ -1,0 +1,25 @@
+// ASCII Gantt rendering of complete schedules — one row per machine "lane",
+// jobs drawn as labeled bars.  Multi-resource machines run jobs
+// concurrently, so each machine is expanded into as many lanes as its peak
+// concurrency needs (lane assignment is greedy interval-graph coloring).
+// Meant for small instances (quickstart, Figure 7 debugging, tests).
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris::exp {
+
+struct GanttOptions {
+  int width = 72;           ///< columns for the time axis
+  std::size_t max_lanes = 16;  ///< cap on lanes per machine (rest elided)
+  bool show_ids = true;     ///< label bars with job ids where they fit
+};
+
+/// Renders the schedule as text.  Jobs are clipped to [0, makespan].
+std::string render_gantt(const Instance& inst, const Schedule& sched,
+                         const GanttOptions& opts = {});
+
+}  // namespace mris::exp

@@ -1,0 +1,88 @@
+#include "exp/runner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace mris::exp {
+
+EvalResult evaluate_with_schedule(const Instance& inst,
+                                  const SchedulerSpec& spec,
+                                  Schedule& schedule_out) {
+  const std::unique_ptr<OnlineScheduler> scheduler =
+      make_scheduler(spec, inst);
+  RunResult run = run_online(inst, *scheduler);
+  const ValidationResult valid = validate_schedule(inst, run.schedule);
+  if (!valid) {
+    throw std::runtime_error("infeasible schedule from " +
+                             spec.display_name() + ": " + valid.message);
+  }
+  EvalResult r;
+  r.num_jobs = inst.num_jobs();
+  r.awct = average_weighted_completion_time(inst, run.schedule);
+  r.twct = total_weighted_completion_time(inst, run.schedule);
+  r.awft = average_weighted_flow_time(inst, run.schedule);
+  r.makespan = mris::makespan(inst, run.schedule);
+  r.mean_delay = mean_queuing_delay(inst, run.schedule);
+  schedule_out = std::move(run.schedule);
+  return r;
+}
+
+EvalResult evaluate(const Instance& inst, const SchedulerSpec& spec) {
+  Schedule ignored;
+  return evaluate_with_schedule(inst, spec, ignored);
+}
+
+PointResult replicate(
+    std::size_t reps,
+    const std::function<Instance(std::size_t)>& make_instance,
+    const SchedulerSpec& spec) {
+  std::vector<double> awct(reps), cmax(reps), delay(reps);
+  util::global_pool().parallel_for(reps, [&](std::size_t rep) {
+    const Instance inst = make_instance(rep);
+    const EvalResult r = evaluate(inst, spec);
+    awct[rep] = r.awct;
+    cmax[rep] = r.makespan;
+    delay[rep] = r.mean_delay;
+  });
+  PointResult p;
+  p.awct = util::mean_ci95(awct);
+  p.makespan = util::mean_ci95(cmax);
+  p.mean_delay = util::mean_ci95(delay);
+  return p;
+}
+
+std::vector<PointResult> replicate_lineup(
+    std::size_t reps,
+    const std::function<Instance(std::size_t)>& make_instance,
+    const std::vector<SchedulerSpec>& lineup) {
+  const std::size_t S = lineup.size();
+  std::vector<std::vector<double>> awct(S, std::vector<double>(reps));
+  std::vector<std::vector<double>> cmax(S, std::vector<double>(reps));
+  std::vector<std::vector<double>> delay(S, std::vector<double>(reps));
+
+  // Parallelize over (rep, scheduler) pairs; the instance for a rep is
+  // built once and shared read-only by all schedulers of that rep.
+  std::vector<Instance> instances(reps);
+  util::global_pool().parallel_for(
+      reps, [&](std::size_t rep) { instances[rep] = make_instance(rep); });
+  util::global_pool().parallel_for(reps * S, [&](std::size_t idx) {
+    const std::size_t rep = idx / S;
+    const std::size_t s = idx % S;
+    const EvalResult r = evaluate(instances[rep], lineup[s]);
+    awct[s][rep] = r.awct;
+    cmax[s][rep] = r.makespan;
+    delay[s][rep] = r.mean_delay;
+  });
+
+  std::vector<PointResult> out(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    out[s].awct = util::mean_ci95(awct[s]);
+    out[s].makespan = util::mean_ci95(cmax[s]);
+    out[s].mean_delay = util::mean_ci95(delay[s]);
+  }
+  return out;
+}
+
+}  // namespace mris::exp

@@ -1,0 +1,54 @@
+// Experiment runner: evaluates scheduler specs on instances, validates every
+// produced schedule, and replicates data points across downsample offsets
+// in parallel (10 replications per point, mean ± 95% CI — Section 7.1).
+#pragma once
+
+#include <functional>
+
+#include "core/metrics.hpp"
+#include "exp/schedulers.hpp"
+#include "util/stats.hpp"
+
+namespace mris::exp {
+
+/// Metrics of one scheduler run on one instance.
+struct EvalResult {
+  double awct = 0.0;        ///< average weighted completion time
+  double twct = 0.0;        ///< total weighted completion time
+  double awft = 0.0;        ///< average weighted flow time
+  double makespan = 0.0;
+  double mean_delay = 0.0;  ///< mean queuing delay S_j - r_j
+  std::size_t num_jobs = 0;
+};
+
+/// Runs `spec` online on `inst`, validates feasibility (throws
+/// std::runtime_error with the violation otherwise), and returns metrics.
+EvalResult evaluate(const Instance& inst, const SchedulerSpec& spec);
+
+/// Like evaluate() but also hands back the schedule (for CDFs / Gantt).
+EvalResult evaluate_with_schedule(const Instance& inst,
+                                  const SchedulerSpec& spec,
+                                  Schedule& schedule_out);
+
+/// Aggregated metrics of one (scheduler, parameter) data point.
+struct PointResult {
+  util::MeanCi awct;
+  util::MeanCi makespan;
+  util::MeanCi mean_delay;
+};
+
+/// Runs `reps` replications in parallel on the global thread pool;
+/// `make_instance(rep)` builds the rep-th instance (typically a distinct
+/// downsample offset, as in the paper).
+PointResult replicate(std::size_t reps,
+                      const std::function<Instance(std::size_t)>& make_instance,
+                      const SchedulerSpec& spec);
+
+/// Convenience: evaluates a whole lineup against the same instance factory.
+/// Instances are built once per rep and shared across schedulers.
+std::vector<PointResult> replicate_lineup(
+    std::size_t reps,
+    const std::function<Instance(std::size_t)>& make_instance,
+    const std::vector<SchedulerSpec>& lineup);
+
+}  // namespace mris::exp

@@ -1,0 +1,70 @@
+// Scheduler factory for the experiment harness: one declarative spec type
+// covering every algorithm in the evaluation (Section 7.2), so that
+// benchmarks enumerate scheduler lineups as data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/bfexec.hpp"
+#include "sched/capq.hpp"
+#include "sched/mris.hpp"
+#include "sched/pq.hpp"
+#include "sched/tetris.hpp"
+
+namespace mris::exp {
+
+enum class SchedulerKind {
+  kMris,
+  kPq,
+  kTetris,
+  kBfExec,
+  kCaPq,
+  kDrf,     ///< Dominant Resource Fairness baseline (related work)
+  kHybrid,  ///< PQ-at-idle / MRIS-under-load extension
+};
+
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kMris;
+
+  /// Heuristic for PQ / CA-PQ / MRIS's subroutine.
+  Heuristic heuristic = Heuristic::kWsjf;
+
+  /// MRIS-only configuration (heuristic above overrides mris.heuristic).
+  MrisConfig mris;
+
+  /// Optional display-label override.
+  std::string label;
+
+  std::string display_name() const;
+
+  // Named constructors for the paper's lineups.
+  static SchedulerSpec Mris(Heuristic h = Heuristic::kWsjf,
+                            knapsack::Backend backend =
+                                knapsack::Backend::kCadp);
+  static SchedulerSpec Pq(Heuristic h = Heuristic::kWsjf);
+  static SchedulerSpec Tetris();
+  static SchedulerSpec BfExec();
+  static SchedulerSpec CaPq(Heuristic h = Heuristic::kWsjf);
+  static SchedulerSpec Drf();
+  static SchedulerSpec Hybrid(Heuristic h = Heuristic::kWsjf);
+};
+
+/// Parses a CLI scheduler name into a spec.  Accepted forms (case-
+/// insensitive): "mris", "mris-greedy", "mris-nobf", "mris-evscan",
+/// "pq", "pq-<heuristic>", "capq", "capq-<heuristic>", "tetris", "bfexec",
+/// "drf", "hybrid", where <heuristic> is one of svf wsvf sjf wsjf sdf wsdf
+/// erf.  Throws std::invalid_argument with the list of valid names.
+SchedulerSpec parse_scheduler_spec(const std::string& name);
+
+/// Instantiates the scheduler for a concrete instance.  CA-PQ receives the
+/// instance's last release time as its (paper-sanctioned) side information.
+std::unique_ptr<OnlineScheduler> make_scheduler(const SchedulerSpec& spec,
+                                                const Instance& inst);
+
+/// The Figure 3/4/5 comparison lineup: MRIS(WSJF,CADP), PQ-WSJF, PQ-WSVF,
+/// TETRIS, BF-EXEC, CA-PQ-WSJF.
+std::vector<SchedulerSpec> comparison_lineup();
+
+}  // namespace mris::exp

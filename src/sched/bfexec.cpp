@@ -1,0 +1,56 @@
+#include "sched/bfexec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sched/pq.hpp"
+
+namespace mris {
+
+void BfExecScheduler::on_arrival(EngineContext& ctx, JobId job) {
+  const Time now = ctx.now();
+  MachineId best = kInvalidMachine;
+  double best_norm = std::numeric_limits<double>::infinity();
+  for (MachineId m = 0; m < ctx.num_machines(); ++m) {
+    if (!ctx.can_start(job, m, now)) continue;
+    const std::vector<double> avail = ctx.cluster().available(m, now);
+    double norm2 = 0.0;
+    for (double a : avail) norm2 += a * a;
+    if (norm2 < best_norm) {
+      best_norm = norm2;
+      best = m;
+    }
+  }
+  if (best != kInvalidMachine) {
+    ctx.commit(job, best, now);
+  }
+  // Infeasible on every machine: the job waits for a departure.
+}
+
+void BfExecScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
+                                    MachineId machine) {
+  const Time now = ctx.now();
+  std::vector<double> avail = ctx.cluster().available(machine, now);
+  for (;;) {
+    JobId shortest = kInvalidJob;
+    for (JobId id : ctx.pending()) {
+      if (!fits_available(avail, ctx.job(id).demand)) continue;
+      if (!ctx.can_start(id, machine, now)) continue;
+      if (shortest == kInvalidJob ||
+          ctx.job(id).processing < ctx.job(shortest).processing ||
+          (ctx.job(id).processing == ctx.job(shortest).processing &&
+           id < shortest)) {
+        shortest = id;
+      }
+    }
+    if (shortest == kInvalidJob) break;
+    const Job& chosen = ctx.job(shortest);
+    ctx.commit(shortest, machine, now);
+    for (std::size_t l = 0; l < avail.size(); ++l) {
+      avail[l] = std::max(0.0, avail[l] - chosen.demand[l]);
+    }
+  }
+}
+
+}  // namespace mris

@@ -1,0 +1,24 @@
+// BF-EXEC (NoroozOliaee et al., INFOCOM WKSHPS 2014) as described in
+// Section 7.2 of the paper:
+//
+//  * On arrival of a job, assign it immediately — if feasible — to the
+//    machine with the lowest L2-norm of remaining resources (best fit);
+//    otherwise the job waits in the queue.
+//  * On departure of a job from machine m, repeatedly take the shortest
+//    queued job that fits on m and start it there (SJF from the queue,
+//    machine locality of the freed capacity).
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace mris {
+
+class BfExecScheduler : public OnlineScheduler {
+ public:
+  std::string name() const override { return "BF-EXEC"; }
+
+  void on_arrival(EngineContext& ctx, JobId job) override;
+  void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+};
+
+}  // namespace mris

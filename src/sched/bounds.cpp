@@ -1,0 +1,57 @@
+#include "sched/bounds.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mris {
+
+namespace {
+
+/// Optimal total weighted completion time of the single-fluid-processor
+/// relaxation for one resource: sizes q_j, rate M, WSPT order.  Jobs with
+/// q_j == 0 complete instantly and contribute nothing.
+double fluid_wspt(const Instance& inst, int resource) {
+  const double rate = static_cast<double>(inst.num_machines());
+  std::vector<std::size_t> order(inst.num_jobs());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto size_of = [&](std::size_t i) {
+    const Job& j = inst.jobs()[i];
+    return j.processing * j.demand[static_cast<std::size_t>(resource)];
+  };
+  // Smith's rule: non-increasing w_j / q_j == non-decreasing q_j / w_j.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ka = size_of(a) * inst.jobs()[b].weight;
+    const double kb = size_of(b) * inst.jobs()[a].weight;
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  double finished = 0.0;
+  double total = 0.0;
+  for (std::size_t i : order) {
+    finished += size_of(i);
+    total += inst.jobs()[i].weight * (finished / rate);
+  }
+  return total;
+}
+
+}  // namespace
+
+double twct_fluid_lower_bound(const Instance& inst) {
+  double trivial = 0.0;
+  for (const Job& j : inst.jobs()) {
+    trivial += j.weight * (j.release + j.processing);
+  }
+  double best = trivial;
+  for (int l = 0; l < inst.num_resources(); ++l) {
+    best = std::max(best, fluid_wspt(inst, l));
+  }
+  return best;
+}
+
+double awct_fluid_lower_bound(const Instance& inst) {
+  if (inst.num_jobs() == 0) return 0.0;
+  return twct_fluid_lower_bound(inst) / static_cast<double>(inst.num_jobs());
+}
+
+}  // namespace mris

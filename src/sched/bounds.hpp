@@ -1,0 +1,28 @@
+// Instance-level lower bounds on the optimal objective values, computable
+// at trace scale (the exhaustive oracle in optimal.hpp stops at N = 8).
+// They make empirical competitive ratios reportable for full experiments:
+// ALG / lower_bound >= ALG / OPT, so any reported ratio is conservative.
+//
+// AWCT bound: a *fluid relaxation*.  Fix a resource l.  Any feasible
+// schedule must process q_j = p_j * d_jl units of resource-l work for job
+// j, and the whole cluster supplies at most M units of resource-l capacity
+// per unit of time.  Relax to a single preemptive fluid processor of rate
+// M with job sizes q_j, no release dates: the optimal total weighted
+// completion time of that relaxation is attained by WSPT order (Smith's
+// rule) and lower-bounds the original optimum.  Combining with the trivial
+// per-job bound C_j >= r_j + p_j cannot be done per-job across both bounds
+// simultaneously, so we take the max of the two sums, each valid alone.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace mris {
+
+/// Lower bound on OPT's total weighted completion time: max over resources
+/// of the fluid WSPT relaxation, and the trivial sum_j w_j (r_j + p_j).
+double twct_fluid_lower_bound(const Instance& inst);
+
+/// twct_fluid_lower_bound / N — lower bound on the optimal AWCT.
+double awct_fluid_lower_bound(const Instance& inst);
+
+}  // namespace mris

@@ -1,0 +1,96 @@
+#include "sched/drf.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/pq.hpp"
+
+namespace mris {
+
+double DrfScheduler::dominant_share(TenantId tenant) const {
+  const auto it = allocated_.find(tenant);
+  if (it == allocated_.end()) return 0.0;
+  double share = 0.0;
+  for (double a : it->second) share = std::max(share, a);
+  return share;
+}
+
+void DrfScheduler::on_arrival(EngineContext& ctx, JobId /*job*/) {
+  allocate(ctx);
+}
+
+void DrfScheduler::on_completion(EngineContext& ctx, JobId job,
+                                 MachineId /*machine*/) {
+  // Release the finished job's contribution to its tenant's share.
+  const Job& j = ctx.job(job);
+  const double m = static_cast<double>(ctx.num_machines());
+  auto it = allocated_.find(j.tenant);
+  if (it != allocated_.end()) {
+    for (std::size_t l = 0; l < j.demand.size(); ++l) {
+      it->second[l] = std::max(0.0, it->second[l] - j.demand[l] / m);
+    }
+  }
+  allocate(ctx);
+}
+
+void DrfScheduler::allocate(EngineContext& ctx) {
+  const Time now = ctx.now();
+  const int M = ctx.num_machines();
+  const double m = static_cast<double>(M);
+
+  std::vector<std::vector<double>> avail(static_cast<std::size_t>(M));
+  for (MachineId machine = 0; machine < M; ++machine) {
+    avail[static_cast<std::size_t>(machine)] =
+        ctx.cluster().available(machine, now);
+  }
+
+  for (;;) {
+    // Head-of-line job per tenant: FIFO within tenant (pending() preserves
+    // release order).
+    std::map<TenantId, JobId> head;
+    for (JobId id : ctx.pending()) {
+      head.try_emplace(ctx.job(id).tenant, id);
+    }
+    if (head.empty()) return;
+
+    // Among tenants whose head job fits somewhere, pick the one with the
+    // smallest dominant share (ties -> smaller tenant id via map order).
+    TenantId best_tenant = -1;
+    JobId best_job = kInvalidJob;
+    MachineId best_machine = kInvalidMachine;
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const auto& [tenant, id] : head) {
+      const double share = dominant_share(tenant);
+      if (share >= best_share) continue;
+      const Job& j = ctx.job(id);
+      for (MachineId machine = 0; machine < M; ++machine) {
+        if (!fits_available(avail[static_cast<std::size_t>(machine)],
+                            j.demand)) {
+          continue;
+        }
+        if (!ctx.can_start(id, machine, now)) continue;
+        best_tenant = tenant;
+        best_job = id;
+        best_machine = machine;
+        best_share = share;
+        break;
+      }
+    }
+    if (best_job == kInvalidJob) return;
+
+    const Job& j = ctx.job(best_job);
+    ctx.commit(best_job, best_machine, now);
+    auto& alloc =
+        allocated_
+            .try_emplace(best_tenant,
+                         std::vector<double>(j.demand.size(), 0.0))
+            .first->second;
+    auto& machine_avail = avail[static_cast<std::size_t>(best_machine)];
+    for (std::size_t l = 0; l < j.demand.size(); ++l) {
+      alloc[l] += j.demand[l] / m;
+      machine_avail[l] = std::max(0.0, machine_avail[l] - j.demand[l]);
+    }
+  }
+}
+
+}  // namespace mris

@@ -1,0 +1,39 @@
+// Dominant Resource Fairness (Ghodsi et al., NSDI 2011) adapted to the
+// paper's non-preemptive multi-machine model — the fairness-oriented
+// scheduler the paper contrasts with completion-time-oriented designs
+// (Sec 2.2.1: "DRF does not focus on job completion time metrics").
+//
+// Adaptation: jobs belong to tenants (Job::tenant).  At every event the
+// scheduler repeatedly picks the tenant with the smallest *dominant share*
+// — the maximum over resources of the tenant's currently allocated demand
+// divided by total cluster capacity (M per resource) — and starts that
+// tenant's next pending job (FIFO within tenant) on the first machine with
+// room.  Shares shrink when jobs complete, exactly like task churn in the
+// original DRF loop.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mris {
+
+class DrfScheduler : public OnlineScheduler {
+ public:
+  std::string name() const override { return "DRF"; }
+
+  void on_arrival(EngineContext& ctx, JobId job) override;
+  void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+
+  /// Dominant share of a tenant right now (0 when nothing allocated).
+  double dominant_share(TenantId tenant) const;
+
+ private:
+  void allocate(EngineContext& ctx);
+
+  /// Per-tenant allocated demand, summed over that tenant's running jobs.
+  std::map<TenantId, std::vector<double>> allocated_;
+};
+
+}  // namespace mris

@@ -1,0 +1,174 @@
+#include "sched/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mris {
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<std::vector<double>>& demand,
+    const std::vector<double>& weight, const std::vector<double>& capacity) {
+  const std::size_t n = demand.size();
+  if (weight.size() != n) {
+    throw std::invalid_argument("max_min_fair_rates: weight size mismatch");
+  }
+  const std::size_t R = capacity.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<char> frozen(n, 0);
+  // Remaining capacity after frozen jobs' consumption.
+  std::vector<double> used(R, 0.0);
+
+  double theta = 0.0;
+  std::size_t unfrozen = n;
+  while (unfrozen > 0) {
+    // Per-resource growth slope of the unfrozen jobs.
+    std::vector<double> slope(R, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (frozen[j]) continue;
+      for (std::size_t l = 0; l < R; ++l) slope[l] += demand[j][l] * weight[j];
+    }
+    // Next event: a job's rate reaches 1, or a resource saturates.
+    double theta_next = std::numeric_limits<double>::infinity();
+    std::ptrdiff_t cap_job = -1;
+    std::ptrdiff_t sat_resource = -1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (frozen[j]) continue;
+      const double t_cap = 1.0 / weight[j];
+      if (t_cap < theta_next) {
+        theta_next = t_cap;
+        cap_job = static_cast<std::ptrdiff_t>(j);
+        sat_resource = -1;
+      }
+    }
+    for (std::size_t l = 0; l < R; ++l) {
+      if (slope[l] <= 0.0) continue;
+      // `used` holds only frozen jobs' consumption; unfrozen jobs consume
+      // slope[l] * theta, so resource l saturates at this theta:
+      const double t_sat = (capacity[l] - used[l]) / slope[l];
+      if (t_sat < theta_next) {
+        theta_next = t_sat;
+        sat_resource = static_cast<std::ptrdiff_t>(l);
+        cap_job = -1;
+      }
+    }
+    if (!std::isfinite(theta_next)) {
+      // No constraint binds (can happen only with zero-demand rows, which
+      // the Instance invariant forbids) — cap everyone.
+      theta_next = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!frozen[j]) {
+          rate[j] = 1.0;
+          frozen[j] = 1;
+        }
+      }
+      break;
+    }
+    theta = theta_next;
+
+    if (cap_job >= 0) {
+      const auto j = static_cast<std::size_t>(cap_job);
+      rate[j] = 1.0;
+      frozen[j] = 1;
+      --unfrozen;
+      for (std::size_t l = 0; l < R; ++l) used[l] += demand[j][l];
+    } else {
+      const auto l_sat = static_cast<std::size_t>(sat_resource);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (frozen[j] || demand[j][l_sat] <= 0.0) continue;
+        rate[j] = std::min(1.0, theta * weight[j]);
+        frozen[j] = 1;
+        --unfrozen;
+        for (std::size_t l = 0; l < R; ++l) used[l] += demand[j][l] * rate[j];
+      }
+    }
+  }
+  return rate;
+}
+
+FluidResult fluid_max_min_schedule(const Instance& inst) {
+  FluidResult result;
+  const std::size_t n = inst.num_jobs();
+  result.completion.assign(n, 0.0);
+  if (n == 0) return result;
+
+  const std::vector<double> capacity(
+      static_cast<std::size_t>(inst.num_resources()),
+      static_cast<double>(inst.num_machines()));
+
+  // Arrival order.
+  std::vector<std::size_t> by_release(n);
+  std::iota(by_release.begin(), by_release.end(), std::size_t{0});
+  std::sort(by_release.begin(), by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              return inst.jobs()[a].release < inst.jobs()[b].release;
+            });
+
+  std::vector<double> remaining(n);
+  for (std::size_t j = 0; j < n; ++j) remaining[j] = inst.jobs()[j].processing;
+
+  std::vector<std::size_t> active;
+  std::size_t next_arrival = 0;
+  Time t = 0.0;
+  std::size_t done = 0;
+  while (done < n) {
+    // Admit arrivals at the current time.
+    while (next_arrival < n &&
+           inst.jobs()[by_release[next_arrival]].release <= t + 1e-12) {
+      active.push_back(by_release[next_arrival]);
+      ++next_arrival;
+    }
+    if (active.empty()) {
+      // Idle until the next arrival.
+      t = inst.jobs()[by_release[next_arrival]].release;
+      continue;
+    }
+
+    // Rates for the active set.
+    std::vector<std::vector<double>> demand;
+    std::vector<double> weight;
+    demand.reserve(active.size());
+    weight.reserve(active.size());
+    for (std::size_t j : active) {
+      demand.push_back(inst.jobs()[j].demand);
+      weight.push_back(inst.jobs()[j].weight);
+    }
+    const std::vector<double> rate =
+        max_min_fair_rates(demand, weight, capacity);
+
+    // Horizon: first completion at these rates, or the next arrival.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (rate[k] > 0.0) dt = std::min(dt, remaining[active[k]] / rate[k]);
+    }
+    if (next_arrival < n) {
+      dt = std::min(dt, inst.jobs()[by_release[next_arrival]].release - t);
+    }
+
+    // Advance and retire completed jobs.
+    t += dt;
+    std::vector<std::size_t> still_active;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const std::size_t j = active[k];
+      remaining[j] -= rate[k] * dt;
+      if (remaining[j] <= 1e-9 * inst.jobs()[j].processing) {
+        result.completion[j] = t;
+        ++done;
+      } else {
+        still_active.push_back(j);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    result.twct += inst.jobs()[j].weight * result.completion[j];
+    result.makespan = std::max(result.makespan, result.completion[j]);
+  }
+  result.awct = result.twct / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace mris

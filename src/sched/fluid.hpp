@@ -1,0 +1,50 @@
+// Preemptive fluid reference — what the *preemptive* related work gets to
+// assume.  Im et al. [16] obtain O(1)-competitive AWCT by reallocating
+// processing rates to jobs at every instant (preemption + migration for
+// free).  To quantify the price of non-preemption, this module simulates a
+// fluid relaxation of that model:
+//
+//   * all machines are pooled: resource l offers total capacity M;
+//   * each active job j receives a processing rate rate_j in [0, 1]
+//     (rate 1 = real-time execution) and consumes d_jl * rate_j of each
+//     resource; it completes when the integral of its rate reaches p_j;
+//   * at every arrival/completion, rates are recomputed by *weighted
+//     max-min fairness* (progressive filling): all rates grow in
+//     proportion to their weights until a job hits rate 1 or a resource
+//     saturates; jobs touching a saturated resource are frozen and the
+//     rest continue.
+//
+// (Im et al. use proportional fairness; weighted max-min is the
+// deterministic, exactly-computable member of the same fluid family and
+// keeps this reference reproducible bit-for-bit.)
+//
+// The result is NOT a lower bound on the non-preemptive optimum in
+// general — it is the natural "preemption + migration are free" reference
+// point used by bench/price_of_nonpreemption.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace mris {
+
+struct FluidResult {
+  std::vector<Time> completion;  ///< C_j per job
+  double twct = 0.0;             ///< sum_j w_j C_j
+  double awct = 0.0;             ///< twct / N
+  Time makespan = 0.0;
+};
+
+/// Weighted max-min fair rates for the active jobs.  `demand[j]` is job
+/// j's demand vector, `weight[j]` its weight, `capacity[l]` the pooled
+/// capacity of resource l.  Returns one rate in [0, 1] per job.
+/// Exposed for testing.
+std::vector<double> max_min_fair_rates(
+    const std::vector<std::vector<double>>& demand,
+    const std::vector<double>& weight, const std::vector<double>& capacity);
+
+/// Runs the event-driven fluid simulation of `inst`.
+FluidResult fluid_max_min_schedule(const Instance& inst);
+
+}  // namespace mris

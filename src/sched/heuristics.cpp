@@ -1,0 +1,74 @@
+#include "sched/heuristics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mris {
+
+const std::vector<Heuristic>& all_heuristics() {
+  static const std::vector<Heuristic> kAll = {
+      Heuristic::kSvf, Heuristic::kWsvf, Heuristic::kSjf, Heuristic::kWsjf,
+      Heuristic::kSdf, Heuristic::kWsdf, Heuristic::kErf};
+  return kAll;
+}
+
+std::string heuristic_name(Heuristic h) {
+  switch (h) {
+    case Heuristic::kSvf:
+      return "SVF";
+    case Heuristic::kWsvf:
+      return "WSVF";
+    case Heuristic::kSjf:
+      return "SJF";
+    case Heuristic::kWsjf:
+      return "WSJF";
+    case Heuristic::kSdf:
+      return "SDF";
+    case Heuristic::kWsdf:
+      return "WSDF";
+    case Heuristic::kErf:
+      return "ERF";
+  }
+  throw std::logic_error("heuristic_name: unknown heuristic");
+}
+
+double heuristic_key(Heuristic h, const Job& job) {
+  switch (h) {
+    case Heuristic::kSvf:
+      return job.volume();
+    case Heuristic::kWsvf:
+      return job.volume() / job.weight;
+    case Heuristic::kSjf:
+      return job.processing;
+    case Heuristic::kWsjf:
+      return job.processing / job.weight;
+    case Heuristic::kSdf:
+      return job.total_demand();
+    case Heuristic::kWsdf:
+      return job.total_demand() / job.weight;
+    case Heuristic::kErf:
+      return job.release;
+  }
+  throw std::logic_error("heuristic_key: unknown heuristic");
+}
+
+std::function<bool(const Job&, const Job&)> job_order(Heuristic h) {
+  return [h](const Job& a, const Job& b) {
+    const double ka = heuristic_key(h, a);
+    const double kb = heuristic_key(h, b);
+    if (ka != kb) return ka < kb;
+    return a.id < b.id;
+  };
+}
+
+void sort_jobs(std::vector<JobId>& ids, Heuristic h,
+               const std::function<const Job&(JobId)>& job_of) {
+  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    const double ka = heuristic_key(h, job_of(a));
+    const double kb = heuristic_key(h, job_of(b));
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+}
+
+}  // namespace mris

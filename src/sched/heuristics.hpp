@@ -1,0 +1,44 @@
+// Sorting heuristics for the PRIORITY-QUEUE family (Sections 4 and 7.3).
+// Jobs are ordered by non-decreasing key:
+//   (W)SVF: v_j (/ w_j)   — (weighted) smallest volume first
+//   (W)SJF: p_j (/ w_j)   — (weighted) shortest job first
+//   (W)SDF: u_j (/ w_j)   — (weighted) smallest demand first
+//   ERF:    r_j           — earliest release first
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace mris {
+
+enum class Heuristic {
+  kSvf,
+  kWsvf,
+  kSjf,
+  kWsjf,
+  kSdf,
+  kWsdf,
+  kErf,
+};
+
+/// All heuristics, in the order plotted in Figure 1.
+const std::vector<Heuristic>& all_heuristics();
+
+/// Short display name ("WSJF" etc.).
+std::string heuristic_name(Heuristic h);
+
+/// The sort key of `job` under `h` (jobs sort by non-decreasing key).
+double heuristic_key(Heuristic h, const Job& job);
+
+/// Strict weak ordering over jobs: non-decreasing key, ties by id for
+/// determinism.
+std::function<bool(const Job&, const Job&)> job_order(Heuristic h);
+
+/// Sorts job ids by `h` given an accessor from id to Job.
+void sort_jobs(std::vector<JobId>& ids, Heuristic h,
+               const std::function<const Job&(JobId)>& job_of);
+
+}  // namespace mris

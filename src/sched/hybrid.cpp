@@ -1,0 +1,30 @@
+#include "sched/hybrid.hpp"
+
+namespace mris {
+
+double HybridScheduler::cluster_utilization(const EngineContext& ctx,
+                                            Time t) {
+  double used = 0.0;
+  const int M = ctx.num_machines();
+  const int R = ctx.num_resources();
+  for (MachineId m = 0; m < M; ++m) {
+    for (double a : ctx.cluster().available(m, t)) used += 1.0 - a;
+  }
+  return used / (static_cast<double>(M) * static_cast<double>(R));
+}
+
+void HybridScheduler::on_arrival(EngineContext& ctx, JobId job) {
+  if (cluster_utilization(ctx, ctx.now()) <= threshold_) {
+    for (MachineId m = 0; m < ctx.num_machines(); ++m) {
+      if (ctx.can_start(job, m, ctx.now())) {
+        ctx.commit(job, m, ctx.now());
+        break;
+      }
+    }
+  }
+  // Fall through: whether committed or not, keep MRIS's wakeup chain armed
+  // (an uncommitted job must be caught by the next interval).
+  MrisScheduler::on_arrival(ctx, job);
+}
+
+}  // namespace mris

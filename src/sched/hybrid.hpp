@@ -1,0 +1,37 @@
+// HYBRID — a library extension beyond the paper (motivated by its Fig 3/4
+// observation that MRIS loses to greedy schedulers at low load, where the
+// interval-waiting tax buys nothing).
+//
+// Rule: behave like PRIORITY-QUEUE while the cluster is lightly used —
+// a job arriving when average instantaneous utilization is at most
+// `utilization_threshold` and that fits somewhere right now is committed
+// immediately.  Every other job falls through to the unmodified MRIS
+// interval machinery.  Under load the threshold stops triggering and the
+// scheduler is exactly MRIS (same competitive certificate for the deferred
+// jobs); at idle it matches PQ's zero queuing delay.
+#pragma once
+
+#include "sched/mris.hpp"
+
+namespace mris {
+
+class HybridScheduler : public MrisScheduler {
+ public:
+  explicit HybridScheduler(MrisConfig config = {},
+                           double utilization_threshold = 0.25)
+      : MrisScheduler(config), threshold_(utilization_threshold) {}
+
+  std::string name() const override {
+    return "HYBRID+" + MrisScheduler::name();
+  }
+
+  void on_arrival(EngineContext& ctx, JobId job) override;
+
+  /// Average instantaneous usage across machines and resources at `t`.
+  static double cluster_utilization(const EngineContext& ctx, Time t);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace mris

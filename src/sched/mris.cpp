@@ -1,0 +1,108 @@
+#include "sched/mris.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/pq.hpp"
+
+namespace mris {
+
+MrisScheduler::MrisScheduler(MrisConfig config) : config_(config) {
+  if (!(config_.alpha > 1.0)) {
+    throw std::invalid_argument("MRIS: alpha must be > 1");
+  }
+  if (!(config_.eps > 0.0) || !(config_.eps < 1.0)) {
+    throw std::invalid_argument("MRIS: eps must lie in (0, 1)");
+  }
+  if (!(config_.gamma0 > 0.0)) {
+    throw std::invalid_argument("MRIS: gamma0 must be > 0");
+  }
+}
+
+std::string MrisScheduler::name() const {
+  std::string n = "MRIS(" + heuristic_name(config_.heuristic) + "," +
+                  knapsack::backend_name(config_.backend);
+  if (!config_.backfill) n += ",nobf";
+  if (config_.subroutine == MrisConfig::Subroutine::kEventScan) {
+    n += ",evscan";
+  }
+  return n + ")";
+}
+
+double MrisScheduler::gamma(std::size_t k) const {
+  return config_.gamma0 * std::pow(config_.alpha, static_cast<double>(k));
+}
+
+void MrisScheduler::arm(EngineContext& ctx, Time t) {
+  while (gamma(k_) < t) ++k_;
+  ctx.schedule_wakeup(gamma(k_));
+  armed_ = true;
+}
+
+void MrisScheduler::on_start(EngineContext& ctx) { arm(ctx, 0.0); }
+
+void MrisScheduler::on_arrival(EngineContext& ctx, JobId /*job*/) {
+  // If wakeups went quiet (no pending work at the last gamma_k), resume the
+  // geometric series at the first boundary not before now.
+  if (!armed_) arm(ctx, ctx.now());
+}
+
+void MrisScheduler::on_wakeup(EngineContext& ctx) {
+  const double gamma_k = gamma(k_);
+  ++k_;
+
+  // J_k: released, unscheduled jobs with p_j <= gamma_k (Alg. 1 line 3).
+  // Everything in pending() already has r_j <= now == gamma_k.
+  std::vector<JobId> candidates;
+  std::vector<knapsack::Item> items;
+  for (JobId id : ctx.pending()) {
+    const Job& j = ctx.job(id);
+    if (j.processing <= gamma_k) {
+      candidates.push_back(id);
+      items.push_back({j.volume(), j.weight, id});
+    }
+  }
+
+  if (!candidates.empty()) {
+    ++stats_.iterations;
+    stats_.knapsack_items += items.size();
+
+    // zeta_k = R * M * gamma_k (Alg. 1 line 4).
+    const double zeta =
+        static_cast<double>(ctx.num_resources()) *
+        static_cast<double>(ctx.num_machines()) * gamma_k;
+    const knapsack::Selection sel = knapsack::solve_constraint_approx(
+        config_.backend, items, zeta, config_.eps);
+
+    if (!sel.tags.empty()) {
+      stats_.max_interval_volume =
+          std::max(stats_.max_interval_volume, sel.total_size / zeta);
+      stats_.jobs_scheduled += sel.tags.size();
+
+      const Time not_before =
+          config_.backfill ? ctx.now() : std::max(ctx.now(), frontier_);
+      std::vector<JobId> batch(sel.tags.begin(), sel.tags.end());
+      const auto subroutine =
+          config_.subroutine == MrisConfig::Subroutine::kEventScan
+              ? offline_pq_schedule_eventscan
+              : offline_pq_schedule;
+      const Time end = subroutine(
+          batch, config_.heuristic, not_before,
+          [&ctx](JobId id) -> const Job& { return ctx.job(id); },
+          [&ctx](JobId id, Time t, MachineId& m) {
+            return ctx.earliest_fit(id, t, m);
+          },
+          [&ctx](JobId id, MachineId m, Time s) { ctx.commit(id, m, s); });
+      frontier_ = std::max(frontier_, end);
+    }
+  }
+
+  if (!ctx.pending().empty()) {
+    arm(ctx, ctx.now());
+  } else {
+    armed_ = false;
+  }
+}
+
+}  // namespace mris

@@ -1,0 +1,106 @@
+#include "sched/optimal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+#include "sim/cluster.hpp"
+
+namespace mris {
+
+namespace {
+
+/// Places jobs in `perm` order, job i on machine assign[i], each at its
+/// earliest feasible start >= release given prior placements.
+Schedule serial_generation(const Instance& inst,
+                           const std::vector<JobId>& perm,
+                           const std::vector<MachineId>& assign) {
+  Cluster cluster(inst.num_machines(), inst.num_resources());
+  Schedule sched(inst.num_jobs());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const Job& j = inst.job(perm[i]);
+    const MachineId m = assign[i];
+    const Time start = cluster.earliest_fit_on(j, m, j.release);
+    cluster.reserve(j, m, start);
+    sched.assign(j.id, m, start);
+  }
+  return sched;
+}
+
+}  // namespace
+
+Schedule optimal_schedule(
+    const Instance& inst,
+    const std::function<double(const Instance&, const Schedule&)>& objective) {
+  const std::size_t n = inst.num_jobs();
+  if (n > 8) {
+    throw std::invalid_argument(
+        "optimal_schedule: exhaustive search limited to N <= 8");
+  }
+  if (n == 0) return Schedule(0);
+
+  std::vector<JobId> perm(n);
+  std::iota(perm.begin(), perm.end(), JobId{0});
+
+  const auto m_count = static_cast<std::size_t>(inst.num_machines());
+  double best_value = std::numeric_limits<double>::infinity();
+  Schedule best;
+  do {
+    // Enumerate machine assignments as a base-M counter.
+    std::vector<MachineId> assign(n, 0);
+    for (;;) {
+      Schedule sched = serial_generation(inst, perm, assign);
+      const double value = objective(inst, sched);
+      if (value < best_value) {
+        best_value = value;
+        best = std::move(sched);
+      }
+      // Increment the counter.
+      std::size_t digit = 0;
+      while (digit < n) {
+        assign[digit] =
+            static_cast<MachineId>((static_cast<std::size_t>(assign[digit]) + 1) % m_count);
+        if (assign[digit] != 0) break;
+        ++digit;
+      }
+      if (digit == n) break;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+Schedule optimal_weighted_completion_schedule(const Instance& inst) {
+  return optimal_schedule(inst, [](const Instance& i, const Schedule& s) {
+    return total_weighted_completion_time(i, s);
+  });
+}
+
+Schedule optimal_makespan_schedule(const Instance& inst) {
+  return optimal_schedule(inst, [](const Instance& i, const Schedule& s) {
+    return makespan(i, s);
+  });
+}
+
+double twct_lower_bound(const Instance& inst) {
+  double bound = 0.0;
+  for (const Job& j : inst.jobs()) {
+    bound += j.weight * (j.release + j.processing);
+  }
+  return bound;
+}
+
+double makespan_lower_bound(const Instance& inst) {
+  double bound = 0.0;
+  for (const Job& j : inst.jobs()) {
+    bound = std::max(bound, j.release + j.processing);
+  }
+  const double volume_bound =
+      inst.total_volume() / (static_cast<double>(inst.num_resources()) *
+                             static_cast<double>(inst.num_machines()));
+  return std::max(bound, volume_bound);
+}
+
+}  // namespace mris

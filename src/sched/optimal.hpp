@@ -1,0 +1,43 @@
+// Exact offline optimal schedules for *tiny* instances, used as oracles in
+// tests and to measure empirical competitive ratios.
+//
+// Method: exhaustive search over (job permutation, machine assignment)
+// pairs, placing each job at its earliest feasible start on its assigned
+// machine given all previously placed jobs.  For regular (non-decreasing in
+// completion times) objectives such as total weighted completion time and
+// makespan, some such "serial generation" schedule is optimal — the classic
+// active-schedule argument from resource-constrained project scheduling.
+//
+// Complexity O(N! * M^N * poly); guarded to N <= 8.
+#pragma once
+
+#include <functional>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris {
+
+/// Minimizes sum_j w_j C_j.  Throws std::invalid_argument if N > 8.
+Schedule optimal_weighted_completion_schedule(const Instance& inst);
+
+/// Minimizes max_j C_j.  Throws std::invalid_argument if N > 8.
+Schedule optimal_makespan_schedule(const Instance& inst);
+
+/// Exhaustive minimization of an arbitrary objective over serial-generation
+/// schedules.  `objective` maps a complete schedule to a value to minimize.
+Schedule optimal_schedule(
+    const Instance& inst,
+    const std::function<double(const Instance&, const Schedule&)>& objective);
+
+/// Cheap lower bounds on the optimal objective, valid for any instance —
+/// used for sanity checks on instances too large for exhaustive search.
+
+/// OPT total weighted completion time >= sum_j w_j (r_j + p_j).
+double twct_lower_bound(const Instance& inst);
+
+/// OPT makespan >= max(V_I / (R M), max_j (r_j + p_j))  (Lemma 6.2 plus the
+/// trivial per-job bound).
+double makespan_lower_bound(const Instance& inst);
+
+}  // namespace mris

@@ -1,0 +1,135 @@
+#include "sched/pq.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mris {
+
+bool fits_available(const std::vector<double>& available,
+                    const std::vector<double>& demand) {
+  for (std::size_t l = 0; l < demand.size(); ++l) {
+    if (demand[l] > available[l] + 1e-9) return false;
+  }
+  return true;
+}
+
+void PriorityQueueScheduler::enqueue(EngineContext& ctx, JobId job) {
+  const double key = heuristic_key(heuristic_, ctx.job(job));
+  const auto pos = std::lower_bound(
+      queue_.begin(), queue_.end(), job, [&](JobId a, JobId b) {
+        const double ka = heuristic_key(heuristic_, ctx.job(a));
+        const double kb = (b == job) ? key : heuristic_key(heuristic_, ctx.job(b));
+        if (ka != kb) return ka < kb;
+        return a < b;
+      });
+  queue_.insert(pos, job);
+}
+
+void PriorityQueueScheduler::on_arrival(EngineContext& ctx, JobId job) {
+  enqueue(ctx, job);
+  scan_and_schedule(ctx);
+}
+
+void PriorityQueueScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
+                                           MachineId /*machine*/) {
+  scan_and_schedule(ctx);
+}
+
+void PriorityQueueScheduler::scan_and_schedule(EngineContext& ctx) {
+  const Time now = ctx.now();
+  const int M = ctx.num_machines();
+
+  // Instantaneous free capacity per machine, maintained across commits in
+  // this scan.  In a pure PQ run every reservation starts at or before now,
+  // so instantaneous fit implies window fit; can_start() still confirms so
+  // that subclasses remain correct if mixed with future reservations.
+  std::vector<std::vector<double>> available(static_cast<std::size_t>(M));
+  for (MachineId m = 0; m < M; ++m) {
+    available[static_cast<std::size_t>(m)] = ctx.cluster().available(m, now);
+  }
+
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < queue_.size(); ++read) {
+    const JobId id = queue_[read];
+    const Job& job = ctx.job(id);
+    bool committed = false;
+    for (MachineId m = 0; m < M; ++m) {
+      auto& avail = available[static_cast<std::size_t>(m)];
+      if (!fits_available(avail, job.demand)) continue;
+      if (!ctx.can_start(id, m, now)) continue;
+      ctx.commit(id, m, now);
+      for (std::size_t l = 0; l < avail.size(); ++l) {
+        avail[l] = std::max(0.0, avail[l] - job.demand[l]);
+      }
+      committed = true;
+      break;
+    }
+    if (!committed) queue_[write++] = id;
+  }
+  queue_.resize(write);
+}
+
+Time offline_pq_schedule(
+    const std::vector<JobId>& jobs, Heuristic heuristic, Time not_before,
+    const std::function<const Job&(JobId)>& job_of,
+    const std::function<Time(JobId, Time, MachineId&)>& earliest_fit,
+    const std::function<void(JobId, MachineId, Time)>& commit) {
+  std::vector<JobId> order = jobs;
+  sort_jobs(order, heuristic, job_of);
+  Time makespan = not_before;
+  for (JobId id : order) {
+    MachineId machine = kInvalidMachine;
+    const Time start = earliest_fit(id, not_before, machine);
+    commit(id, machine, start);
+    makespan = std::max(makespan, start + job_of(id).processing);
+  }
+  return makespan;
+}
+
+Time offline_pq_schedule_eventscan(
+    const std::vector<JobId>& jobs, Heuristic heuristic, Time not_before,
+    const std::function<const Job&(JobId)>& job_of,
+    const std::function<Time(JobId, Time, MachineId&)>& earliest_fit,
+    const std::function<void(JobId, MachineId, Time)>& commit) {
+  std::vector<JobId> remaining = jobs;
+  sort_jobs(remaining, heuristic, job_of);
+  Time makespan = not_before;
+  Time t = not_before;
+  // Min-heap of future event candidates (completions of this batch).
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> events;
+  while (!remaining.empty()) {
+    // Start every job that fits at exactly t, scanning in priority order.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < remaining.size(); ++read) {
+      const JobId id = remaining[read];
+      MachineId machine = kInvalidMachine;
+      const Time start = earliest_fit(id, t, machine);
+      if (start == t) {
+        commit(id, machine, t);
+        const Time finish = t + job_of(id).processing;
+        events.push(finish);
+        makespan = std::max(makespan, finish);
+      } else {
+        remaining[write++] = id;
+      }
+    }
+    remaining.resize(write);
+    if (remaining.empty()) break;
+
+    // Advance to the next event strictly after t.  If the batch produced
+    // no usable completion (e.g. blocked by pre-existing reservations),
+    // fall forward to the earliest feasible start of any remaining job.
+    Time next = std::numeric_limits<Time>::infinity();
+    while (!events.empty() && events.top() <= t) events.pop();
+    if (!events.empty()) next = events.top();
+    for (JobId id : remaining) {
+      MachineId machine = kInvalidMachine;
+      next = std::min(next, earliest_fit(id, t, machine));
+    }
+    t = next;
+  }
+  return makespan;
+}
+
+}  // namespace mris

@@ -1,0 +1,79 @@
+// PRIORITY-QUEUE (PQ) schedulers — Section 4.
+//
+// At every event t (arrival or completion), sort the pending jobs by a
+// heuristic and scan from the head, starting each job immediately (at t, on
+// the lowest-indexed machine where it fits) whenever feasible.  Lemma 4.1
+// shows this class is Omega(N)-competitive standalone; MRIS reuses it as an
+// offline makespan subroutine (Section 5.2), available here as
+// offline_pq_schedule().
+#pragma once
+
+#include <vector>
+
+#include "sched/heuristics.hpp"
+#include "sim/engine.hpp"
+
+namespace mris {
+
+class PriorityQueueScheduler : public OnlineScheduler {
+ public:
+  explicit PriorityQueueScheduler(Heuristic heuristic = Heuristic::kWsjf)
+      : heuristic_(heuristic) {}
+
+  std::string name() const override {
+    return "PQ-" + heuristic_name(heuristic_);
+  }
+
+  void on_arrival(EngineContext& ctx, JobId job) override;
+  void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+
+ protected:
+  /// Scans the heuristic-ordered queue and greedily starts every job that
+  /// fits right now.  Shared with CA-PQ.
+  void scan_and_schedule(EngineContext& ctx);
+
+  /// Inserts an arrived job into the sorted queue (kept ordered by the
+  /// heuristic key so scans don't re-sort the whole pending set per event).
+  void enqueue(EngineContext& ctx, JobId job);
+
+  Heuristic heuristic_;
+  std::vector<JobId> queue_;  ///< pending jobs, sorted by heuristic key
+};
+
+/// True when `demand` fits within the `available` capacity vector
+/// (tolerance matches the cluster's).  A cheap necessary condition used to
+/// prefilter placement attempts before the full calendar query.
+bool fits_available(const std::vector<double>& available,
+                    const std::vector<double>& demand);
+
+/// Offline PQ list scheduling with backfilling (MRIS's subroutine): jobs
+/// are sorted by `heuristic` (their releases are treated as zero) and each
+/// is committed at its earliest feasible start >= not_before, on the machine
+/// achieving that earliest start.  Returns the makespan of the committed
+/// jobs (max completion), or not_before when `jobs` is empty.
+///
+/// The `commit` callback receives (job, machine, start) and must perform the
+/// irrevocable reservation (EngineContext::commit in online runs, or
+/// Cluster::reserve + Schedule::assign in offline unit tests).
+Time offline_pq_schedule(
+    const std::vector<JobId>& jobs, Heuristic heuristic, Time not_before,
+    const std::function<const Job&(JobId)>& job_of,
+    const std::function<Time(JobId, Time, MachineId&)>& earliest_fit,
+    const std::function<void(JobId, MachineId, Time)>& commit);
+
+/// The literal event-scan formulation of Section 5.2: walk candidate event
+/// times forward from not_before (batch completions, plus the earliest
+/// feasible start of any remaining job when the batch stalls); at each
+/// event, scan the heuristic-ordered list and start every job that fits at
+/// exactly that instant.  Produces the schedule structure used by the
+/// Lemma 6.3 makespan proof; offline_pq_schedule() (earliest-fit per job in
+/// priority order) is the backfilling-friendly variant MRIS uses by
+/// default.  Same callback contract and return value as
+/// offline_pq_schedule().
+Time offline_pq_schedule_eventscan(
+    const std::vector<JobId>& jobs, Heuristic heuristic, Time not_before,
+    const std::function<const Job&(JobId)>& job_of,
+    const std::function<Time(JobId, Time, MachineId&)>& earliest_fit,
+    const std::function<void(JobId, MachineId, Time)>& commit);
+
+}  // namespace mris

@@ -1,0 +1,38 @@
+// TETRIS (Grandl et al., SIGCOMM 2014) adapted to the non-preemptive
+// multi-machine model, as in Section 7.2 of the paper.
+//
+// At every event, for each machine with spare capacity, repeatedly start
+// the feasible pending job with the best combined score: an *alignment*
+// term (dot product of the job's demand with the machine's remaining
+// capacity — rewards tight packing) plus a *small-volume* term standing in
+// for TETRIS's shortest-remaining-processing-time component (without
+// preemption the remaining volume is the full volume v_j).  Both terms are
+// normalized to [0, 1] so `eps_t` trades them off scale-free:
+//
+//   score(j, i) = dot(d_j, avail_i) / R + eps_t * (1 - v_j / v_max_pending)
+//
+// The paper notes that, stripped of preemption, TETRIS is a member of the
+// PRIORITY-QUEUE class ("in effect, jobs are sorted by SVF, selected by the
+// alignment scores") — which this realization makes explicit.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace mris {
+
+class TetrisScheduler : public OnlineScheduler {
+ public:
+  explicit TetrisScheduler(double eps_t = 1.0) : eps_t_(eps_t) {}
+
+  std::string name() const override { return "TETRIS"; }
+
+  void on_arrival(EngineContext& ctx, JobId job) override;
+  void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+
+ private:
+  void pack(EngineContext& ctx);
+
+  double eps_t_;
+};
+
+}  // namespace mris

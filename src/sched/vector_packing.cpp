@@ -1,0 +1,102 @@
+#include "sched/vector_packing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mris {
+
+std::vector<Bin> ffd_vector_pack(
+    const std::vector<std::vector<double>>& items, double tolerance) {
+  for (const auto& item : items) {
+    for (double d : item) {
+      if (d < 0.0 || d > 1.0 + tolerance) {
+        throw std::invalid_argument(
+            "ffd_vector_pack: every demand must lie in [0, 1]");
+      }
+    }
+  }
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ta =
+        std::accumulate(items[a].begin(), items[a].end(), 0.0);
+    const double tb =
+        std::accumulate(items[b].begin(), items[b].end(), 0.0);
+    if (ta != tb) return ta > tb;  // decreasing total demand
+    return a < b;
+  });
+
+  std::vector<Bin> bins;
+  std::vector<std::vector<double>> load;  // per-bin per-dimension usage
+  for (std::size_t idx : order) {
+    const auto& item = items[idx];
+    bool placed = false;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      bool fits = true;
+      for (std::size_t l = 0; l < item.size(); ++l) {
+        if (load[b][l] + item[l] > 1.0 + tolerance) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        bins[b].push_back(idx);
+        for (std::size_t l = 0; l < item.size(); ++l) load[b][l] += item[l];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back({idx});
+      load.push_back(item);
+    }
+  }
+  return bins;
+}
+
+std::size_t bin_count_lower_bound(
+    const std::vector<std::vector<double>>& items) {
+  if (items.empty()) return 0;
+  std::vector<double> totals(items.front().size(), 0.0);
+  for (const auto& item : items) {
+    for (std::size_t l = 0; l < item.size() && l < totals.size(); ++l) {
+      totals[l] += item[l];
+    }
+  }
+  double max_total = 0.0;
+  for (double t : totals) max_total = std::max(max_total, t);
+  return static_cast<std::size_t>(std::ceil(max_total - 1e-9));
+}
+
+Schedule ffd_unit_makespan_schedule(const Instance& inst) {
+  Schedule sched(inst.num_jobs());
+  if (inst.num_jobs() == 0) return sched;
+  const Time p = inst.jobs().front().processing;
+  std::vector<std::vector<double>> items;
+  items.reserve(inst.num_jobs());
+  for (const Job& j : inst.jobs()) {
+    if (j.processing != p) {
+      throw std::invalid_argument(
+          "ffd_unit_makespan_schedule: all processing times must be equal");
+    }
+    if (j.release != 0.0) {
+      throw std::invalid_argument(
+          "ffd_unit_makespan_schedule: all releases must be 0 (offline)");
+    }
+    items.push_back(j.demand);
+  }
+  const auto bins = ffd_vector_pack(items);
+  const auto machines = static_cast<std::size_t>(inst.num_machines());
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    const auto machine = static_cast<MachineId>(b % machines);
+    const Time start = static_cast<double>(b / machines) * p;
+    for (std::size_t idx : bins[b]) {
+      sched.assign(static_cast<JobId>(idx), machine, start);
+    }
+  }
+  return sched;
+}
+
+}  // namespace mris

@@ -1,0 +1,38 @@
+// Vector bin packing for the unit-processing-time special case (Remark 3):
+// when every p_j equals the same value, makespan scheduling on M machines
+// reduces to packing the R-dimensional demand vectors into the fewest unit
+// bins (each bin = one machine-timeslot).  The paper points at Bansal et
+// al.'s sublinear-in-R approximations as future work; this module provides
+// the classic First-Fit-Decreasing baseline plus the reduction to a
+// Schedule, so packing-based subroutines can be compared against PQ.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris {
+
+/// One packed bin: indices of the items it holds.
+using Bin = std::vector<std::size_t>;
+
+/// First-Fit-Decreasing on R-dimensional vectors with unit capacity per
+/// dimension: items sorted by non-increasing total demand, each placed in
+/// the first bin where it fits.  Every item must fit in an empty bin
+/// (all entries <= 1; checked).
+std::vector<Bin> ffd_vector_pack(const std::vector<std::vector<double>>& items,
+                                 double tolerance = 1e-9);
+
+/// Lower bound on the optimal bin count: ceil of the largest per-dimension
+/// demand sum.
+std::size_t bin_count_lower_bound(
+    const std::vector<std::vector<double>>& items);
+
+/// Builds a makespan schedule for an instance whose jobs all share one
+/// processing time and release 0 (checked; throws std::invalid_argument):
+/// bins are packed with FFD, then bin b runs on machine b % M during slot
+/// floor(b / M).  Makespan = ceil(bins / M) * p.
+Schedule ffd_unit_makespan_schedule(const Instance& inst);
+
+}  // namespace mris

@@ -1,0 +1,67 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mris {
+
+Cluster::Cluster(int num_machines, int num_resources)
+    : num_resources_(num_resources) {
+  if (num_machines < 1) throw std::invalid_argument("Cluster: machines >= 1");
+  if (num_resources < 1)
+    throw std::invalid_argument("Cluster: resources >= 1");
+  machines_.reserve(static_cast<std::size_t>(num_machines));
+  for (int m = 0; m < num_machines; ++m) {
+    machines_.emplace_back(num_resources);
+  }
+}
+
+bool Cluster::fits(const Job& job, MachineId m, Time start) const {
+  return machine(m).fits(start, job.processing, job.demand);
+}
+
+Time Cluster::earliest_fit_on(const Job& job, MachineId m,
+                              Time not_before) const {
+  return machine(m).earliest_fit(not_before, job.processing, job.demand);
+}
+
+Time Cluster::earliest_fit(const Job& job, Time not_before,
+                           MachineId& best_machine) const {
+  Time best = std::numeric_limits<Time>::infinity();
+  best_machine = kInvalidMachine;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    const Time s = earliest_fit_on(job, m, not_before);
+    if (s < best) {
+      best = s;
+      best_machine = m;
+    }
+  }
+  return best;
+}
+
+void Cluster::reserve(const Job& job, MachineId m, Time start) {
+  if (m < 0 || m >= num_machines()) {
+    throw std::logic_error("Cluster::reserve: machine index out of range");
+  }
+  if (!fits(job, m, start)) {
+    throw std::logic_error("Cluster::reserve: job " + std::to_string(job.id) +
+                           " does not fit on machine " + std::to_string(m) +
+                           " at t=" + std::to_string(start));
+  }
+  machines_[static_cast<std::size_t>(m)].reserve(start, job.processing,
+                                                 job.demand);
+}
+
+std::vector<double> Cluster::available(MachineId m, Time t) const {
+  return machine(m).available_at(t);
+}
+
+Time Cluster::horizon() const {
+  Time h = 0.0;
+  for (const auto& m : machines_) h = std::max(h, m.horizon());
+  return h;
+}
+
+}  // namespace mris

@@ -1,0 +1,56 @@
+// A cluster of M identical machines, each a ResourceProfile.  Tracks all
+// committed (irrevocable) job reservations and provides the placement
+// queries shared by every scheduler: feasibility "now", earliest feasible
+// start (backfilling), and remaining capacity snapshots.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+#include "sim/resource_profile.hpp"
+
+namespace mris {
+
+class Cluster {
+ public:
+  Cluster(int num_machines, int num_resources);
+
+  int num_machines() const noexcept {
+    return static_cast<int>(machines_.size());
+  }
+  int num_resources() const noexcept { return num_resources_; }
+
+  const ResourceProfile& machine(MachineId m) const {
+    return machines_.at(static_cast<std::size_t>(m));
+  }
+
+  /// True if `job` fits on machine `m` over [start, start + p_j).
+  bool fits(const Job& job, MachineId m, Time start) const;
+
+  /// Earliest start >= not_before at which `job` fits on machine `m`.
+  Time earliest_fit_on(const Job& job, MachineId m, Time not_before) const;
+
+  /// Earliest start over all machines; returns the chosen machine through
+  /// `best_machine` (lowest index on ties).
+  Time earliest_fit(const Job& job, Time not_before,
+                    MachineId& best_machine) const;
+
+  /// Reserves `job` on machine `m` at `start`.  Throws std::logic_error if
+  /// infeasible (callers must query first; this guards scheduler bugs).
+  void reserve(const Job& job, MachineId m, Time start);
+
+  /// Remaining capacity vector of machine `m` at time t.
+  std::vector<double> available(MachineId m, Time t) const;
+
+  /// Latest reservation end across machines (0 when empty) — the frontier
+  /// used by the no-backfilling MRIS ablation.
+  Time horizon() const;
+
+ private:
+  int num_resources_;
+  std::vector<ResourceProfile> machines_;
+};
+
+}  // namespace mris

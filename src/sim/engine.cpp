@@ -1,0 +1,218 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace mris {
+
+namespace {
+
+enum class EventKind : int { kCompletion = 0, kArrival = 1, kWakeup = 2 };
+
+struct Event {
+  Time t;
+  EventKind kind;
+  std::uint64_t seq;  // FIFO tie-break within (t, kind)
+  JobId job = kInvalidJob;
+  MachineId machine = kInvalidMachine;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+    return a.seq > b.seq;
+  }
+};
+
+class Engine final : public EngineContext {
+ public:
+  Engine(const Instance& inst, OnlineScheduler& scheduler,
+         const RunOptions& options)
+      : inst_(inst),
+        scheduler_(scheduler),
+        options_(options),
+        cluster_(inst.num_machines(), inst.num_resources()),
+        schedule_(inst.num_jobs()),
+        released_(inst.num_jobs(), false),
+        committed_(inst.num_jobs(), false) {}
+
+  RunResult run();
+
+  // EngineContext -----------------------------------------------------
+  Time now() const override { return now_; }
+  int num_machines() const override { return inst_.num_machines(); }
+  int num_resources() const override { return inst_.num_resources(); }
+  std::size_t num_jobs() const override { return inst_.num_jobs(); }
+
+  const Job& job(JobId id) const override {
+    if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs()) {
+      throw std::logic_error("EngineContext::job: bad job id");
+    }
+    if (!released_[static_cast<std::size_t>(id)]) {
+      throw std::logic_error(
+          "EngineContext::job: job " + std::to_string(id) +
+          " has not been released yet (online model violation)");
+    }
+    return inst_.job(id);
+  }
+
+  const std::vector<JobId>& pending() const override { return pending_; }
+  const Cluster& cluster() const override { return cluster_; }
+
+  bool can_start(JobId id, MachineId m, Time start) const override {
+    return cluster_.fits(job(id), m, start);
+  }
+
+  Time earliest_fit_on(JobId id, MachineId m, Time not_before) const override {
+    return cluster_.earliest_fit_on(job(id), m, not_before);
+  }
+
+  Time earliest_fit(JobId id, Time not_before,
+                    MachineId& best_machine) const override {
+    return cluster_.earliest_fit(job(id), not_before, best_machine);
+  }
+
+  void commit(JobId id, MachineId m, Time start) override {
+    const Job& j = job(id);  // also enforces release visibility
+    if (committed_[static_cast<std::size_t>(id)]) {
+      throw std::logic_error("commit: job " + std::to_string(id) +
+                             " already committed (non-preemptive model)");
+    }
+    // Tolerate microscopic clock skew but not genuine past starts.
+    if (start < now_ - 1e-9) {
+      throw std::logic_error("commit: start " + std::to_string(start) +
+                             " is in the past (now=" + std::to_string(now_) +
+                             ")");
+    }
+    if (start + 1e-9 < j.release) {
+      throw std::logic_error("commit: start precedes release of job " +
+                             std::to_string(id));
+    }
+    cluster_.reserve(j, m, start);  // throws if infeasible
+    schedule_.assign(id, m, start);
+    if (options_.record_events) {
+      log_.push_back({EventRecord::Kind::kCommit, now_, id, m, start});
+    }
+    committed_[static_cast<std::size_t>(id)] = true;
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                   pending_.end());
+    push({start + j.processing, EventKind::kCompletion, seq_++, id, m});
+  }
+
+  void schedule_wakeup(Time t) override {
+    if (t < now_ - 1e-9) {
+      throw std::logic_error("schedule_wakeup: time in the past");
+    }
+    if (wakeups_.insert(t).second) {
+      push({t, EventKind::kWakeup, seq_++});
+    }
+  }
+
+ private:
+  void push(Event e) { queue_.push(e); }
+
+  const Instance& inst_;
+  OnlineScheduler& scheduler_;
+  RunOptions options_;
+  std::vector<EventRecord> log_;
+  Cluster cluster_;
+  Schedule schedule_;
+
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<JobId> pending_;
+  std::vector<char> released_;
+  std::vector<char> committed_;
+  std::set<Time> wakeups_;
+  std::size_t processed_ = 0;
+};
+
+RunResult Engine::run() {
+  // Seed arrival events.
+  for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
+    const Job& j = inst_.jobs()[i];
+    push({j.release, EventKind::kArrival, seq_++, j.id});
+  }
+
+  scheduler_.on_start(*this);
+
+  std::size_t remaining = inst_.num_jobs();
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    assert(e.t >= now_ - 1e-9 && "events must be non-decreasing in time");
+    now_ = std::max(now_, e.t);
+    ++processed_;
+    if (options_.record_events) {
+      EventRecord rec;
+      rec.t = now_;
+      rec.job = e.job;
+      rec.machine = e.machine;
+      switch (e.kind) {
+        case EventKind::kArrival:
+          rec.kind = EventRecord::Kind::kArrival;
+          break;
+        case EventKind::kCompletion:
+          rec.kind = EventRecord::Kind::kCompletion;
+          break;
+        case EventKind::kWakeup:
+          rec.kind = EventRecord::Kind::kWakeup;
+          break;
+      }
+      log_.push_back(rec);
+    }
+    switch (e.kind) {
+      case EventKind::kArrival:
+        released_[static_cast<std::size_t>(e.job)] = true;
+        pending_.push_back(e.job);
+        scheduler_.on_arrival(*this, e.job);
+        break;
+      case EventKind::kCompletion:
+        --remaining;
+        scheduler_.on_completion(*this, e.job, e.machine);
+        break;
+      case EventKind::kWakeup:
+        scheduler_.on_wakeup(*this);
+        break;
+    }
+    if (queue_.empty() && remaining > 0) {
+      throw std::runtime_error(
+          "run_online: scheduler '" + scheduler_.name() + "' deadlocked: " +
+          std::to_string(remaining) +
+          " jobs uncompleted with no future events");
+    }
+  }
+
+  if (!schedule_.complete()) {
+    throw std::runtime_error("run_online: schedule incomplete after run");
+  }
+  return RunResult{std::move(schedule_), processed_, std::move(log_)};
+}
+
+}  // namespace
+
+const char* event_kind_name(EventRecord::Kind kind) {
+  switch (kind) {
+    case EventRecord::Kind::kArrival:
+      return "arrival";
+    case EventRecord::Kind::kCompletion:
+      return "completion";
+    case EventRecord::Kind::kWakeup:
+      return "wakeup";
+    case EventRecord::Kind::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+RunResult run_online(const Instance& inst, OnlineScheduler& scheduler,
+                     const RunOptions& options) {
+  Engine engine(inst, scheduler, options);
+  return engine.run();
+}
+
+}  // namespace mris

@@ -1,0 +1,116 @@
+// Discrete-event engine enforcing the online model (Section 3): a
+// scheduler learns a job's parameters only at its release time r_j, must
+// assign an irrevocable (machine, start) with start >= now, and may request
+// wakeups (MRIS's interval boundaries gamma_k).
+//
+// Event ordering at equal timestamps: completions first (capacity frees at
+// C_j since jobs occupy [S_j, C_j)), then arrivals, then wakeups (so a
+// wakeup at gamma_k observes every job with r_j <= gamma_k, as Algorithm 1
+// line 3 requires).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "sim/cluster.hpp"
+
+namespace mris {
+
+class EngineContext;
+
+/// Interface implemented by every online scheduler in this library.
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+
+  /// Display name used in experiment output (e.g. "MRIS(WSJF,CADP)").
+  virtual std::string name() const = 0;
+
+  /// Called once at t=0 before any arrival; may schedule wakeups.
+  virtual void on_start(EngineContext& /*ctx*/) {}
+
+  /// A job was released; its parameters are now visible via ctx.job().
+  virtual void on_arrival(EngineContext& /*ctx*/, JobId /*job*/) {}
+
+  /// A committed job finished on `machine` (capacity already freed).
+  virtual void on_completion(EngineContext& /*ctx*/, JobId /*job*/,
+                             MachineId /*machine*/) {}
+
+  /// A wakeup previously requested via ctx.schedule_wakeup() fired.
+  virtual void on_wakeup(EngineContext& /*ctx*/) {}
+};
+
+/// The scheduler-facing API of the running simulation.  Only released jobs
+/// are observable; commits must respect start >= now and resource capacity.
+class EngineContext {
+ public:
+  virtual ~EngineContext() = default;
+
+  virtual Time now() const = 0;
+  virtual int num_machines() const = 0;
+  virtual int num_resources() const = 0;
+  virtual std::size_t num_jobs() const = 0;
+
+  /// Parameters of a *released* job; throws std::logic_error if the job has
+  /// not yet arrived (prevents accidental clairvoyance).
+  virtual const Job& job(JobId id) const = 0;
+
+  /// Released-but-uncommitted jobs, in release order.
+  virtual const std::vector<JobId>& pending() const = 0;
+
+  /// Read access to machine reservation calendars.
+  virtual const Cluster& cluster() const = 0;
+
+  /// True if `id` fits on machine m over [start, start + p).
+  virtual bool can_start(JobId id, MachineId m, Time start) const = 0;
+
+  /// Earliest feasible start of `id` on machine m at or after `not_before`.
+  virtual Time earliest_fit_on(JobId id, MachineId m, Time not_before) const = 0;
+
+  /// Earliest feasible start over all machines (ties -> lowest machine id).
+  virtual Time earliest_fit(JobId id, Time not_before,
+                            MachineId& best_machine) const = 0;
+
+  /// Irrevocably commits `id` to machine m starting at `start`
+  /// (start >= now enforced; future starts are reservations a la MRIS).
+  virtual void commit(JobId id, MachineId m, Time start) = 0;
+
+  /// Requests on_wakeup() at time t (>= now).  Duplicate times coalesce.
+  virtual void schedule_wakeup(Time t) = 0;
+};
+
+/// One entry of the optional engine event log (observability/debugging).
+struct EventRecord {
+  enum class Kind { kArrival, kCompletion, kWakeup, kCommit };
+  Kind kind;
+  Time t = 0.0;                        ///< when the event was processed
+  JobId job = kInvalidJob;             ///< kArrival/kCompletion/kCommit
+  MachineId machine = kInvalidMachine; ///< kCompletion/kCommit
+  Time start = 0.0;                    ///< kCommit: the committed start
+};
+
+/// Short name of an event kind ("arrival", "completion", ...).
+const char* event_kind_name(EventRecord::Kind kind);
+
+/// Result of a full online run.
+struct RunResult {
+  Schedule schedule;
+  std::size_t num_events = 0;  ///< processed engine events (diagnostics)
+  std::vector<EventRecord> log;  ///< populated when requested
+};
+
+struct RunOptions {
+  bool record_events = false;  ///< fill RunResult::log (commits included)
+};
+
+/// Simulates `scheduler` on `inst` from t=0 until every job is committed
+/// and completed.  Throws std::runtime_error if the scheduler deadlocks
+/// (no future events while jobs remain unassigned).
+RunResult run_online(const Instance& inst, OnlineScheduler& scheduler,
+                     const RunOptions& options = {});
+
+}  // namespace mris

@@ -1,0 +1,107 @@
+#include "sim/resource_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mris {
+
+ResourceProfile::ResourceProfile(int num_resources)
+    : num_resources_(num_resources) {
+  times_.push_back(0.0);
+  usage_.emplace_back(static_cast<std::size_t>(num_resources), 0.0);
+}
+
+std::size_t ResourceProfile::segment_of(Time t) const {
+  // Last index i with times_[i] <= t.  t < 0 maps to segment 0.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0;
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double ResourceProfile::usage_at(Time t, int resource) const {
+  return usage_[segment_of(t)][static_cast<std::size_t>(resource)];
+}
+
+std::vector<double> ResourceProfile::available_at(Time t) const {
+  const auto& u = usage_[segment_of(t)];
+  std::vector<double> avail(u.size());
+  for (std::size_t l = 0; l < u.size(); ++l) {
+    avail[l] = std::max(0.0, 1.0 - u[l]);
+  }
+  return avail;
+}
+
+bool ResourceProfile::fits(Time start, Time duration,
+                           std::span<const double> demand,
+                           double tolerance) const {
+  assert(demand.size() == static_cast<std::size_t>(num_resources_));
+  if (duration <= 0.0) return true;
+  const Time end = start + duration;
+  for (std::size_t i = segment_of(start); i < times_.size(); ++i) {
+    if (times_[i] >= end) break;
+    for (std::size_t l = 0; l < demand.size(); ++l) {
+      if (usage_[i][l] + demand[l] > 1.0 + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+Time ResourceProfile::earliest_fit(Time not_before, Time duration,
+                                   std::span<const double> demand,
+                                   double tolerance) const {
+  Time s = std::max(not_before, 0.0);
+  if (duration <= 0.0) return s;
+  for (;;) {
+    // Scan segments intersecting [s, s + duration) for a violation.
+    const Time end = s + duration;
+    Time conflict_next = -1.0;
+    for (std::size_t i = segment_of(s); i < times_.size(); ++i) {
+      if (times_[i] >= end) break;
+      bool violated = false;
+      for (std::size_t l = 0; l < demand.size(); ++l) {
+        if (usage_[i][l] + demand[l] > 1.0 + tolerance) {
+          violated = true;
+          break;
+        }
+      }
+      if (violated) {
+        // The candidate start must move past this segment.
+        conflict_next = (i + 1 < times_.size())
+                            ? times_[i + 1]
+                            : std::numeric_limits<Time>::infinity();
+        break;
+      }
+    }
+    if (conflict_next < 0.0) return s;
+    assert(std::isfinite(conflict_next) &&
+           "last segment is all-zero, so demand <= 1 always fits there");
+    s = conflict_next;
+  }
+}
+
+std::size_t ResourceProfile::ensure_breakpoint(Time t) {
+  const std::size_t i = segment_of(t);
+  if (times_[i] == t) return i;
+  // Split segment i at t; the new segment inherits segment i's usage.
+  times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(i) + 1, t);
+  usage_.insert(usage_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                usage_[i]);
+  return i + 1;
+}
+
+void ResourceProfile::reserve(Time start, Time duration,
+                              std::span<const double> demand) {
+  assert(demand.size() == static_cast<std::size_t>(num_resources_));
+  if (duration <= 0.0) return;
+  const Time end = start + duration;
+  const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
+  const std::size_t last = ensure_breakpoint(end);  // exclusive segment
+  for (std::size_t i = first; i < last; ++i) {
+    for (std::size_t l = 0; l < demand.size(); ++l) {
+      usage_[i][l] += demand[l];
+    }
+  }
+}
+
+}  // namespace mris

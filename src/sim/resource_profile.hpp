@@ -1,0 +1,68 @@
+// Piecewise-constant multi-resource usage timeline for one machine — the
+// "reservation calendar" substrate behind both the online simulation and
+// MRIS's backfilling (Section 5.3: start times of one iteration may enter
+// the periods of previous iterations).
+//
+// Representation: sorted breakpoints times_[0..B) with times_[0] == 0 and an
+// R-dimensional usage vector per segment [times_[i], times_[i+1]) (the last
+// segment extends to +infinity).  All reservations are finite, so the final
+// segment is always all-zero.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace mris {
+
+class ResourceProfile {
+ public:
+  /// Creates an empty profile with `num_resources` unit-capacity resources.
+  explicit ResourceProfile(int num_resources);
+
+  int num_resources() const noexcept { return num_resources_; }
+
+  /// Number of breakpoints (for diagnostics and complexity tests).
+  std::size_t num_breakpoints() const noexcept { return times_.size(); }
+
+  /// Usage of `resource` at time t (segment containing t).
+  double usage_at(Time t, int resource) const;
+
+  /// Remaining capacity per resource at time t (1 - usage, clamped >= 0).
+  std::vector<double> available_at(Time t) const;
+
+  /// True if adding `demand` over [start, start + duration) keeps every
+  /// resource within capacity 1 + tolerance.
+  bool fits(Time start, Time duration, std::span<const double> demand,
+            double tolerance = 1e-9) const;
+
+  /// Earliest time s >= not_before such that `demand` fits over
+  /// [s, s + duration).  Always exists when every demand entry <= 1
+  /// (the job fits alone after all reservations end).
+  Time earliest_fit(Time not_before, Time duration,
+                    std::span<const double> demand,
+                    double tolerance = 1e-9) const;
+
+  /// Adds `demand` over [start, start + duration).  Does not check
+  /// capacity — call fits() first; Cluster enforces this pairing.
+  void reserve(Time start, Time duration, std::span<const double> demand);
+
+  /// Latest breakpoint (== end of the last reservation), 0 when empty.
+  Time horizon() const noexcept { return times_.back(); }
+
+ private:
+  /// Index of the segment whose interval contains t.
+  std::size_t segment_of(Time t) const;
+
+  /// Ensures a breakpoint exactly at t (splitting a segment if needed);
+  /// returns its index.
+  std::size_t ensure_breakpoint(Time t);
+
+  int num_resources_;
+  std::vector<Time> times_;
+  std::vector<std::vector<double>> usage_;  // usage_[i] on [times_[i], times_[i+1])
+};
+
+}  // namespace mris

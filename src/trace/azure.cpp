@@ -1,0 +1,141 @@
+#include "trace/azure.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mris::trace {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || (end != nullptr && *end != '\0')) {
+    throw std::runtime_error(std::string("Azure trace: bad ") + what + ": '" +
+                             s + "'");
+  }
+  return v;
+}
+
+int require_column(const util::CsvTable& t, const char* name,
+                   const char* table) {
+  const int c = t.column(name);
+  if (c < 0) {
+    throw std::runtime_error(std::string("Azure trace: table ") + table +
+                             " lacks required column '" + name + "'");
+  }
+  return c;
+}
+
+struct VmTypeDemand {
+  double core = 0.0, memory = 0.0, hdd = 0.0, ssd = 0.0, nic = 0.0;
+};
+
+}  // namespace
+
+Workload load_azure_trace(std::istream& vm_csv, std::istream& vmtype_csv,
+                          const AzureLoadOptions& opts) {
+  const util::CsvTable types = util::read_csv(vmtype_csv);
+  const int ct_type = require_column(types, "vmTypeId", "vmType");
+  const int ct_machine = require_column(types, "machineId", "vmType");
+  const int ct_core = require_column(types, "core", "vmType");
+  const int ct_mem = require_column(types, "memory", "vmType");
+  const int ct_hdd = require_column(types, "hdd", "vmType");
+  const int ct_ssd = require_column(types, "ssd", "vmType");
+  const int ct_nic = require_column(types, "nic", "vmType");
+
+  // vmTypeId -> candidate (machineId, demands); one machine type is sampled
+  // uniformly per vmTypeId, as described in Sec 7.1.
+  std::map<std::string, std::vector<VmTypeDemand>> candidates;
+  for (const auto& row : types.rows) {
+    VmTypeDemand d;
+    d.core = parse_double(row.at(static_cast<std::size_t>(ct_core)), "core");
+    d.memory = parse_double(row.at(static_cast<std::size_t>(ct_mem)), "memory");
+    d.hdd = parse_double(row.at(static_cast<std::size_t>(ct_hdd)), "hdd");
+    d.ssd = parse_double(row.at(static_cast<std::size_t>(ct_ssd)), "ssd");
+    d.nic = parse_double(row.at(static_cast<std::size_t>(ct_nic)), "nic");
+    (void)ct_machine;  // machineId only disambiguates rows; demands suffice
+    candidates[row.at(static_cast<std::size_t>(ct_type))].push_back(d);
+  }
+  util::Xoshiro256 rng(opts.seed);
+  std::map<std::string, VmTypeDemand> chosen;
+  for (const auto& [type_id, options] : candidates) {
+    chosen[type_id] =
+        options[util::uniform_index(rng, options.size())];
+  }
+
+  const util::CsvTable vms = util::read_csv(vm_csv);
+  const int cv_type = require_column(vms, "vmTypeId", "vm");
+  const int cv_priority = require_column(vms, "priority", "vm");
+  const int cv_start = require_column(vms, "starttime", "vm");
+  const int cv_end = require_column(vms, "endtime", "vm");
+  const int cv_tenant = vms.column("tenantId");  // optional column
+
+  // Priorities may include 0 (or negative sentinel values); shift so that
+  // the minimum weight is 1 — weights must be positive in the model.
+  double min_priority = 0.0;
+  for (const auto& row : vms.rows) {
+    const std::string& p = row.at(static_cast<std::size_t>(cv_priority));
+    if (!p.empty()) {
+      min_priority = std::min(min_priority, parse_double(p, "priority"));
+    }
+  }
+  const double weight_shift = 1.0 - min_priority;
+
+  Workload w;
+  w.resource_names = {"cpu", "memory", "hdd", "ssd", "network"};
+  std::map<std::string, TenantId> tenant_ids;  // dense renumbering
+  for (const auto& row : vms.rows) {
+    if (opts.max_jobs != 0 && w.jobs.size() >= opts.max_jobs) break;
+    const auto it = chosen.find(row.at(static_cast<std::size_t>(cv_type)));
+    if (it == chosen.end()) {
+      throw std::runtime_error("Azure trace: vm row references unknown "
+                               "vmTypeId '" +
+                               row.at(static_cast<std::size_t>(cv_type)) + "'");
+    }
+    const double start_days =
+        parse_double(row.at(static_cast<std::size_t>(cv_start)), "starttime");
+    const std::string& end_str = row.at(static_cast<std::size_t>(cv_end));
+    const double end_days = end_str.empty()
+                                ? start_days + opts.open_end_duration_days
+                                : parse_double(end_str, "endtime");
+    const std::string& pri = row.at(static_cast<std::size_t>(cv_priority));
+    TraceJob j;
+    j.release = start_days * kSecondsPerDay;
+    j.duration = (end_days - start_days) * kSecondsPerDay;
+    j.weight = (pri.empty() ? 0.0 : parse_double(pri, "priority")) +
+               weight_shift;
+    if (cv_tenant >= 0) {
+      const std::string& tenant =
+          row.at(static_cast<std::size_t>(cv_tenant));
+      j.tenant = tenant_ids
+                     .try_emplace(tenant,
+                                  static_cast<TenantId>(tenant_ids.size()))
+                     .first->second;
+    }
+    const VmTypeDemand& d = it->second;
+    j.demand = {d.core, d.memory, d.hdd, d.ssd, d.nic};
+    w.jobs.push_back(std::move(j));
+  }
+  return w;
+}
+
+Workload load_azure_trace_files(const std::string& vm_path,
+                                const std::string& vmtype_path,
+                                const AzureLoadOptions& opts) {
+  std::ifstream vm(vm_path);
+  if (!vm) throw std::runtime_error("cannot open " + vm_path);
+  std::ifstream vt(vmtype_path);
+  if (!vt) throw std::runtime_error("cannot open " + vmtype_path);
+  return load_azure_trace(vm, vt, opts);
+}
+
+}  // namespace mris::trace

@@ -1,0 +1,54 @@
+// Reader for the Microsoft Azure VM packing trace schema (Hadary et al.,
+// "Protean: VM Allocation Service at Scale", OSDI 2020) — the dataset used
+// in Section 7 of the paper.
+//
+// The public dataset ("AzureTracesForPacking2020") is distributed as a
+// sqlite file with two tables we mirror here as CSV:
+//
+//   vm.csv:      vmId, tenantId, vmTypeId, priority, starttime, endtime
+//                (times are fractional *days* relative to trace start;
+//                 endtime may be empty/NULL for VMs alive at trace end)
+//   vmType.csv:  vmTypeId, machineId, core, memory, hdd, ssd, nic
+//                (fractional demand of one machine of type machineId)
+//
+// As in the paper (Sec 7.1): a VM type can map to several machine types, so
+// one machineId is sampled uniformly per vmTypeId and used for all its
+// requests; VMs with negative start times are dropped; priorities become
+// weights (shifted up if needed so that weights are positive); p_j is
+// endtime - starttime.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace mris::trace {
+
+struct AzureLoadOptions {
+  /// Cap on the number of VM rows converted (0 = no cap).  The paper uses
+  /// the first 4.096 million jobs (last release ~12.5 days).
+  std::size_t max_jobs = 0;
+
+  /// VMs with no endtime are assigned this duration in days (they outlive
+  /// the trace; 90 days is the observed maximum duration in the dataset).
+  double open_end_duration_days = 90.0;
+
+  /// Seed for the vmType -> machineId sampling.
+  std::uint64_t seed = 1;
+};
+
+/// Parses the two tables from already-opened streams.  Returns a 5-resource
+/// workload (cpu, memory, hdd, ssd, network) with times in seconds.
+/// Throws std::runtime_error on malformed headers or rows.
+Workload load_azure_trace(std::istream& vm_csv, std::istream& vmtype_csv,
+                          const AzureLoadOptions& opts = {});
+
+/// File-path convenience wrapper.
+Workload load_azure_trace_files(const std::string& vm_path,
+                                const std::string& vmtype_path,
+                                const AzureLoadOptions& opts = {});
+
+}  // namespace mris::trace

@@ -1,0 +1,116 @@
+#include "trace/azure_sqlite.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+#ifdef MRIS_HAVE_SQLITE
+#include <sqlite3.h>
+#endif
+
+namespace mris::trace {
+
+#ifndef MRIS_HAVE_SQLITE
+
+bool azure_sqlite_supported() noexcept { return false; }
+
+Workload load_azure_trace_sqlite(const std::string& /*db_path*/,
+                                 const AzureLoadOptions& /*opts*/) {
+  throw std::runtime_error(
+      "load_azure_trace_sqlite: built without sqlite3 support");
+}
+
+#else
+
+bool azure_sqlite_supported() noexcept { return true; }
+
+namespace {
+
+/// RAII wrappers keeping the sqlite C API exception-safe.
+struct Db {
+  sqlite3* handle = nullptr;
+  ~Db() {
+    if (handle != nullptr) sqlite3_close(handle);
+  }
+};
+
+struct Stmt {
+  sqlite3_stmt* handle = nullptr;
+  ~Stmt() {
+    if (handle != nullptr) sqlite3_finalize(handle);
+  }
+};
+
+/// Runs `sql` and serializes every row of the result as CSV (header from
+/// column names, NULL -> empty field), so the CSV loader's conversion
+/// logic applies verbatim.
+std::string table_to_csv(sqlite3* db, const std::string& sql,
+                         std::size_t max_rows) {
+  Stmt stmt;
+  if (sqlite3_prepare_v2(db, sql.c_str(), -1, &stmt.handle, nullptr) !=
+      SQLITE_OK) {
+    throw std::runtime_error(std::string("azure sqlite: prepare failed: ") +
+                             sqlite3_errmsg(db));
+  }
+  std::ostringstream out;
+  const int cols = sqlite3_column_count(stmt.handle);
+  {
+    std::vector<std::string> header;
+    header.reserve(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      header.emplace_back(sqlite3_column_name(stmt.handle, c));
+    }
+    out << util::join_csv(header) << '\n';
+  }
+  std::size_t rows = 0;
+  for (;;) {
+    const int rc = sqlite3_step(stmt.handle);
+    if (rc == SQLITE_DONE) break;
+    if (rc != SQLITE_ROW) {
+      throw std::runtime_error(std::string("azure sqlite: step failed: ") +
+                               sqlite3_errmsg(db));
+    }
+    std::vector<std::string> fields;
+    fields.reserve(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      const unsigned char* text = sqlite3_column_text(stmt.handle, c);
+      fields.emplace_back(text != nullptr
+                              ? reinterpret_cast<const char*>(text)
+                              : "");
+    }
+    out << util::join_csv(fields) << '\n';
+    if (max_rows != 0 && ++rows >= max_rows) break;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+Workload load_azure_trace_sqlite(const std::string& db_path,
+                                 const AzureLoadOptions& opts) {
+  Db db;
+  if (sqlite3_open_v2(db_path.c_str(), &db.handle, SQLITE_OPEN_READONLY,
+                      nullptr) != SQLITE_OK) {
+    const std::string msg =
+        db.handle != nullptr ? sqlite3_errmsg(db.handle) : "open failed";
+    throw std::runtime_error("azure sqlite: cannot open " + db_path + ": " +
+                             msg);
+  }
+  const std::string vm_csv = table_to_csv(
+      db.handle,
+      "SELECT vmId, tenantId, vmTypeId, priority, starttime, endtime "
+      "FROM vm",
+      opts.max_jobs);
+  const std::string vmtype_csv = table_to_csv(
+      db.handle,
+      "SELECT vmTypeId, machineId, core, memory, hdd, ssd, nic FROM vmType",
+      0);
+  std::istringstream vm(vm_csv);
+  std::istringstream vt(vmtype_csv);
+  return load_azure_trace(vm, vt, opts);
+}
+
+#endif  // MRIS_HAVE_SQLITE
+
+}  // namespace mris::trace

@@ -1,0 +1,27 @@
+// Reader for the *native* distribution format of the Azure packing trace:
+// the published AzureTracesForPacking2020 dataset is a single sqlite
+// database with tables `vm` and `vmType`.  This loader queries those tables
+// directly and reuses the CSV loader's conversion semantics (machine-type
+// sampling, priority shifting, tenant renumbering, open-ended VMs), so
+// either entry point yields identical Workloads for the same data.
+//
+// Compiled against sqlite3 when available; otherwise the loader throws and
+// azure_sqlite_supported() reports false, keeping the library linkable.
+#pragma once
+
+#include <string>
+
+#include "trace/azure.hpp"
+
+namespace mris::trace {
+
+/// True when the library was built with sqlite3 support.
+bool azure_sqlite_supported() noexcept;
+
+/// Loads the packing trace from a sqlite database file containing the
+/// standard `vm` and `vmType` tables.  Throws std::runtime_error on
+/// missing support, unreadable files, or schema mismatches.
+Workload load_azure_trace_sqlite(const std::string& db_path,
+                                 const AzureLoadOptions& opts = {});
+
+}  // namespace mris::trace

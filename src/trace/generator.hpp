@@ -1,0 +1,91 @@
+// Synthetic Azure-like workload generator — the data substitution for the
+// (offline-unavailable) Microsoft Azure packing trace; see DESIGN.md §3.
+//
+// Reproduces the statistical features of the real trace that the paper's
+// experiments depend on:
+//   * a catalog of VM types (default 30) with correlated fractional demands
+//     across cpu / memory / hdd / ssd / network, spanning 1/16th-machine to
+//     full-machine sizes (the packing trace is contention-heavy by design);
+//   * HDD/SSD exclusivity (a VM type uses one storage kind, never both);
+//   * non-homogeneous Poisson arrivals with a diurnal rate profile over a
+//     12.5-day submission window;
+//   * log-normal durations spanning ~5 orders of magnitude, clipped to
+//     [min_duration, max_duration] (seconds ... 90 days in the paper);
+//   * small-range positive integer priorities used as weights.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace mris::trace {
+
+struct GeneratorConfig {
+  std::size_t num_jobs = 10000;
+
+  /// Submission window (seconds).  Paper: last release at ~12.5 days.
+  double window = 12.5 * 86400.0;
+
+  /// Relative amplitude of the diurnal arrival-rate modulation in [0, 1).
+  double diurnal_amplitude = 0.4;
+
+  /// Seconds per diurnal period.
+  double day = 86400.0;
+
+  /// Duration distribution: lognormal(mu, sigma) seconds, clipped.
+  /// Defaults give a ~30-minute median with a tail out to 90 days.
+  double duration_mu = 7.5;     // exp(7.5) ~ 1808 s ~ 30 min
+  double duration_sigma = 2.2;
+  double min_duration = 30.0;          // seconds
+  double max_duration = 90.0 * 86400;  // 90 days
+
+  /// VM type catalog size (the real trace has a few hundred vm types
+  /// mapping onto 34 machine types; what matters is demand diversity).
+  std::size_t num_vm_types = 30;
+
+  /// Multiplies every demand fraction (clamped to [0, 1]).  1.0 keeps the
+  /// contended packing-trace-like mix; < 1 lightens the load, > 1 pushes
+  /// the cluster deeper into overload.
+  double demand_scale = 1.0;
+
+  /// Weights: P(w = i+1) proportional to weight_skew^i, i in [0, levels).
+  std::size_t weight_levels = 3;
+  double weight_skew = 0.35;
+
+  /// Tenants: jobs are assigned to `num_tenants` owners with a Zipf(1)
+  /// popularity skew (a few tenants submit most jobs, like real clouds).
+  /// Tenancy only matters to fairness baselines such as DRF.
+  std::size_t num_tenants = 50;
+
+  std::uint64_t seed = 1;
+};
+
+/// One entry of the VM type catalog (fractions of machine capacity).
+struct VmType {
+  double cpu = 0.0, memory = 0.0, hdd = 0.0, ssd = 0.0, network = 0.0;
+};
+
+/// Deterministically builds the VM type catalog for a seed.
+std::vector<VmType> make_vm_type_catalog(std::size_t count,
+                                         std::uint64_t seed);
+
+/// Generates a 5-resource workload (cpu, memory, hdd, ssd, network), sorted
+/// by release time.  Deterministic in config.seed.
+Workload generate_azure_like(const GeneratorConfig& config);
+
+/// Paper Section 7.5.4 ("Exercising Patience"): one machine; a single
+/// full-machine job of `blocker_duration` time units released at t=0 and
+/// `num_small` small jobs released shortly after with random small demands
+/// and processing times — the adversarial shape of Lemma 4.1.  Times are in
+/// model units (p_j >= 1 already).
+Instance make_patience_instance(std::size_t num_small, int num_resources,
+                                double blocker_duration, std::uint64_t seed);
+
+/// Lemma 4.1's exact worst-case family: N jobs, 1 machine; job 0 released
+/// at 0 with demand 1 everywhere and p = N; jobs 1..N-1 released at
+/// `epsilon` with demand 1/(N-1) and p = 1; unit weights.
+Instance make_lemma41_instance(std::size_t n, int num_resources,
+                               double epsilon = 0.01);
+
+}  // namespace mris::trace

@@ -1,0 +1,94 @@
+#include "trace/io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mris::trace {
+
+namespace {
+
+std::string exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_number(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || (end != nullptr && *end != '\0')) {
+    throw std::runtime_error(std::string("workload csv: bad ") + what +
+                             ": '" + s + "'");
+  }
+  return v;
+}
+
+constexpr std::size_t kFixedColumns = 4;  // release,duration,weight,tenant
+
+}  // namespace
+
+void write_workload_csv(std::ostream& out, const Workload& w) {
+  std::vector<std::string> header = {"release", "duration", "weight",
+                                     "tenant"};
+  header.insert(header.end(), w.resource_names.begin(),
+                w.resource_names.end());
+  out << util::join_csv(header) << '\n';
+  for (const TraceJob& j : w.jobs) {
+    std::vector<std::string> row = {exact(j.release), exact(j.duration),
+                                    exact(j.weight),
+                                    std::to_string(j.tenant)};
+    for (double d : j.demand) row.push_back(exact(d));
+    out << util::join_csv(row) << '\n';
+  }
+}
+
+void write_workload_csv_file(const std::string& path, const Workload& w) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_workload_csv(out, w);
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+Workload read_workload_csv(std::istream& in) {
+  const util::CsvTable table = util::read_csv(in);
+  if (table.header.size() < kFixedColumns + 1 ||
+      table.header[0] != "release" || table.header[1] != "duration" ||
+      table.header[2] != "weight" || table.header[3] != "tenant") {
+    throw std::runtime_error(
+        "workload csv: header must start with "
+        "release,duration,weight,tenant,<resource...>");
+  }
+  Workload w;
+  w.resource_names.assign(table.header.begin() + kFixedColumns,
+                          table.header.end());
+  w.jobs.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      throw std::runtime_error("workload csv: row width mismatch");
+    }
+    TraceJob j;
+    j.release = parse_number(row[0], "release");
+    j.duration = parse_number(row[1], "duration");
+    j.weight = parse_number(row[2], "weight");
+    j.tenant = static_cast<TenantId>(parse_number(row[3], "tenant"));
+    j.demand.reserve(w.resource_names.size());
+    for (std::size_t c = kFixedColumns; c < row.size(); ++c) {
+      j.demand.push_back(parse_number(row[c], "demand"));
+    }
+    w.jobs.push_back(std::move(j));
+  }
+  return w;
+}
+
+Workload read_workload_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_workload_csv(in);
+}
+
+}  // namespace mris::trace

@@ -1,0 +1,30 @@
+// Native workload serialization: a flat CSV with one row per job and one
+// demand column per resource, so generated workloads can be saved, diffed,
+// shared, and re-loaded byte-identically by the CLI and external tools.
+//
+// Format:  release,duration,weight,tenant,<resource 0>,<resource 1>,...
+// (header row carries the resource names).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hpp"
+
+namespace mris::trace {
+
+/// Writes `w` as CSV.  Numbers use max_digits10 so a round trip is exact.
+void write_workload_csv(std::ostream& out, const Workload& w);
+
+/// File convenience wrapper; throws std::runtime_error if unwritable.
+void write_workload_csv_file(const std::string& path, const Workload& w);
+
+/// Reads a workload previously written by write_workload_csv.  Resource
+/// names are taken from the header (every column after `tenant`).
+/// Throws std::runtime_error on schema or parse errors.
+Workload read_workload_csv(std::istream& in);
+
+/// File convenience wrapper; throws std::runtime_error if unreadable.
+Workload read_workload_csv_file(const std::string& path);
+
+}  // namespace mris::trace

@@ -1,0 +1,75 @@
+#include "trace/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mris::trace {
+
+Workload downsample(const Workload& w, std::size_t factor,
+                    std::size_t delta) {
+  if (factor == 0) throw std::invalid_argument("downsample: factor >= 1");
+  if (delta >= factor) {
+    throw std::invalid_argument("downsample: delta must be < factor");
+  }
+  std::vector<std::size_t> order(w.jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return w.jobs[a].release < w.jobs[b].release;
+                   });
+  Workload out;
+  out.resource_names = w.resource_names;
+  for (std::size_t i = delta; i < order.size(); i += factor) {
+    out.jobs.push_back(w.jobs[order[i]]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> sample_offsets(std::size_t factor, std::size_t count,
+                                        util::Xoshiro256& rng) {
+  if (count > factor) {
+    throw std::invalid_argument(
+        "sample_offsets: cannot draw " + std::to_string(count) +
+        " distinct offsets from [0, " + std::to_string(factor) + ")");
+  }
+  // Partial Fisher–Yates over the offset universe.
+  std::vector<std::size_t> universe(factor);
+  for (std::size_t i = 0; i < factor; ++i) universe[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(util::uniform_index(rng, factor - i));
+    std::swap(universe[i], universe[j]);
+  }
+  universe.resize(count);
+  return universe;
+}
+
+Workload augment_resources(const Workload& w, std::size_t target_resources,
+                           int cpu_resource, util::Xoshiro256& rng) {
+  if (target_resources < w.num_resources()) {
+    throw std::invalid_argument(
+        "augment_resources: target below current resource count");
+  }
+  if (cpu_resource < 0 ||
+      static_cast<std::size_t>(cpu_resource) >= w.num_resources()) {
+    throw std::invalid_argument("augment_resources: bad cpu resource index");
+  }
+  Workload out = w;
+  for (std::size_t l = w.num_resources(); l < target_resources; ++l) {
+    out.resource_names.push_back("synth" + std::to_string(l));
+  }
+  const std::size_t n = out.jobs.size();
+  for (TraceJob& j : out.jobs) {
+    j.demand.reserve(target_resources);
+    for (std::size_t l = w.num_resources(); l < target_resources; ++l) {
+      if (n == 0) break;
+      const TraceJob& donor = w.jobs[util::uniform_index(rng, n)];
+      j.demand.push_back(
+          donor.demand.at(static_cast<std::size_t>(cpu_resource)));
+    }
+  }
+  return out;
+}
+
+}  // namespace mris::trace

@@ -1,0 +1,30 @@
+// Downsampling and synthetic resource augmentation (Sections 7.1, 7.5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace mris::trace {
+
+/// The paper's downsampling: sort jobs by release, keep every f-th starting
+/// at offset delta (0 <= delta < f).  The sampled set preserves the original
+/// 12.5-day release window with 1/f the arrival rate.
+Workload downsample(const Workload& w, std::size_t factor, std::size_t delta);
+
+/// Draws `count` distinct offsets uniformly from [0, factor) without
+/// replacement (the paper draws 10 such Deltas per data point).
+/// Requires count <= factor.
+std::vector<std::size_t> sample_offsets(std::size_t factor, std::size_t count,
+                                        util::Xoshiro256& rng);
+
+/// Section 7.5.3: extends every job to `target_resources` resources.  Each
+/// new resource l gets, for each job j, the CPU demand (resource
+/// `cpu_resource`) of an independently uniformly sampled job j' of the
+/// workload.  Requires target_resources >= current count.
+Workload augment_resources(const Workload& w, std::size_t target_resources,
+                           int cpu_resource, util::Xoshiro256& rng);
+
+}  // namespace mris::trace

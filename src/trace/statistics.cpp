@@ -1,0 +1,105 @@
+#include "trace/statistics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace mris::trace {
+
+double WorkloadStats::load_factor(int machines) const {
+  if (window <= 0.0 || num_resources == 0 || machines <= 0) return 0.0;
+  return total_volume / (static_cast<double>(num_resources) *
+                         static_cast<double>(machines) * window);
+}
+
+WorkloadStats compute_stats(const Workload& w) {
+  WorkloadStats s;
+  s.num_jobs = w.jobs.size();
+  s.num_resources = w.num_resources();
+  if (w.jobs.empty()) return s;
+
+  std::vector<double> durations, weights;
+  durations.reserve(w.jobs.size());
+  weights.reserve(w.jobs.size());
+  std::set<TenantId> tenants;
+  s.mean_demand.assign(s.num_resources, 0.0);
+
+  Time first = w.jobs.front().release;
+  Time last = first;
+  for (const TraceJob& j : w.jobs) {
+    durations.push_back(j.duration);
+    weights.push_back(j.weight);
+    tenants.insert(j.tenant);
+    first = std::min(first, j.release);
+    last = std::max(last, j.release);
+    double dominant = 0.0;
+    double total = 0.0;
+    for (std::size_t l = 0; l < j.demand.size() && l < s.num_resources; ++l) {
+      s.mean_demand[l] += j.demand[l];
+      dominant = std::max(dominant, j.demand[l]);
+      total += j.demand[l];
+    }
+    s.mean_dominant_demand += dominant;
+    s.total_volume += j.duration * total;
+  }
+  const auto n = static_cast<double>(w.jobs.size());
+  for (double& d : s.mean_demand) d /= n;
+  s.mean_dominant_demand /= n;
+  s.num_tenants = tenants.size();
+  s.window = last - first;
+  s.arrival_rate = (s.window > 0.0) ? n / s.window : 0.0;
+  s.duration = util::summarize(durations);
+  s.duration_p50 = util::quantile(durations, 0.5);
+  s.duration_p99 = util::quantile(durations, 0.99);
+  s.weight = util::summarize(weights);
+  return s;
+}
+
+std::vector<std::size_t> arrival_histogram(const Workload& w,
+                                           std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  if (w.jobs.empty() || bins == 0) return counts;
+  Time first = w.jobs.front().release;
+  Time last = first;
+  for (const TraceJob& j : w.jobs) {
+    first = std::min(first, j.release);
+    last = std::max(last, j.release);
+  }
+  const double span = last - first;
+  for (const TraceJob& j : w.jobs) {
+    std::size_t bin =
+        (span > 0.0) ? static_cast<std::size_t>(
+                           (j.release - first) / span *
+                           static_cast<double>(bins))
+                     : 0;
+    bin = std::min(bin, bins - 1);
+    ++counts[bin];
+  }
+  return counts;
+}
+
+std::string format_stats(const WorkloadStats& s, int machines) {
+  std::ostringstream out;
+  out << "jobs:             " << s.num_jobs << "\n";
+  out << "resources:        " << s.num_resources << "\n";
+  out << "tenants:          " << s.num_tenants << "\n";
+  out << "release window:   " << s.window << "\n";
+  out << "arrival rate:     " << s.arrival_rate << " jobs/unit\n";
+  out << "duration mean:    " << s.duration.mean << "  (min " << s.duration.min
+      << ", p50 " << s.duration_p50 << ", p99 " << s.duration_p99 << ", max "
+      << s.duration.max << ")\n";
+  out << "weight mean:      " << s.weight.mean << "  (max " << s.weight.max
+      << ")\n";
+  out << "mean demand:      ";
+  for (std::size_t l = 0; l < s.mean_demand.size(); ++l) {
+    out << (l ? ", " : "") << s.mean_demand[l];
+  }
+  out << "\n";
+  out << "mean dominant:    " << s.mean_dominant_demand << "\n";
+  out << "total volume:     " << s.total_volume << "\n";
+  out << "load factor (M=" << machines << "): " << s.load_factor(machines)
+      << "  (>1 means overloaded within the window)\n";
+  return out.str();
+}
+
+}  // namespace mris::trace

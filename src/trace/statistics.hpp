@@ -1,0 +1,54 @@
+// Workload characterization: the summary numbers one needs to sanity-check
+// a trace against the paper's description of the Azure dataset (Sec 7.1)
+// and to judge how loaded an experiment configuration is.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "util/stats.hpp"
+
+namespace mris::trace {
+
+struct WorkloadStats {
+  std::size_t num_jobs = 0;
+  std::size_t num_resources = 0;
+  std::size_t num_tenants = 0;
+
+  Time window = 0.0;          ///< last release - first release
+  double arrival_rate = 0.0;  ///< jobs per unit time over the window
+
+  util::Summary duration;     ///< p_j distribution
+  double duration_p50 = 0.0;
+  double duration_p99 = 0.0;
+
+  util::Summary weight;
+
+  /// Per-resource mean demand (fraction of one machine).
+  std::vector<double> mean_demand;
+
+  /// Mean of each job's largest single-resource demand.
+  double mean_dominant_demand = 0.0;
+
+  /// Total volume sum_j p_j * u_j (the knapsack currency of Sec 5.1).
+  double total_volume = 0.0;
+
+  /// Volume divided by R * M * window: > 1 means the submission window
+  /// alone cannot absorb the work on M machines (Lemma 6.2's currency).
+  double load_factor(int machines) const;
+};
+
+/// Computes statistics over a workload.  Jobs with negative releases are
+/// included (characterize first, clean later).
+WorkloadStats compute_stats(const Workload& w);
+
+/// Job-count arrival histogram over `bins` equal slices of the window.
+std::vector<std::size_t> arrival_histogram(const Workload& w,
+                                           std::size_t bins);
+
+/// Human-readable multi-line report (used by the CLI and examples).
+std::string format_stats(const WorkloadStats& stats, int machines);
+
+}  // namespace mris::trace

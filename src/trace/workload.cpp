@@ -1,0 +1,95 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mris::trace {
+
+Workload merge_storage(const Workload& w) {
+  int hdd = -1;
+  int ssd = -1;
+  for (std::size_t l = 0; l < w.resource_names.size(); ++l) {
+    if (w.resource_names[l] == "hdd") hdd = static_cast<int>(l);
+    if (w.resource_names[l] == "ssd") ssd = static_cast<int>(l);
+  }
+  if (hdd < 0 || ssd < 0) {
+    throw std::invalid_argument("merge_storage: workload lacks hdd/ssd");
+  }
+  Workload out;
+  for (std::size_t l = 0; l < w.resource_names.size(); ++l) {
+    if (static_cast<int>(l) == ssd) continue;
+    out.resource_names.push_back(
+        static_cast<int>(l) == hdd ? "storage" : w.resource_names[l]);
+  }
+  out.jobs.reserve(w.jobs.size());
+  for (const TraceJob& j : w.jobs) {
+    TraceJob merged;
+    merged.release = j.release;
+    merged.duration = j.duration;
+    merged.weight = j.weight;
+    merged.tenant = j.tenant;
+    merged.demand.reserve(out.resource_names.size());
+    for (std::size_t l = 0; l < j.demand.size(); ++l) {
+      if (static_cast<int>(l) == ssd) continue;
+      double d = j.demand[l];
+      if (static_cast<int>(l) == hdd) {
+        // HDD users have ssd == 0 and vice versa, so sum == max; clamp to
+        // capacity defensively for malformed inputs.
+        d = std::min(1.0, d + j.demand[static_cast<std::size_t>(ssd)]);
+      }
+      merged.demand.push_back(d);
+    }
+    out.jobs.push_back(std::move(merged));
+  }
+  return out;
+}
+
+Instance to_instance(const Workload& w, const ToInstanceOptions& opts) {
+  const auto R = static_cast<int>(w.num_resources());
+  std::vector<TraceJob> kept;
+  kept.reserve(w.jobs.size());
+  for (const TraceJob& j : w.jobs) {
+    if (j.release < 0.0) continue;  // paper: ignore negative start times
+    if (!(j.duration >= opts.min_duration)) continue;
+    double total_demand = 0.0;
+    for (double d : j.demand) total_demand += d;
+    if (!(total_demand > 0.0)) continue;  // zero-demand rows are malformed
+    kept.push_back(j);
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.release < b.release;
+                   });
+
+  double scale = 1.0;
+  if (opts.normalize && !kept.empty()) {
+    double min_p = std::numeric_limits<double>::infinity();
+    for (const TraceJob& j : kept) min_p = std::min(min_p, j.duration);
+    scale = 1.0 / min_p;
+  }
+
+  std::vector<Job> jobs;
+  jobs.reserve(kept.size());
+  for (const TraceJob& t : kept) {
+    Job j;
+    j.id = static_cast<JobId>(jobs.size());
+    j.release = t.release * scale;
+    j.processing = t.duration * scale;
+    j.weight = t.weight;
+    j.tenant = t.tenant;
+    j.demand = t.demand;
+    // Guard against float dust outside [0, 1] from augmentation/merging.
+    for (double& d : j.demand) d = std::clamp(d, 0.0, 1.0);
+    jobs.push_back(std::move(j));
+  }
+  return Instance(std::move(jobs), opts.num_machines, R);
+}
+
+Instance to_instance(const Workload& w, int num_machines) {
+  ToInstanceOptions opts;
+  opts.num_machines = num_machines;
+  return to_instance(w, opts);
+}
+
+}  // namespace mris::trace

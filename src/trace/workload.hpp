@@ -1,0 +1,62 @@
+// Trace workload model (Section 7.1).
+//
+// A Workload is scheduler-agnostic raw material: VM-like requests with
+// wall-clock release times (seconds), durations, integer-ish weights and
+// fractional per-resource demands.  Conversion to a scheduling Instance
+// applies the paper's preprocessing: drop non-positive durations and
+// negative releases, and normalize so min p_j == 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace mris::trace {
+
+struct TraceJob {
+  Time release = 0.0;   ///< seconds since trace start
+  Time duration = 0.0;  ///< seconds (end - start in the Azure schema)
+  double weight = 1.0;  ///< priority interpreted as weight
+  std::vector<double> demand;  ///< fraction of machine capacity per resource
+  TenantId tenant = 0;  ///< owning tenant (Azure tenantId, densely renumbered)
+};
+
+struct Workload {
+  std::vector<TraceJob> jobs;
+  std::vector<std::string> resource_names;
+
+  std::size_t num_resources() const noexcept { return resource_names.size(); }
+};
+
+/// Indices of the canonical 5 Azure resources.
+enum AzureResource : int {
+  kCpu = 0,
+  kMemory = 1,
+  kHdd = 2,
+  kSsd = 3,
+  kNetwork = 4,
+};
+
+/// Merges HDD and SSD demand into one "storage" resource (the paper does
+/// this because no request uses both).  Requires resource names "hdd" and
+/// "ssd" to be present; other resources pass through unchanged.
+Workload merge_storage(const Workload& w);
+
+/// Options for Workload -> Instance conversion.
+struct ToInstanceOptions {
+  int num_machines = 20;   ///< paper default M = 20
+  bool normalize = true;   ///< rescale times so min p_j == 1
+  double min_duration = 1e-9;  ///< jobs shorter than this are dropped
+};
+
+/// Builds a scheduling Instance.  Jobs are sorted by release (stable) and
+/// re-numbered 0..N-1.  Jobs with negative release or non-positive duration
+/// are dropped, mirroring the paper's "ignore jobs with negative start
+/// times" cleanup.
+Instance to_instance(const Workload& w, const ToInstanceOptions& opts);
+
+/// Convenience overload with defaults.
+Instance to_instance(const Workload& w, int num_machines);
+
+}  // namespace mris::trace

@@ -1,0 +1,102 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mris::util {
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+int CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CsvTable read_csv(std::istream& in, bool has_header) {
+  CsvTable table;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto fields = parse_csv_line(line);
+    if (header_pending) {
+      table.header = std::move(fields);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read_csv(in, has_header);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  if (!table.header.empty()) out << join_csv(table.header) << '\n';
+  for (const auto& row : table.rows) out << join_csv(row) << '\n';
+}
+
+}  // namespace mris::util

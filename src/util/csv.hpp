@@ -1,0 +1,41 @@
+// Minimal CSV reading/writing.  Handles quoted fields, embedded commas and
+// quotes ("" escaping), and CRLF line endings — enough to parse the Azure
+// packing-trace schema and to emit experiment result files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mris::util {
+
+/// Splits one CSV record into fields.  Supports RFC-4180 quoting.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Quotes a field if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view field);
+
+/// Joins fields into one CSV record (no trailing newline).
+std::string join_csv(const std::vector<std::string>& fields);
+
+/// A parsed CSV file: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int column(std::string_view name) const;
+};
+
+/// Reads a whole CSV stream.  If `has_header` the first record becomes
+/// table.header.  Skips blank lines.
+CsvTable read_csv(std::istream& in, bool has_header = true);
+
+/// Reads a CSV file from disk; throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path, bool has_header = true);
+
+/// Writes a table (header first if non-empty).
+void write_csv(std::ostream& out, const CsvTable& table);
+
+}  // namespace mris::util

@@ -1,0 +1,39 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace mris::util {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? std::string(value) : fallback;
+}
+
+double bench_scale() { return env_double("MRIS_BENCH_SCALE", 1.0); }
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("MRIS_SEED", 42));
+}
+
+std::size_t bench_reps() {
+  const std::int64_t reps = env_int("MRIS_REPS", 10);
+  return reps > 0 ? static_cast<std::size_t>(reps) : 1;
+}
+
+}  // namespace mris::util

@@ -1,0 +1,31 @@
+// Environment-variable knobs for benchmarks: every bench runs at a
+// laptop-friendly default scale but can be scaled up or reseeded without
+// recompiling (e.g. MRIS_BENCH_SCALE=4 MRIS_SEED=7 ./bench/fig3_arrival_rate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mris::util {
+
+/// Reads an environment variable as double; returns `fallback` when unset
+/// or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Reads an environment variable as int64; returns `fallback` when unset
+/// or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads an environment variable as string; returns `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// MRIS_BENCH_SCALE (default 1.0): multiplies bench workload sizes.
+double bench_scale();
+
+/// MRIS_SEED (default 42): base RNG seed for benches.
+std::uint64_t bench_seed();
+
+/// MRIS_REPS (default 10): replications per data point, as in the paper.
+std::size_t bench_reps();
+
+}  // namespace mris::util

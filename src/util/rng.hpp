@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We deliberately avoid std::mt19937 + std::uniform_*_distribution for
+// reproducibility across standard-library implementations: the distributions
+// are not specified bit-exactly.  xoshiro256** (Blackman & Vigna) plus
+// hand-rolled distribution transforms give identical streams everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mris::util {
+
+/// splitmix64: used to seed xoshiro from a single 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with 2^256 period.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x6d726973ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// parallel streams (one jump per worker/replication).
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t jump_word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (jump_word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Uniform double in [0, 1) with 53 random mantissa bits.
+inline double uniform01(Xoshiro256& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+inline double uniform(Xoshiro256& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+/// Uniform integer in [0, n).  Uses Lemire-style rejection to avoid modulo
+/// bias.  n must be > 0.
+inline std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) noexcept {
+  // Rejection sampling on the top bits.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = rng();
+    if (r >= threshold) return r % n;
+  }
+}
+
+/// Uniform integer in [lo, hi] inclusive.
+inline std::int64_t uniform_int(Xoshiro256& rng, std::int64_t lo,
+                                std::int64_t hi) noexcept {
+  return lo + static_cast<std::int64_t>(uniform_index(
+                  rng, static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+/// Standard normal via Box–Muller (deterministic, no cached spare).
+inline double normal(Xoshiro256& rng) noexcept {
+  double u1 = uniform01(rng);
+  // Avoid log(0).
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01(rng);
+  const double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+/// Log-normal with the given parameters of the underlying normal.
+inline double lognormal(Xoshiro256& rng, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal(rng));
+}
+
+/// Exponential with the given rate (lambda > 0).
+inline double exponential(Xoshiro256& rng, double rate) noexcept {
+  double u = uniform01(rng);
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+/// Pareto (heavy tail) with scale x_m > 0 and shape alpha > 0.
+inline double pareto(Xoshiro256& rng, double x_m, double alpha) noexcept {
+  double u = uniform01(rng);
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace mris::util

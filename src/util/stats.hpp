@@ -1,0 +1,61 @@
+// Small statistics toolkit: summary statistics, confidence intervals,
+// empirical CDFs and histograms used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mris::util {
+
+/// Mean / stddev / extrema of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics of `xs`.  Empty input yields all-zero Summary.
+Summary summarize(std::span<const double> xs);
+
+/// A mean together with the half-width of its confidence interval.
+struct MeanCi {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean ± half_width is the CI
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// 95% confidence interval for the mean of `xs` using the Student
+/// t-distribution (matches the paper's shaded 95% CI over 10 replications).
+/// For n <= 1 the half-width is 0.
+MeanCi mean_ci95(std::span<const double> xs);
+
+/// Two-sided Student-t critical value for 95% confidence with `dof` degrees
+/// of freedom (table for dof <= 30, asymptotic 1.96 beyond).
+double t_critical95(std::size_t dof);
+
+/// Returns the q-quantile (0 <= q <= 1) of the sample using linear
+/// interpolation between order statistics.  Sorts a copy.
+double quantile(std::span<const double> xs, double q);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF downsampled to at most `max_points` evenly spaced points
+/// (always includes the first and last sample).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs,
+                                    std::size_t max_points = 200);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// samples are clamped into the boundary buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace mris::util

@@ -1,0 +1,70 @@
+// A small fixed-size thread pool used to run independent simulation
+// replications in parallel (the experiment harness runs 10 downsample
+// offsets per data point, as in the paper's Section 7.1).
+//
+// Design notes (HPC guide: keep parallelism explicit and simple):
+//  * one condition variable, one mutex, FIFO queue of std::function tasks;
+//  * parallel_for partitions an index range into contiguous chunks so each
+//    worker touches disjoint cache lines of the output;
+//  * exceptions thrown by tasks are captured and rethrown on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mris::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool.  Blocks until all iterations complete; rethrows the first
+  /// exception raised by any iteration.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Shared pool for the experiment harness (constructed on first use).
+ThreadPool& global_pool();
+
+}  // namespace mris::util

@@ -1,0 +1,119 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mris {
+namespace {
+
+TEST(JobTest, TotalDemandAndVolume) {
+  Job j;
+  j.processing = 4.0;
+  j.demand = {0.25, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(j.total_demand(), 0.75);
+  EXPECT_DOUBLE_EQ(j.volume(), 3.0);
+}
+
+TEST(JobTest, TotalVolumeOverRange) {
+  std::vector<Job> jobs(2);
+  jobs[0].processing = 2.0;
+  jobs[0].demand = {0.5};
+  jobs[1].processing = 3.0;
+  jobs[1].demand = {1.0};
+  EXPECT_DOUBLE_EQ(total_volume(jobs), 1.0 + 3.0);
+}
+
+TEST(InstanceBuilderTest, BuildsValidInstance) {
+  const Instance inst = InstanceBuilder(2, 3)
+                            .add(0.0, 1.0, 1.0, {0.1, 0.2, 0.3})
+                            .add_uniform(1.0, 2.0, 2.0, 0.5)
+                            .build();
+  EXPECT_EQ(inst.num_jobs(), 2u);
+  EXPECT_EQ(inst.num_machines(), 2);
+  EXPECT_EQ(inst.num_resources(), 3);
+  EXPECT_DOUBLE_EQ(inst.job(1).demand[2], 0.5);
+  EXPECT_EQ(inst.job(0).id, 0);
+  EXPECT_EQ(inst.job(1).id, 1);
+}
+
+TEST(InstanceTest, RejectsWrongDemandDimension) {
+  std::vector<Job> jobs(1);
+  jobs[0].id = 0;
+  jobs[0].demand = {0.5};  // 1 entry but R = 2
+  EXPECT_THROW(Instance(std::move(jobs), 1, 2), std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsDemandAboveCapacity) {
+  EXPECT_THROW(InstanceBuilder(1, 1).add(0, 1, 1, {1.5}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsNegativeDemand) {
+  EXPECT_THROW(InstanceBuilder(1, 2).add(0, 1, 1, {0.5, -0.1}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsNonPositiveProcessing) {
+  EXPECT_THROW(InstanceBuilder(1, 1).add(0, 0.0, 1, {0.5}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsNonPositiveWeight) {
+  EXPECT_THROW(InstanceBuilder(1, 1).add(0, 1, 0.0, {0.5}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsNegativeRelease) {
+  EXPECT_THROW(InstanceBuilder(1, 1).add(-1.0, 1, 1, {0.5}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsAllZeroDemand) {
+  EXPECT_THROW(InstanceBuilder(1, 2).add(0, 1, 1, {0.0, 0.0}).build(),
+               std::invalid_argument);
+}
+
+TEST(InstanceTest, RejectsBadMachineOrResourceCount) {
+  std::vector<Job> none;
+  EXPECT_THROW(Instance(none, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Instance(none, 1, 0), std::invalid_argument);
+}
+
+TEST(InstanceTest, AggregateQueries) {
+  const Instance inst = InstanceBuilder(2, 2)
+                            .add(0.0, 2.0, 1.0, {0.5, 0.5})
+                            .add(3.0, 5.0, 1.0, {1.0, 0.0})
+                            .build();
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 2.0 * 1.0 + 5.0 * 1.0);
+  EXPECT_DOUBLE_EQ(inst.max_processing(), 5.0);
+  EXPECT_DOUBLE_EQ(inst.last_release(), 3.0);
+}
+
+TEST(InstanceTest, NormalizedScalesToUnitMinProcessing) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(4.0, 2.0, 1.0, {0.5})
+                            .add(0.0, 8.0, 1.0, {0.5})
+                            .build();
+  const Instance norm = inst.normalized();
+  EXPECT_DOUBLE_EQ(norm.job(0).processing, 1.0);
+  EXPECT_DOUBLE_EQ(norm.job(1).processing, 4.0);
+  // Releases scale by the same factor to preserve geometry.
+  EXPECT_DOUBLE_EQ(norm.job(0).release, 2.0);
+}
+
+TEST(InstanceTest, NormalizedIsIdempotentWhenAlreadyNormalized) {
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 1.0, 1.0, {0.5}).build();
+  const Instance norm = inst.normalized();
+  EXPECT_DOUBLE_EQ(norm.job(0).processing, 1.0);
+}
+
+TEST(InstanceTest, EmptyInstanceIsValid) {
+  const Instance inst = InstanceBuilder(3, 2).build();
+  EXPECT_EQ(inst.num_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.max_processing(), 0.0);
+  EXPECT_TRUE(inst.check_invariants().empty());
+}
+
+}  // namespace
+}  // namespace mris

@@ -1,0 +1,121 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mris {
+namespace {
+
+struct Fixture {
+  Instance inst = InstanceBuilder(2, 1)
+                      .add(0.0, 2.0, 1.0, {0.5})   // C = 3 when started at 1
+                      .add(1.0, 4.0, 3.0, {0.5})   // C = 6 when started at 2
+                      .build();
+  Schedule sched{2};
+  Fixture() {
+    sched.assign(0, 0, 1.0);
+    sched.assign(1, 1, 2.0);
+  }
+};
+
+TEST(MetricsTest, TotalWeightedCompletionTime) {
+  Fixture f;
+  // 1*3 + 3*6 = 21.
+  EXPECT_DOUBLE_EQ(total_weighted_completion_time(f.inst, f.sched), 21.0);
+}
+
+TEST(MetricsTest, AverageWeightedCompletionTime) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(average_weighted_completion_time(f.inst, f.sched), 10.5);
+}
+
+TEST(MetricsTest, Makespan) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(makespan(f.inst, f.sched), 6.0);
+}
+
+TEST(MetricsTest, QueuingDelays) {
+  Fixture f;
+  const auto delays = queuing_delays(f.inst, f.sched);
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 1.0);
+  EXPECT_DOUBLE_EQ(delays[1], 1.0);
+  EXPECT_DOUBLE_EQ(mean_queuing_delay(f.inst, f.sched), 1.0);
+}
+
+TEST(MetricsTest, WeightedFlowTime) {
+  Fixture f;
+  // Flow F_j = C_j - r_j: job0 3-0=3 (w=1), job1 6-1=5 (w=3) -> 3+15=18.
+  EXPECT_DOUBLE_EQ(total_weighted_flow_time(f.inst, f.sched), 18.0);
+  EXPECT_DOUBLE_EQ(average_weighted_flow_time(f.inst, f.sched), 9.0);
+}
+
+TEST(MetricsTest, FlowTimeEqualsCompletionTimeForZeroReleases) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 2.0, {0.5})
+                            .add(0.0, 3.0, 1.0, {0.5})
+                            .build();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 0, 0.0);
+  EXPECT_DOUBLE_EQ(total_weighted_flow_time(inst, s),
+                   total_weighted_completion_time(inst, s));
+}
+
+TEST(MetricsTest, EmptyInstanceEdgeCases) {
+  const Instance inst = InstanceBuilder(1, 1).build();
+  const Schedule sched(0);
+  EXPECT_DOUBLE_EQ(average_weighted_completion_time(inst, sched), 0.0);
+  EXPECT_DOUBLE_EQ(average_weighted_flow_time(inst, sched), 0.0);
+  EXPECT_DOUBLE_EQ(makespan(inst, sched), 0.0);
+  EXPECT_DOUBLE_EQ(mean_queuing_delay(inst, sched), 0.0);
+}
+
+TEST(MetricsTest, AverageUtilizationMatchesHandComputation) {
+  // One machine, one resource: job of demand 0.5 for 2 units, makespan 4.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {0.5})
+                            .add(0.0, 4.0, 1.0, {0.25})
+                            .build();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 0, 0.0);
+  const auto util = average_utilization(inst, s);
+  ASSERT_EQ(util.size(), 1u);
+  // (2*0.5 + 4*0.25) / (1 * 4) = 0.5.
+  EXPECT_DOUBLE_EQ(util[0], 0.5);
+}
+
+TEST(MetricsTest, UsageOverTimeTracksStartsAndEnds) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 2.0, 1.0, {0.5})
+                            .add(0.0, 4.0, 1.0, {0.25})
+                            .build();
+  Schedule s(2);
+  s.assign(0, 0, 1.0);
+  s.assign(1, 0, 2.0);
+  const auto samples = usage_over_time(inst, s, /*machine=*/0, /*resource=*/0);
+  // Job 0 occupies [1, 3) at 0.5; job 1 occupies [2, 6) at 0.25.
+  // Breakpoints: 1 (0.5), 2 (0.75), 3 (0.25), 6 (0).
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(samples[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(samples[0].usage, 0.5);
+  EXPECT_DOUBLE_EQ(samples[1].t, 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].usage, 0.75);
+  EXPECT_DOUBLE_EQ(samples[2].t, 3.0);
+  EXPECT_DOUBLE_EQ(samples[2].usage, 0.25);
+  EXPECT_DOUBLE_EQ(samples.back().t, 6.0);
+  EXPECT_DOUBLE_EQ(samples.back().usage, 0.0);
+}
+
+TEST(MetricsTest, UsageOverTimeFiltersMachine) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 2.0, 1.0, {0.5})
+                            .build();
+  Schedule s(1);
+  s.assign(0, 1, 0.0);
+  EXPECT_TRUE(usage_over_time(inst, s, 0, 0).empty());
+  EXPECT_FALSE(usage_over_time(inst, s, 1, 0).empty());
+}
+
+}  // namespace
+}  // namespace mris

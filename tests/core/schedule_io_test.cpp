@@ -1,0 +1,91 @@
+#include "core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mris {
+namespace {
+
+Instance small_instance() {
+  return InstanceBuilder(2, 1)
+      .add(0.0, 2.0, 1.0, {0.5})
+      .add(1.0, 3.0, 1.0, {0.5})
+      .add(0.0, 1.0, 1.0, {0.5})
+      .build();
+}
+
+TEST(ScheduleIoTest, RoundTripCompleteSchedule) {
+  const Instance inst = small_instance();
+  Schedule s(3);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 1, 1.5);
+  s.assign(2, 0, 2.0);
+
+  std::stringstream buffer;
+  write_schedule_csv(buffer, inst, s);
+  const Schedule loaded = read_schedule_csv(buffer, inst);
+  for (JobId j = 0; j < 3; ++j) {
+    EXPECT_EQ(loaded.assignment(j).machine, s.assignment(j).machine);
+    EXPECT_EQ(loaded.start_time(j), s.start_time(j));
+  }
+}
+
+TEST(ScheduleIoTest, PartialScheduleKeepsUnassignedRows) {
+  const Instance inst = small_instance();
+  Schedule s(3);
+  s.assign(1, 0, 4.0);
+
+  std::stringstream buffer;
+  write_schedule_csv(buffer, inst, s);
+  const Schedule loaded = read_schedule_csv(buffer, inst);
+  EXPECT_FALSE(loaded.is_assigned(0));
+  EXPECT_TRUE(loaded.is_assigned(1));
+  EXPECT_FALSE(loaded.is_assigned(2));
+}
+
+TEST(ScheduleIoTest, HeaderIsStable) {
+  const Instance inst = small_instance();
+  std::stringstream buffer;
+  write_schedule_csv(buffer, inst, Schedule(3));
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "job,machine,start,completion");
+}
+
+TEST(ScheduleIoTest, RejectsWrongHeader) {
+  std::istringstream in("a,b\n");
+  EXPECT_THROW(read_schedule_csv(in, small_instance()), std::runtime_error);
+}
+
+TEST(ScheduleIoTest, RejectsOutOfRangeJob) {
+  std::istringstream in(
+      "job,machine,start,completion\n"
+      "9,0,0,2\n");
+  EXPECT_THROW(read_schedule_csv(in, small_instance()), std::runtime_error);
+}
+
+TEST(ScheduleIoTest, RejectsInconsistentCompletion) {
+  // Job 0 has p = 2, so completion must be start + 2.
+  std::istringstream in(
+      "job,machine,start,completion\n"
+      "0,0,1,9\n");
+  EXPECT_THROW(read_schedule_csv(in, small_instance()), std::runtime_error);
+}
+
+TEST(ScheduleIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mris_sched_io.csv";
+  const Instance inst = small_instance();
+  Schedule s(3);
+  s.assign(0, 1, 0.25);
+  s.assign(1, 0, 1.0);
+  s.assign(2, 1, 2.25);
+  write_schedule_csv_file(path, inst, s);
+  const Schedule loaded = read_schedule_csv_file(path, inst);
+  EXPECT_EQ(loaded.start_time(0), 0.25);
+  EXPECT_EQ(loaded.assignment(2).machine, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mris

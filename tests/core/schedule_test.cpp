@@ -1,0 +1,132 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mris {
+namespace {
+
+Instance two_job_instance() {
+  return InstanceBuilder(2, 2)
+      .add(0.0, 2.0, 1.0, {0.6, 0.2})
+      .add(1.0, 3.0, 2.0, {0.5, 0.5})
+      .build();
+}
+
+TEST(ScheduleTest, AssignAndQuery) {
+  Schedule s(2);
+  EXPECT_FALSE(s.complete());
+  s.assign(0, 1, 5.0);
+  EXPECT_TRUE(s.is_assigned(0));
+  EXPECT_FALSE(s.is_assigned(1));
+  EXPECT_EQ(s.assignment(0).machine, 1);
+  EXPECT_DOUBLE_EQ(s.start_time(0), 5.0);
+}
+
+TEST(ScheduleTest, DoubleAssignThrows) {
+  Schedule s(1);
+  s.assign(0, 0, 0.0);
+  EXPECT_THROW(s.assign(0, 0, 1.0), std::logic_error);
+}
+
+TEST(ScheduleTest, UnassignedStartTimeThrows) {
+  Schedule s(1);
+  EXPECT_THROW(s.start_time(0), std::logic_error);
+}
+
+TEST(ScheduleTest, CompletionTimeAddsProcessing) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(inst, 0), 3.0);
+}
+
+TEST(ValidateTest, AcceptsFeasibleConcurrentSchedule) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 0, 1.0);  // usage peaks at {1.1 > 1? no: 0.6+0.5=1.1} -> fails
+  const ValidationResult v = validate_schedule(inst, s);
+  EXPECT_FALSE(v.ok);  // resource 0 over capacity during [1, 2)
+}
+
+TEST(ValidateTest, AcceptsSeparateMachines) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 1, 1.0);
+  EXPECT_TRUE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, BackToBackOnSameMachineIsFeasible) {
+  // Job 1 starts exactly when job 0 completes: [S, C) semantics mean no
+  // overlap at the boundary instant.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .build();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 0, 2.0);
+  EXPECT_TRUE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, RejectsUnassignedJob) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  const ValidationResult v = validate_schedule(inst, s);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("unassigned"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsStartBeforeRelease) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 1, 0.5);  // release is 1.0
+  EXPECT_FALSE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, RejectsMachineOutOfRange) {
+  const Instance inst = two_job_instance();
+  Schedule s(2);
+  s.assign(0, 5, 0.0);
+  s.assign(1, 0, 1.0);
+  EXPECT_FALSE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, RejectsCapacityViolationInOneResourceOnly) {
+  const Instance inst = InstanceBuilder(1, 2)
+                            .add(0.0, 4.0, 1.0, {0.3, 0.9})
+                            .add(0.0, 4.0, 1.0, {0.3, 0.2})
+                            .build();
+  Schedule s(2);
+  s.assign(0, 0, 0.0);
+  s.assign(1, 0, 0.0);  // resource 0 fine (0.6), resource 1 over (1.1)
+  const ValidationResult v = validate_schedule(inst, s);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("resource 1"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsJobCountMismatch) {
+  const Instance inst = two_job_instance();
+  Schedule s(1);
+  EXPECT_FALSE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, ManyConcurrentSmallJobsExactlyFillCapacity) {
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 10; ++i) b.add(0.0, 1.0, 1.0, {0.1});
+  const Instance inst = b.build();
+  Schedule s(10);
+  for (JobId j = 0; j < 10; ++j) s.assign(j, 0, 0.0);
+  EXPECT_TRUE(validate_schedule(inst, s).ok);
+}
+
+TEST(ValidateTest, EmptyScheduleOfEmptyInstanceIsValid) {
+  const Instance inst = InstanceBuilder(1, 1).build();
+  EXPECT_TRUE(validate_schedule(inst, Schedule(0)).ok);
+}
+
+}  // namespace
+}  // namespace mris

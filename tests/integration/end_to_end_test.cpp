@@ -1,0 +1,116 @@
+// End-to-end pipeline tests: synthetic Azure-like trace -> downsample ->
+// instance -> every scheduler -> validated schedules and the paper's
+// qualitative relationships.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "exp/runner.hpp"
+#include "trace/generator.hpp"
+#include "trace/sampling.hpp"
+
+namespace mris {
+namespace {
+
+Instance trace_instance(std::size_t base_jobs, std::size_t factor,
+                        std::size_t delta, int machines,
+                        std::uint64_t seed = 21) {
+  trace::GeneratorConfig cfg;  // paper-like defaults (12.5 d, heavy tails)
+  cfg.num_jobs = base_jobs;
+  cfg.seed = seed;
+  const trace::Workload base = generate_azure_like(cfg);
+  return to_instance(merge_storage(downsample(base, factor, delta)),
+                     machines);
+}
+
+TEST(EndToEndTest, EverySchedulerFeasibleOnTracePipeline) {
+  const Instance inst = trace_instance(2000, 4, 1, 5);
+  for (const auto& spec : exp::comparison_lineup()) {
+    const exp::EvalResult r = exp::evaluate(inst, spec);
+    EXPECT_GT(r.awct, 0.0) << spec.display_name();
+    EXPECT_GT(r.makespan, 0.0) << spec.display_name();
+  }
+}
+
+TEST(EndToEndTest, MrisWinsUnderHeavyLoad) {
+  // Few machines + many contended jobs: the regime where the paper reports
+  // MRIS's advantage (Figs 3 and 4).
+  const Instance inst = trace_instance(4000, 2, 0, 1);
+  const exp::EvalResult mris =
+      exp::evaluate(inst, exp::SchedulerSpec::Mris());
+  const exp::EvalResult pq =
+      exp::evaluate(inst, exp::SchedulerSpec::Pq(Heuristic::kWsjf));
+  const exp::EvalResult tetris =
+      exp::evaluate(inst, exp::SchedulerSpec::Tetris());
+  EXPECT_LT(mris.awct, pq.awct)
+      << "MRIS should beat PQ under heavy load (Fig 4)";
+  EXPECT_LT(mris.awct, tetris.awct);
+}
+
+TEST(EndToEndTest, PqFamilyClusterTogether) {
+  // The paper observes TETRIS, BF-EXEC and PQ perform similarly.
+  const Instance inst = trace_instance(2000, 2, 0, 5);
+  const exp::EvalResult pq =
+      exp::evaluate(inst, exp::SchedulerSpec::Pq(Heuristic::kWsjf));
+  const exp::EvalResult tetris =
+      exp::evaluate(inst, exp::SchedulerSpec::Tetris());
+  const exp::EvalResult bfexec =
+      exp::evaluate(inst, exp::SchedulerSpec::BfExec());
+  EXPECT_LT(tetris.awct / pq.awct, 3.0);
+  EXPECT_GT(tetris.awct / pq.awct, 1.0 / 3.0);
+  EXPECT_LT(bfexec.awct / pq.awct, 3.0);
+  EXPECT_GT(bfexec.awct / pq.awct, 1.0 / 3.0);
+}
+
+TEST(EndToEndTest, CaPqHasWorstMeanQueuingDelay) {
+  const Instance inst = trace_instance(2000, 2, 0, 5);
+  const auto lineup = exp::comparison_lineup();
+  double capq_delay = 0.0;
+  double max_other = 0.0;
+  for (const auto& spec : lineup) {
+    const exp::EvalResult r = exp::evaluate(inst, spec);
+    if (spec.kind == exp::SchedulerKind::kCaPq) {
+      capq_delay = r.mean_delay;
+    } else {
+      max_other = std::max(max_other, r.mean_delay);
+    }
+  }
+  EXPECT_GE(capq_delay, max_other * 0.8)
+      << "CA-PQ should be (near-)worst in queuing delay (Fig 5)";
+}
+
+TEST(EndToEndTest, DownsampleOffsetsGiveDistinctButSimilarResults) {
+  // Two offsets of the same base trace: different instances, same regime.
+  const Instance a = trace_instance(2000, 4, 0, 5);
+  const Instance b = trace_instance(2000, 4, 2, 5);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  const double awct_a =
+      exp::evaluate(a, exp::SchedulerSpec::Pq(Heuristic::kWsjf)).awct;
+  const double awct_b =
+      exp::evaluate(b, exp::SchedulerSpec::Pq(Heuristic::kWsjf)).awct;
+  EXPECT_NE(awct_a, awct_b);
+  EXPECT_LT(std::abs(awct_a - awct_b) / awct_a, 1.0);
+}
+
+TEST(EndToEndTest, ResourceAugmentationDegradesPqMoreThanMris) {
+  // Fig 6's mechanism at test scale: adding synthetic resources hurts
+  // pack-greedy schedulers more than MRIS.  We assert the weak form: both
+  // still produce feasible schedules and AWCT does not *improve* for PQ.
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 800;
+  cfg.seed = 31;
+  const trace::Workload base = merge_storage(generate_azure_like(cfg));
+  util::Xoshiro256 rng(4);
+  const trace::Workload wide = augment_resources(base, 12, trace::kCpu, rng);
+
+  const Instance narrow_inst = to_instance(base, 4);
+  const Instance wide_inst = to_instance(wide, 4);
+  const double pq_narrow =
+      exp::evaluate(narrow_inst, exp::SchedulerSpec::Pq(Heuristic::kWsjf)).awct;
+  const double pq_wide =
+      exp::evaluate(wide_inst, exp::SchedulerSpec::Pq(Heuristic::kWsjf)).awct;
+  EXPECT_GE(pq_wide, pq_narrow * 0.99)
+      << "more resource constraints cannot help PQ";
+}
+
+}  // namespace
+}  // namespace mris

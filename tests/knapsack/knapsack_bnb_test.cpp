@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "knapsack/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace mris::knapsack {
+namespace {
+
+std::vector<Item> random_items(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({util::uniform(rng, 0.1, 9.0),
+                     util::uniform(rng, 0.5, 10.0),
+                     static_cast<std::int32_t>(i)});
+  }
+  return items;
+}
+
+TEST(BranchAndBoundTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(solve_branch_and_bound({}, 10.0).tags.empty());
+  const std::vector<Item> items = {{1.0, 1.0, 0}};
+  EXPECT_TRUE(solve_branch_and_bound(items, 0.0).tags.empty());
+  EXPECT_TRUE(solve_branch_and_bound(items, -3.0).tags.empty());
+}
+
+TEST(BranchAndBoundTest, SolvesClassicInstance) {
+  const std::vector<Item> items = {
+      {6.0, 30.0, 0}, {4.0, 14.0, 1}, {6.0, 16.0, 2}, {3.0, 9.0, 3}};
+  const Selection s = solve_branch_and_bound(items, 10.0);
+  EXPECT_DOUBLE_EQ(s.total_profit, 44.0);
+  EXPECT_LE(s.total_size, 10.0);
+}
+
+TEST(BranchAndBoundTest, HandlesRealValuedSizes) {
+  const std::vector<Item> items = {
+      {2.5, 10.0, 0}, {2.6, 10.0, 1}, {5.2, 19.0, 2}};
+  const Selection s = solve_branch_and_bound(items, 5.2);
+  // {0, 1} has size 5.1 <= 5.2 and profit 20 > 19.
+  EXPECT_DOUBLE_EQ(s.total_profit, 20.0);
+}
+
+TEST(BranchAndBoundTest, NodeBudgetEnforced) {
+  util::Xoshiro256 rng(1);
+  const auto items = random_items(rng, 40);
+  EXPECT_THROW(solve_branch_and_bound(items, 100.0, /*max_nodes=*/5),
+               std::runtime_error);
+}
+
+class BnbVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbVsBruteForce, MatchesBruteForceOptimum) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 57527);
+  const std::size_t n = 4 + util::uniform_index(rng, 14);
+  const auto items = random_items(rng, n);
+  const double capacity = util::uniform(rng, 3.0, 30.0);
+  const Selection bnb = solve_branch_and_bound(items, capacity);
+  const Selection bf = solve_bruteforce(items, capacity);
+  EXPECT_NEAR(bnb.total_profit, bf.total_profit, 1e-9);
+  EXPECT_LE(bnb.total_size, capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BnbVsBruteForce,
+                         ::testing::Range(1, 25));
+
+TEST(BranchAndBoundTest, SolvesLargerInstancesThanBruteForceCould) {
+  util::Xoshiro256 rng(99);
+  const auto items = random_items(rng, 200);
+  double total = 0.0;
+  for (const auto& it : items) total += it.size;
+  const Selection s = solve_branch_and_bound(items, total / 3.0);
+  EXPECT_GT(s.total_profit, 0.0);
+  EXPECT_LE(s.total_size, total / 3.0 + 1e-9);
+  // CADP must dominate the exact optimum's profit (Lemma 6.1) — use B&B as
+  // the oracle at a size brute force cannot reach.
+  const Selection cadp = solve_cadp(items, total / 3.0, 0.5);
+  EXPECT_GE(cadp.total_profit + 1e-9, s.total_profit);
+}
+
+}  // namespace
+}  // namespace mris::knapsack

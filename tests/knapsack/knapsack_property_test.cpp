@@ -1,0 +1,130 @@
+// Property-based sweeps of the constraint-approximation guarantees
+// (Lemma 6.1 and Remark 1) against the brute-force oracle on random
+// instances.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "knapsack/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace mris::knapsack {
+namespace {
+
+std::vector<Item> random_items(util::Xoshiro256& rng, std::size_t n,
+                               double max_size) {
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({util::uniform(rng, 0.1, max_size),
+                     util::uniform(rng, 0.5, 10.0),
+                     static_cast<std::int32_t>(i)});
+  }
+  return items;
+}
+
+// Parameter: (seed, num_items, eps).
+class CadpProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(CadpProperty, DominatesOptimalProfitWithinCapacitySlack) {
+  const auto [seed, n, eps] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7919);
+  const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
+  const double capacity = util::uniform(rng, 4.0, 20.0);
+
+  const Selection opt = solve_bruteforce(items, capacity);
+  const Selection cadp = solve_cadp(items, capacity, eps);
+
+  // Lemma 6.1: profit >= OPT and size <= (1 + eps) * capacity.
+  EXPECT_GE(cadp.total_profit + 1e-9, opt.total_profit)
+      << "n=" << n << " eps=" << eps << " cap=" << capacity;
+  EXPECT_LE(cadp.total_size, (1.0 + eps) * capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, CadpProperty,
+    ::testing::Combine(::testing::Range(1, 9), ::testing::Values(5, 10, 14),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+class GreedyProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(GreedyProperty, DominatesOptimalProfitWithinDoubleCapacity) {
+  const auto [seed, n] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 104729);
+  const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
+  const double capacity = util::uniform(rng, 4.0, 20.0);
+
+  const Selection opt = solve_bruteforce(items, capacity);
+  const Selection greedy = solve_greedy_constraint(items, capacity);
+
+  // Remark 1: profit >= OPT and size <= 2 * capacity.
+  EXPECT_GE(greedy.total_profit + 1e-9, opt.total_profit);
+  EXPECT_LE(greedy.total_size, 2.0 * capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyProperty,
+                         ::testing::Combine(::testing::Range(1, 13),
+                                            ::testing::Values(6, 12, 18)));
+
+class GreedyHalfProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GreedyHalfProperty, HalfApproximationWithinCapacity) {
+  const auto [seed, n] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 1299709);
+  const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
+  const double capacity = util::uniform(rng, 4.0, 20.0);
+
+  const Selection opt = solve_bruteforce(items, capacity);
+  const Selection half = solve_greedy_half(items, capacity);
+
+  EXPECT_LE(half.total_size, capacity + 1e-9);
+  EXPECT_GE(half.total_profit + 1e-9, 0.5 * opt.total_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyHalfProperty,
+                         ::testing::Combine(::testing::Range(1, 13),
+                                            ::testing::Values(6, 12)));
+
+class ExactDpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactDpProperty, MatchesBruteForceOnIntegerInstances) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  std::vector<Item> items;
+  const std::size_t n = 4 + util::uniform_index(rng, 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({static_cast<double>(util::uniform_int(rng, 1, 12)),
+                     util::uniform(rng, 0.5, 10.0),
+                     static_cast<std::int32_t>(i)});
+  }
+  const std::int64_t capacity = util::uniform_int(rng, 5, 40);
+  const Selection dp = solve_exact_dp(items, capacity);
+  const Selection bf = solve_bruteforce(items, static_cast<double>(capacity));
+  EXPECT_NEAR(dp.total_profit, bf.total_profit, 1e-9);
+  EXPECT_LE(dp.total_size, static_cast<double>(capacity));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExactDpProperty,
+                         ::testing::Range(1, 25));
+
+TEST(SelectionConsistencyTest, TotalsMatchSelectedTags) {
+  util::Xoshiro256 rng(2024);
+  const auto items = random_items(rng, 12, 6.0);
+  const Selection s = solve_cadp(items, 15.0, 0.4);
+  double size = 0.0, profit = 0.0;
+  for (std::int32_t tag : s.tags) {
+    size += items[static_cast<std::size_t>(tag)].size;
+    profit += items[static_cast<std::size_t>(tag)].profit;
+  }
+  EXPECT_NEAR(size, s.total_size, 1e-9);
+  EXPECT_NEAR(profit, s.total_profit, 1e-9);
+  // No duplicates.
+  auto tags = s.tags;
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(std::adjacent_find(tags.begin(), tags.end()), tags.end());
+}
+
+}  // namespace
+}  // namespace mris::knapsack

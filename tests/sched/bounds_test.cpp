@@ -1,0 +1,100 @@
+#include "sched/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "exp/runner.hpp"
+#include "sched/optimal.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+TEST(FluidBoundTest, EmptyInstance) {
+  const Instance inst = InstanceBuilder(2, 2).build();
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(inst), 0.0);
+  EXPECT_DOUBLE_EQ(awct_fluid_lower_bound(inst), 0.0);
+}
+
+TEST(FluidBoundTest, SingleJobReducesToTrivialBound) {
+  const Instance inst =
+      InstanceBuilder(1, 1).add(2.0, 3.0, 2.0, {0.5}).build();
+  // Fluid: q = 1.5, rate 1 -> w * 1.5 = 3.  Trivial: 2 * (2 + 3) = 10.
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(inst), 10.0);
+}
+
+TEST(FluidBoundTest, FluidTermDominatesUnderSaturation) {
+  // 8 full-demand unit jobs, 1 machine, 1 resource: fluid WSPT gives
+  // sum_{k=1..8} k = 36; trivial gives 8.
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 8; ++i) b.add(0.0, 1.0, 1.0, {1.0});
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(b.build()), 36.0);
+}
+
+TEST(FluidBoundTest, PicksBottleneckResource) {
+  // Resource 1 is the bottleneck (demand 1.0 vs 0.1).
+  InstanceBuilder b(1, 2);
+  for (int i = 0; i < 4; ++i) b.add(0.0, 1.0, 1.0, {0.1, 1.0});
+  // Fluid on resource 1: q = 1 each -> 1+2+3+4 = 10.
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(b.build()), 10.0);
+}
+
+TEST(FluidBoundTest, RateScalesWithMachines) {
+  InstanceBuilder b(2, 1);
+  for (int i = 0; i < 8; ++i) b.add(0.0, 1.0, 1.0, {1.0});
+  // Rate 2: completions at 0.5, 1.0, ... -> 36 / 2 = 18... but the trivial
+  // bound sum w (r + p) = 8 is smaller, so fluid (18) still wins.
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(b.build()), 18.0);
+}
+
+TEST(FluidBoundTest, WsptOrdersByWeightOverSize) {
+  // Heavy job first in the relaxation despite being larger.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 10.0, {1.0})  // q=2, w/q = 5
+                            .add(0.0, 1.0, 1.0, {1.0})   // q=1, w/q = 1
+                            .build();
+  // WSPT: heavy first: 10*2 + 1*3 = 23 (vs 1*1 + 10*3 = 31 otherwise).
+  // Trivial: 10*2 + 1*1 = 21 < 23.
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(inst), 23.0);
+}
+
+class FluidBoundOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidBoundOracle, NeverExceedsExactOptimum) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 86028121);
+  const int machines = 1 + static_cast<int>(util::uniform_index(rng, 2));
+  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 3));
+  InstanceBuilder b(machines, resources);
+  const std::size_t n = 3 + util::uniform_index(rng, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> d(static_cast<std::size_t>(resources));
+    for (double& x : d) x = util::uniform(rng, 0.1, 1.0);
+    b.add(util::uniform(rng, 0.0, 3.0), util::uniform(rng, 1.0, 4.0),
+          util::uniform(rng, 0.5, 3.0), std::move(d));
+  }
+  const Instance inst = b.build();
+  const Schedule opt = optimal_weighted_completion_schedule(inst);
+  EXPECT_LE(twct_fluid_lower_bound(inst),
+            total_weighted_completion_time(inst, opt) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyInstances, FluidBoundOracle,
+                         ::testing::Range(1, 30));
+
+TEST(FluidBoundTest, BelowEverySchedulerAtTraceScale) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 600;
+  cfg.seed = 5;
+  const Instance inst =
+      to_instance(merge_storage(generate_azure_like(cfg)), 2);
+  const double lb = twct_fluid_lower_bound(inst);
+  EXPECT_GT(lb, 0.0);
+  for (const auto& spec : exp::comparison_lineup()) {
+    const exp::EvalResult r = exp::evaluate(inst, spec);
+    EXPECT_GE(r.twct, lb - 1e-6) << spec.display_name();
+  }
+}
+
+}  // namespace
+}  // namespace mris

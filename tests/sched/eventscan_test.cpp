@@ -1,0 +1,149 @@
+// Tests of offline_pq_schedule_eventscan — the literal Section 5.2
+// event-time scan — against its specification and against the
+// earliest-fit variant.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "exp/runner.hpp"
+#include "sched/pq.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+struct Harness {
+  explicit Harness(const Instance& inst)
+      : inst(inst),
+        cluster(inst.num_machines(), inst.num_resources()),
+        sched(inst.num_jobs()) {}
+
+  Time run_eventscan(const std::vector<JobId>& jobs, Heuristic h,
+                     Time not_before) {
+    return offline_pq_schedule_eventscan(
+        jobs, h, not_before,
+        [this](JobId id) -> const Job& { return inst.job(id); },
+        [this](JobId id, Time t, MachineId& m) {
+          return cluster.earliest_fit(inst.job(id), t, m);
+        },
+        [this](JobId id, MachineId m, Time s) {
+          cluster.reserve(inst.job(id), m, s);
+          sched.assign(id, m, s);
+        });
+  }
+
+  const Instance& inst;
+  Cluster cluster;
+  Schedule sched;
+};
+
+std::vector<JobId> all_ids(const Instance& inst) {
+  std::vector<JobId> ids(inst.num_jobs());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<JobId>(i);
+  return ids;
+}
+
+TEST(EventScanTest, SerialJobsPackBackToBack) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .build();
+  Harness h(inst);
+  EXPECT_DOUBLE_EQ(h.run_eventscan(all_ids(inst), Heuristic::kSjf, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(1), 2.0);
+}
+
+TEST(EventScanTest, RespectsNotBefore) {
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 2.0, 1.0, {0.5}).build();
+  Harness h(inst);
+  h.run_eventscan(all_ids(inst), Heuristic::kSjf, 7.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(0), 7.0);
+}
+
+TEST(EventScanTest, LowerPriorityJobFillsWhatHeadCannot) {
+  // Head of queue (longest demand) does not fit beside the resident job,
+  // but the next job does: the event scan starts the next job at t=0 and
+  // the head at the resident's completion — classic list-scheduling.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 4.0, 1.0, {0.7})   // resident, placed 1st
+                            .add(0.0, 4.0, 1.0, {0.5})   // head (SJF tie by id)
+                            .add(0.0, 4.0, 1.0, {0.3})   // fits beside resident
+                            .build();
+  Harness h(inst);
+  h.run_eventscan(all_ids(inst), Heuristic::kSjf, 0.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(1), 4.0);
+}
+
+TEST(EventScanTest, AdvancesPastPreexistingReservations) {
+  // A future reservation blocks everything; the scan must fall forward to
+  // the earliest feasible start rather than loop.
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 2.0, 1.0, {0.8}).build();
+  Harness h(inst);
+  Job resident;
+  resident.id = 99;
+  resident.processing = 10.0;
+  resident.demand = {0.9};
+  h.cluster.reserve(resident, 0, 5.0);  // occupies [5, 15)
+  h.run_eventscan(all_ids(inst), Heuristic::kSjf, 4.0);
+  // [4, 6) collides with the reservation; earliest feasible is 15.
+  EXPECT_DOUBLE_EQ(h.sched.start_time(0), 15.0);
+}
+
+/// Lemma 6.3 property for the event-scan variant: makespan at most
+/// max{2 p_max, 2 V / M} on release-free instances and empty machines.
+class EventScanMakespanBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventScanMakespanBound, WithinVolumeBound) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 9551);
+  const int machines = 1 + static_cast<int>(util::uniform_index(rng, 4));
+  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 4));
+  InstanceBuilder b(machines, resources);
+  const std::size_t n = 5 + util::uniform_index(rng, 40);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> d(static_cast<std::size_t>(resources));
+    for (double& x : d) x = util::uniform(rng, 0.01, 1.0);
+    b.add(0.0, util::uniform(rng, 1.0, 8.0), 1.0, std::move(d));
+  }
+  const Instance inst = b.build();
+  Harness h(inst);
+  const Heuristic heu =
+      all_heuristics()[static_cast<std::size_t>(GetParam()) %
+                       all_heuristics().size()];
+  const Time cmax = h.run_eventscan(all_ids(inst), heu, 0.0);
+  EXPECT_TRUE(validate_schedule(inst, h.sched).ok);
+  const double bound =
+      std::max(2.0 * inst.max_processing(),
+               2.0 * inst.total_volume() / inst.num_machines());
+  EXPECT_LE(cmax, bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EventScanMakespanBound,
+                         ::testing::Range(1, 30));
+
+TEST(EventScanMrisTest, EndToEndFeasibleAndComparable) {
+  // MRIS with the event-scan subroutine must produce feasible schedules
+  // with AWCT in the same ballpark as the earliest-fit default.
+  util::Xoshiro256 rng(17);
+  InstanceBuilder b(2, 2);
+  for (int i = 0; i < 100; ++i) {
+    b.add(util::uniform(rng, 0.0, 15.0), util::uniform(rng, 1.0, 8.0), 1.0,
+          {util::uniform(rng, 0.05, 0.9), util::uniform(rng, 0.05, 0.9)});
+  }
+  const Instance inst = b.build();
+
+  exp::SchedulerSpec evscan = exp::SchedulerSpec::Mris();
+  evscan.mris.subroutine = MrisConfig::Subroutine::kEventScan;
+  const exp::EvalResult a = exp::evaluate(inst, evscan);
+  const exp::EvalResult b2 = exp::evaluate(inst, exp::SchedulerSpec::Mris());
+  EXPECT_GT(a.awct, 0.0);
+  EXPECT_LT(a.awct / b2.awct, 2.0);
+  EXPECT_GT(a.awct / b2.awct, 0.5);
+}
+
+}  // namespace
+}  // namespace mris

@@ -1,0 +1,162 @@
+#include "sched/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+TEST(MaxMinRatesTest, SingleJobRunsAtFullRate) {
+  const auto rates = max_min_fair_rates({{0.3}}, {1.0}, {1.0});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+TEST(MaxMinRatesTest, EqualJobsShareSaturatedResourceEqually) {
+  // 3 jobs, demand 0.5 each, capacity 1: rates 2/3 each.
+  const auto rates =
+      max_min_fair_rates({{0.5}, {0.5}, {0.5}}, {1.0, 1.0, 1.0}, {1.0});
+  for (double r : rates) EXPECT_NEAR(r, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MaxMinRatesTest, WeightsScaleSharesUntilCap) {
+  // w = 2 vs 1, demand 0.6 each, capacity 1.  Growth is 2:1 until the
+  // heavy job hits the rate-1 cap (theta = 1/2, before the resource
+  // saturates at theta = 1/1.8); the light job then absorbs the slack:
+  // 0.6 * 1 + 0.6 * r = 1  ->  r = 2/3.
+  const auto rates = max_min_fair_rates({{0.6}, {0.6}}, {2.0, 1.0}, {1.0});
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_NEAR(rates[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(0.6 * (rates[0] + rates[1]), 1.0, 1e-12);
+}
+
+TEST(MaxMinRatesTest, WeightsScaleSharesWhenResourceBindsFirst) {
+  // Larger demands so the resource saturates before any cap: growth stops
+  // at theta = 1/(0.9*3) = 10/27 with rates strictly 2:1.
+  const auto rates = max_min_fair_rates({{0.9}, {0.9}}, {2.0, 1.0}, {1.0});
+  EXPECT_NEAR(rates[0], 2.0 * rates[1], 1e-12);
+  EXPECT_NEAR(0.9 * (rates[0] + rates[1]), 1.0, 1e-12);
+}
+
+TEST(MaxMinRatesTest, RateCappedAtRealTime) {
+  // Tiny demands: everyone runs at rate 1 even with spare capacity.
+  const auto rates =
+      max_min_fair_rates({{0.01}, {0.02}}, {1.0, 5.0}, {1.0});
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+}
+
+TEST(MaxMinRatesTest, JobOffTheBottleneckKeepsGrowing) {
+  // Job 0 saturates resource 0; job 1 only uses resource 1 and reaches 1.
+  const auto rates =
+      max_min_fair_rates({{1.0, 0.0}, {0.0, 0.4}}, {1.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);  // cap binds first (theta = 1)
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+}
+
+TEST(MaxMinRatesTest, FrozenJobsRespectEveryCapacity) {
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + util::uniform_index(rng, 10);
+    const std::size_t R = 1 + util::uniform_index(rng, 4);
+    std::vector<std::vector<double>> demand(n);
+    std::vector<double> weight(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      demand[j].resize(R);
+      for (double& d : demand[j]) d = util::uniform(rng, 0.0, 1.0);
+      weight[j] = util::uniform(rng, 0.5, 3.0);
+    }
+    const std::vector<double> capacity(R, 2.0);
+    const auto rates = max_min_fair_rates(demand, weight, capacity);
+    for (std::size_t l = 0; l < R; ++l) {
+      double used = 0.0;
+      for (std::size_t j = 0; j < n; ++j) used += demand[j][l] * rates[j];
+      EXPECT_LE(used, 2.0 + 1e-9);
+    }
+    for (double r : rates) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(FluidScheduleTest, UncontendedJobRunsInRealTime) {
+  const Instance inst =
+      InstanceBuilder(2, 1).add(3.0, 4.0, 1.0, {0.5}).build();
+  const FluidResult r = fluid_max_min_schedule(inst);
+  EXPECT_DOUBLE_EQ(r.completion[0], 7.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+}
+
+TEST(FluidScheduleTest, ContendedJobsStretch) {
+  // Two identical full-demand jobs on one pooled machine: each runs at
+  // rate 1/2, both complete at 2p.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .build();
+  const FluidResult r = fluid_max_min_schedule(inst);
+  EXPECT_NEAR(r.completion[0], 6.0, 1e-9);
+  EXPECT_NEAR(r.completion[1], 6.0, 1e-9);
+}
+
+TEST(FluidScheduleTest, RatesReallocateAfterCompletion) {
+  // A short and a long full-demand job: both at rate 1/2 until the short
+  // one finishes (t=2), then the long one speeds to rate 1.
+  // Long job: 1 unit done at t=2, 2 remain -> completes at t=4.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 1.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .build();
+  const FluidResult r = fluid_max_min_schedule(inst);
+  EXPECT_NEAR(r.completion[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.completion[1], 4.0, 1e-9);
+}
+
+TEST(FluidScheduleTest, ArrivalsInterruptAndReshare) {
+  // Job 0 alone on [0,1) at rate 1; job 1 arrives at t=1; both full
+  // demand -> rate 1/2 each.  Job 0 has 1 left -> completes at 3.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .add(1.0, 2.0, 1.0, {1.0})
+                            .build();
+  const FluidResult r = fluid_max_min_schedule(inst);
+  EXPECT_NEAR(r.completion[0], 3.0, 1e-9);
+  // Job 1: 1 done by t=3, then rate 1 -> completes at 4.
+  EXPECT_NEAR(r.completion[1], 4.0, 1e-9);
+}
+
+TEST(FluidScheduleTest, CompletionsNeverBeforeReleasePlusProcessing) {
+  trace::GeneratorConfig cfg;
+  cfg.num_jobs = 300;
+  cfg.seed = 9;
+  const Instance inst =
+      to_instance(merge_storage(generate_azure_like(cfg)), 2);
+  const FluidResult r = fluid_max_min_schedule(inst);
+  for (std::size_t j = 0; j < inst.num_jobs(); ++j) {
+    EXPECT_GE(r.completion[j],
+              inst.jobs()[j].release + inst.jobs()[j].processing - 1e-6);
+  }
+  EXPECT_GT(r.awct, 0.0);
+  EXPECT_NEAR(r.awct * static_cast<double>(inst.num_jobs()), r.twct, 1e-6);
+}
+
+TEST(FluidScheduleTest, PreemptionBeatsNonPreemptiveOnLemma41) {
+  // On the adversarial instance the fluid reference trivially runs the
+  // small jobs alongside-then-ahead of the blocker.
+  const Instance inst = trace::make_lemma41_instance(32, 2);
+  const FluidResult fluid = fluid_max_min_schedule(inst);
+  EXPECT_LT(fluid.awct, 10.0);  // PQ gets ~33 here (Lemma 4.1)
+}
+
+TEST(FluidScheduleTest, EmptyInstance) {
+  const Instance inst = InstanceBuilder(1, 1).build();
+  const FluidResult r = fluid_max_min_schedule(inst);
+  EXPECT_DOUBLE_EQ(r.twct, 0.0);
+  EXPECT_TRUE(r.completion.empty());
+}
+
+}  // namespace
+}  // namespace mris

@@ -1,0 +1,85 @@
+#include "sched/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mris {
+namespace {
+
+Job make_job(JobId id, Time r, Time p, double w, std::vector<double> d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.processing = p;
+  j.weight = w;
+  j.demand = std::move(d);
+  return j;
+}
+
+TEST(HeuristicTest, AllSevenPresentWithUniqueNames) {
+  const auto& all = all_heuristics();
+  EXPECT_EQ(all.size(), 7u);
+  std::vector<std::string> names;
+  for (Heuristic h : all) names.push_back(heuristic_name(h));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(HeuristicTest, KeysMatchDefinitions) {
+  const Job j = make_job(0, 3.0, 4.0, 2.0, {0.5, 0.25});
+  // u = 0.75, v = 3.0.
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kSvf, j), 3.0);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kWsvf, j), 1.5);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kSjf, j), 4.0);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kWsjf, j), 2.0);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kSdf, j), 0.75);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kWsdf, j), 0.375);
+  EXPECT_DOUBLE_EQ(heuristic_key(Heuristic::kErf, j), 3.0);
+}
+
+TEST(HeuristicTest, WeightedVariantsPreferHeavyJobs) {
+  const Job light = make_job(0, 0, 4.0, 1.0, {0.5});
+  const Job heavy = make_job(1, 0, 4.0, 4.0, {0.5});
+  // Same p, but heavy has smaller p/w -> sorts first under WSJF.
+  EXPECT_TRUE(job_order(Heuristic::kWsjf)(heavy, light));
+  // Unweighted SJF ties -> falls back to id order.
+  EXPECT_TRUE(job_order(Heuristic::kSjf)(light, heavy));
+}
+
+TEST(HeuristicTest, SortJobsOrdersByKeyThenId) {
+  std::vector<Job> jobs = {
+      make_job(0, 0, 5.0, 1.0, {0.5}),
+      make_job(1, 0, 2.0, 1.0, {0.5}),
+      make_job(2, 0, 2.0, 1.0, {0.9}),
+  };
+  std::vector<JobId> ids = {0, 1, 2};
+  sort_jobs(ids, Heuristic::kSjf,
+            [&](JobId id) -> const Job& {
+              return jobs[static_cast<std::size_t>(id)];
+            });
+  // p: job1 = job2 = 2 < job0 = 5; tie between 1 and 2 broken by id.
+  EXPECT_EQ(ids, (std::vector<JobId>{1, 2, 0}));
+}
+
+TEST(HeuristicTest, ErfOrdersByRelease) {
+  std::vector<Job> jobs = {
+      make_job(0, 9.0, 1.0, 1.0, {0.5}),
+      make_job(1, 1.0, 1.0, 1.0, {0.5}),
+  };
+  std::vector<JobId> ids = {0, 1};
+  sort_jobs(ids, Heuristic::kErf,
+            [&](JobId id) -> const Job& {
+              return jobs[static_cast<std::size_t>(id)];
+            });
+  EXPECT_EQ(ids, (std::vector<JobId>{1, 0}));
+}
+
+TEST(HeuristicTest, OrderIsStrictWeakOrdering) {
+  const Job a = make_job(0, 0, 2.0, 1.0, {0.5});
+  const Job b = make_job(1, 0, 2.0, 1.0, {0.5});
+  auto less = job_order(Heuristic::kSvf);
+  EXPECT_FALSE(less(a, a));                 // irreflexive
+  EXPECT_TRUE(less(a, b) != less(b, a));    // asymmetric on distinct ids
+}
+
+}  // namespace
+}  // namespace mris

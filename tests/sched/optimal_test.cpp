@@ -1,0 +1,118 @@
+#include "sched/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+TEST(OptimalTest, RejectsLargeInstances) {
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 9; ++i) b.add(0, 1, 1, {0.5});
+  EXPECT_THROW(optimal_weighted_completion_schedule(b.build()),
+               std::invalid_argument);
+}
+
+TEST(OptimalTest, EmptyInstance) {
+  const Instance inst = InstanceBuilder(1, 1).build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_EQ(s.num_jobs(), 0u);
+}
+
+TEST(OptimalTest, SingleJobStartsAtRelease) {
+  const Instance inst =
+      InstanceBuilder(2, 1).add(3.0, 2.0, 1.0, {0.5}).build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_DOUBLE_EQ(s.start_time(0), 3.0);
+}
+
+TEST(OptimalTest, WeightedOrderOnSingleMachine) {
+  // Two full-machine jobs; Smith's rule: schedule higher w/p first.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 4.0, 1.0, {1.0})   // w/p = 0.25
+                            .add(0.0, 2.0, 4.0, {1.0})   // w/p = 2
+                            .build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_DOUBLE_EQ(s.start_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.start_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(total_weighted_completion_time(inst, s), 4.0 * 2 + 1.0 * 6);
+}
+
+TEST(OptimalTest, UsesBothMachines) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_DOUBLE_EQ(makespan(inst, s), 3.0);
+}
+
+TEST(OptimalTest, PacksConcurrentlyWhenDemandsAllow) {
+  const Instance inst = InstanceBuilder(1, 2)
+                            .add(0.0, 2.0, 1.0, {0.5, 0.3})
+                            .add(0.0, 2.0, 1.0, {0.5, 0.6})
+                            .build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_DOUBLE_EQ(s.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.start_time(1), 0.0);
+}
+
+TEST(OptimalTest, SkipsBlockerOnLemma41StyleInstance) {
+  // 1 blocker (p=4, demand 1) + 3 small jobs at eps: optimal defers the
+  // blocker to the end.
+  InstanceBuilder b(1, 1);
+  b.add(0.0, 4.0, 1.0, {1.0});
+  for (int i = 0; i < 3; ++i) b.add(0.1, 1.0, 1.0, {1.0 / 3.0});
+  const Instance inst = b.build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_GT(s.start_time(0), s.start_time(1));
+}
+
+TEST(OptimalMakespanTest, BalancesLoad) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .add(0.0, 5.0, 1.0, {1.0})
+                            .build();
+  const Schedule s = optimal_makespan_schedule(inst);
+  EXPECT_DOUBLE_EQ(makespan(inst, s), 5.0);
+}
+
+TEST(LowerBoundTest, TwctBoundHoldsForOptimal) {
+  util::Xoshiro256 rng(77);
+  InstanceBuilder b(2, 2);
+  for (int i = 0; i < 5; ++i) {
+    b.add(util::uniform(rng, 0.0, 3.0), util::uniform(rng, 1.0, 4.0),
+          util::uniform(rng, 0.5, 2.0),
+          {util::uniform(rng, 0.1, 1.0), util::uniform(rng, 0.1, 1.0)});
+  }
+  const Instance inst = b.build();
+  const Schedule s = optimal_weighted_completion_schedule(inst);
+  EXPECT_GE(total_weighted_completion_time(inst, s),
+            twct_lower_bound(inst) - 1e-9);
+}
+
+TEST(LowerBoundTest, MakespanBoundHoldsForOptimal) {
+  util::Xoshiro256 rng(78);
+  InstanceBuilder b(2, 2);
+  for (int i = 0; i < 5; ++i) {
+    b.add(0.0, util::uniform(rng, 1.0, 4.0), 1.0,
+          {util::uniform(rng, 0.1, 1.0), util::uniform(rng, 0.1, 1.0)});
+  }
+  const Instance inst = b.build();
+  const Schedule s = optimal_makespan_schedule(inst);
+  EXPECT_GE(makespan(inst, s), makespan_lower_bound(inst) - 1e-9);
+}
+
+TEST(LowerBoundTest, VolumeTermDominatesWhenResourcesSaturated) {
+  // Lemma 6.2: V / (R M) with V = 8, R = 1, M = 1 -> bound 8 > max r+p.
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 8; ++i) b.add(0.0, 1.0, 1.0, {1.0});
+  const Instance inst = b.build();
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(inst), 8.0);
+}
+
+}  // namespace
+}  // namespace mris

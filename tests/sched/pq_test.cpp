@@ -1,0 +1,199 @@
+#include "sched/pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "sched/optimal.hpp"
+#include "sim/cluster.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+RunResult run_pq(const Instance& inst, Heuristic h = Heuristic::kWsjf) {
+  PriorityQueueScheduler pq(h);
+  RunResult r = run_online(inst, pq);
+  EXPECT_TRUE(validate_schedule(inst, r.schedule).ok);
+  return r;
+}
+
+TEST(PqTest, SchedulesImmediatelyWhenFeasible) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {0.4})
+                            .add(0.0, 2.0, 1.0, {0.4})
+                            .build();
+  const RunResult r = run_pq(inst);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 0.0);
+}
+
+TEST(PqTest, QueuesWhenInfeasibleAndResumesOnCompletion) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 3.0, 1.0, {0.8})
+                            .add(1.0, 1.0, 1.0, {0.8})
+                            .build();
+  const RunResult r = run_pq(inst);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 3.0);
+}
+
+TEST(PqTest, SjfOrdersQueueByProcessingTime) {
+  // Machine blocked until t=10; two queued jobs released meanwhile; at the
+  // completion event the shorter must start first and the longer queues.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 10.0, 1.0, {1.0})
+                            .add(1.0, 5.0, 1.0, {0.9})
+                            .add(2.0, 1.0, 1.0, {0.9})
+                            .build();
+  const RunResult r = run_pq(inst, Heuristic::kSjf);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(2), 10.0);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 11.0);
+}
+
+TEST(PqTest, SpreadsAcrossMachines) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 4.0, 1.0, {1.0})
+                            .add(0.0, 4.0, 1.0, {1.0})
+                            .build();
+  const RunResult r = run_pq(inst);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 0.0);
+  EXPECT_NE(r.schedule.assignment(0).machine, r.schedule.assignment(1).machine);
+}
+
+TEST(PqTest, Lemma41AdversarialRatioGrowsLinearly) {
+  // Lemma 4.1: PQ commits the huge job first; ALG ~= N*p while OPT ~= N.
+  for (std::size_t n : {16u, 32u, 64u}) {
+    const Instance inst = trace::make_lemma41_instance(n, 2);
+    const RunResult r = run_pq(inst, Heuristic::kSjf);
+    // PQ starts the blocker at t=0 (only job present), so every small job
+    // completes at >= p = n.
+    const double alg = total_weighted_completion_time(inst, r.schedule);
+    const double p = static_cast<double>(n);
+    EXPECT_NEAR(alg, p + (p - 1.0) * (p + 1.0), 1e-6);
+    // The lower bound certificate: scheduling small jobs first.
+    const double opt_upper =
+        (p - 1.0) * (1.0 + 0.01) + 1.0 + 0.01 + p;
+    EXPECT_GT(alg / opt_upper, static_cast<double>(n) / 8.0)
+        << "ratio must grow linearly in N";
+  }
+}
+
+// --- Offline PQ makespan subroutine -----------------------------------
+
+struct OfflineHarness {
+  explicit OfflineHarness(const Instance& inst)
+      : inst(inst),
+        cluster(inst.num_machines(), inst.num_resources()),
+        sched(inst.num_jobs()) {}
+
+  Time run(const std::vector<JobId>& jobs, Heuristic h, Time not_before) {
+    return offline_pq_schedule(
+        jobs, h, not_before,
+        [this](JobId id) -> const Job& { return inst.job(id); },
+        [this](JobId id, Time t, MachineId& m) {
+          return cluster.earliest_fit(inst.job(id), t, m);
+        },
+        [this](JobId id, MachineId m, Time s) {
+          cluster.reserve(inst.job(id), m, s);
+          sched.assign(id, m, s);
+        });
+  }
+
+  const Instance& inst;
+  Cluster cluster;
+  Schedule sched;
+};
+
+std::vector<JobId> all_ids(const Instance& inst) {
+  std::vector<JobId> ids(inst.num_jobs());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<JobId>(i);
+  return ids;
+}
+
+TEST(OfflinePqTest, PacksJobsBackToBack) {
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 2.0, 1.0, {1.0})
+                            .add(0.0, 3.0, 1.0, {1.0})
+                            .build();
+  OfflineHarness h(inst);
+  const Time makespan = h.run(all_ids(inst), Heuristic::kSjf, 0.0);
+  EXPECT_DOUBLE_EQ(makespan, 5.0);
+}
+
+TEST(OfflinePqTest, NotBeforeShiftsSchedule) {
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 2.0, 1.0, {0.5}).build();
+  OfflineHarness h(inst);
+  const Time makespan = h.run(all_ids(inst), Heuristic::kSjf, 10.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(0), 10.0);
+  EXPECT_DOUBLE_EQ(makespan, 12.0);
+}
+
+TEST(OfflinePqTest, BackfillsIntoEarlierGaps) {
+  // A long narrow job reserved first leaves room beside it: the second
+  // batch placed with not_before=0 must backfill beside it, not after it.
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 10.0, 1.0, {0.6})
+                            .add(0.0, 2.0, 1.0, {0.4})
+                            .build();
+  OfflineHarness h(inst);
+  h.run({0}, Heuristic::kSjf, 0.0);
+  h.run({1}, Heuristic::kSjf, 0.0);
+  EXPECT_DOUBLE_EQ(h.sched.start_time(1), 0.0);
+}
+
+/// Property (Lemma 6.3): the offline PQ makespan is at most
+/// max{2 p_max, 2 V_I / M} for release-free instances started at 0.
+class PqMakespanBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(PqMakespanBound, WithinVolumeBound) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 6151);
+  const int machines = 1 + static_cast<int>(util::uniform_index(rng, 4));
+  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 4));
+  InstanceBuilder b(machines, resources);
+  const std::size_t n = 5 + util::uniform_index(rng, 40);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> d(static_cast<std::size_t>(resources));
+    for (double& x : d) x = util::uniform(rng, 0.01, 1.0);
+    b.add(0.0, util::uniform(rng, 1.0, 8.0), 1.0, std::move(d));
+  }
+  const Instance inst = b.build();
+
+  OfflineHarness h(inst);
+  // Try every heuristic: the bound is heuristic-independent.
+  const Heuristic heu =
+      all_heuristics()[static_cast<std::size_t>(GetParam()) %
+                       all_heuristics().size()];
+  const Time cmax = h.run(all_ids(inst), heu, 0.0);
+  EXPECT_TRUE(validate_schedule(inst, h.sched).ok);
+
+  const double bound =
+      std::max(2.0 * inst.max_processing(),
+               2.0 * inst.total_volume() / inst.num_machines());
+  EXPECT_LE(cmax, bound + 1e-6)
+      << "Lemma 6.3 violated with M=" << machines << " R=" << resources;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PqMakespanBound,
+                         ::testing::Range(1, 40));
+
+TEST(PqMakespanTightnessTest, Lemma64FamilyApproachesBound) {
+  // N identical jobs of demand 1/2 + delta on one machine: makespan = N*p
+  // while 2 V / M = N*p*(1 + 2*delta) -> bound tight as delta -> 0.
+  const double delta = 1e-3;
+  const std::size_t n = 8;
+  InstanceBuilder b(1, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(0.0, 2.0, 1.0, {0.5 + delta, 0.0, 0.0});
+  }
+  const Instance inst = b.build();
+  OfflineHarness h(inst);
+  const Time cmax = h.run(all_ids(inst), Heuristic::kSjf, 0.0);
+  EXPECT_DOUBLE_EQ(cmax, 16.0);  // strictly serial
+  const double bound = 2.0 * inst.total_volume() / 1.0;
+  EXPECT_NEAR(cmax / bound, 1.0, 3.0 * delta);
+}
+
+}  // namespace
+}  // namespace mris

@@ -1,0 +1,118 @@
+#include "sched/vector_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+TEST(FfdPackTest, EmptyInput) {
+  EXPECT_TRUE(ffd_vector_pack({}).empty());
+  EXPECT_EQ(bin_count_lower_bound({}), 0u);
+}
+
+TEST(FfdPackTest, SingleItemOneBin) {
+  const auto bins = ffd_vector_pack({{0.7, 0.2}});
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0], (Bin{0}));
+}
+
+TEST(FfdPackTest, PacksComplementaryItemsTogether) {
+  // {0.6, 0.1} and {0.3, 0.8} fit in one bin despite big single dims.
+  const auto bins = ffd_vector_pack({{0.6, 0.1}, {0.3, 0.8}});
+  EXPECT_EQ(bins.size(), 1u);
+}
+
+TEST(FfdPackTest, SplitsConflictingItems) {
+  const auto bins = ffd_vector_pack({{0.6}, {0.6}, {0.6}});
+  EXPECT_EQ(bins.size(), 3u);
+}
+
+TEST(FfdPackTest, RejectsOversizedItem) {
+  EXPECT_THROW(ffd_vector_pack({{1.5}}), std::invalid_argument);
+  EXPECT_THROW(ffd_vector_pack({{-0.1}}), std::invalid_argument);
+}
+
+TEST(FfdPackTest, EveryItemPackedExactlyOnce) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::vector<double>> items;
+  for (int i = 0; i < 60; ++i) {
+    items.push_back({util::uniform(rng, 0.05, 1.0),
+                     util::uniform(rng, 0.05, 1.0)});
+  }
+  const auto bins = ffd_vector_pack(items);
+  std::vector<int> seen(items.size(), 0);
+  for (const Bin& bin : bins) {
+    std::vector<double> load(2, 0.0);
+    for (std::size_t idx : bin) {
+      ++seen[idx];
+      load[0] += items[idx][0];
+      load[1] += items[idx][1];
+    }
+    EXPECT_LE(load[0], 1.0 + 1e-9);
+    EXPECT_LE(load[1], 1.0 + 1e-9);
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(FfdPackTest, LowerBoundIsRespected) {
+  util::Xoshiro256 rng(11);
+  std::vector<std::vector<double>> items;
+  for (int i = 0; i < 40; ++i) {
+    items.push_back({util::uniform(rng, 0.05, 0.9)});
+  }
+  const auto bins = ffd_vector_pack(items);
+  EXPECT_GE(bins.size(), bin_count_lower_bound(items));
+}
+
+TEST(FfdPackTest, LowerBoundUsesWorstDimension) {
+  // Dimension 1 sums to 2.4 -> at least 3 bins.
+  EXPECT_EQ(bin_count_lower_bound({{0.1, 0.8}, {0.1, 0.8}, {0.1, 0.8}}), 3u);
+}
+
+TEST(FfdUnitScheduleTest, BuildsFeasibleMakespanSchedule) {
+  InstanceBuilder b(2, 2);
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 50; ++i) {
+    b.add(0.0, 1.0, 1.0,
+          {util::uniform(rng, 0.05, 0.9), util::uniform(rng, 0.05, 0.9)});
+  }
+  const Instance inst = b.build();
+  const Schedule sched = ffd_unit_makespan_schedule(inst);
+  EXPECT_TRUE(validate_schedule(inst, sched).ok);
+  // Makespan = ceil(bins / M) slots of length 1.
+  const Time cmax = makespan(inst, sched);
+  EXPECT_EQ(cmax, std::floor(cmax));
+}
+
+TEST(FfdUnitScheduleTest, BeatsNaiveOneJobPerSlot) {
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 16; ++i) b.add(0.0, 1.0, 1.0, {0.25});
+  const Instance inst = b.build();
+  const Schedule sched = ffd_unit_makespan_schedule(inst);
+  // 4 jobs per bin -> 4 slots, not 16.
+  EXPECT_DOUBLE_EQ(makespan(inst, sched), 4.0);
+}
+
+TEST(FfdUnitScheduleTest, RejectsNonUniformOrOnlineInstances) {
+  const Instance mixed = InstanceBuilder(1, 1)
+                             .add(0.0, 1.0, 1.0, {0.5})
+                             .add(0.0, 2.0, 1.0, {0.5})
+                             .build();
+  EXPECT_THROW(ffd_unit_makespan_schedule(mixed), std::invalid_argument);
+  const Instance released = InstanceBuilder(1, 1)
+                                .add(1.0, 2.0, 1.0, {0.5})
+                                .build();
+  EXPECT_THROW(ffd_unit_makespan_schedule(released), std::invalid_argument);
+}
+
+TEST(FfdUnitScheduleTest, EmptyInstance) {
+  const Instance inst = InstanceBuilder(2, 1).build();
+  const Schedule sched = ffd_unit_makespan_schedule(inst);
+  EXPECT_EQ(sched.num_jobs(), 0u);
+}
+
+}  // namespace
+}  // namespace mris

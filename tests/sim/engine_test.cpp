@@ -1,0 +1,207 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace mris {
+namespace {
+
+/// Starts every job immediately on arrival on the first machine that fits
+/// now, else at the earliest feasible future time (reservation).
+class GreedyReserver : public OnlineScheduler {
+ public:
+  std::string name() const override { return "greedy-reserver"; }
+  void on_arrival(EngineContext& ctx, JobId job) override {
+    MachineId m = kInvalidMachine;
+    const Time s = ctx.earliest_fit(job, ctx.now(), m);
+    ctx.commit(job, m, s);
+  }
+};
+
+/// Never schedules anything — used to test deadlock detection.
+class DoNothing : public OnlineScheduler {
+ public:
+  std::string name() const override { return "do-nothing"; }
+};
+
+/// Records the visibility of jobs at each arrival.
+class Spy : public OnlineScheduler {
+ public:
+  std::string name() const override { return "spy"; }
+  void on_arrival(EngineContext& ctx, JobId job) override {
+    arrival_times.push_back(ctx.now());
+    pending_sizes.push_back(ctx.pending().size());
+    // Unreleased jobs must be invisible.
+    for (std::size_t id = 0; id < ctx.num_jobs(); ++id) {
+      try {
+        const Job& j = ctx.job(static_cast<JobId>(id));
+        EXPECT_LE(j.release, ctx.now());
+      } catch (const std::logic_error&) {
+        // Expected for unreleased jobs.
+      }
+    }
+    MachineId m = kInvalidMachine;
+    const Time s = ctx.earliest_fit(job, ctx.now(), m);
+    ctx.commit(job, m, s);
+  }
+  std::vector<Time> arrival_times;
+  std::vector<std::size_t> pending_sizes;
+};
+
+Instance simple_instance() {
+  return InstanceBuilder(1, 1)
+      .add(0.0, 2.0, 1.0, {1.0})
+      .add(1.0, 2.0, 1.0, {1.0})
+      .build();
+}
+
+TEST(EngineTest, RunsToCompletionAndValidates) {
+  const Instance inst = simple_instance();
+  GreedyReserver sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_TRUE(validate_schedule(inst, r.schedule).ok);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 0.0);
+  // Job 1 must wait for job 0 (full-machine demand).
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 2.0);
+}
+
+TEST(EngineTest, DeadlockDetected) {
+  const Instance inst = simple_instance();
+  DoNothing sched;
+  EXPECT_THROW(run_online(inst, sched), std::runtime_error);
+}
+
+TEST(EngineTest, UnreleasedJobsInvisible) {
+  const Instance inst = InstanceBuilder(2, 1)
+                            .add(0.0, 1.0, 1.0, {0.5})
+                            .add(5.0, 1.0, 1.0, {0.5})
+                            .build();
+  Spy spy;
+  run_online(inst, spy);
+  ASSERT_EQ(spy.arrival_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(spy.arrival_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(spy.arrival_times[1], 5.0);
+}
+
+TEST(EngineTest, CommitInPastRejected) {
+  class PastCommitter : public OnlineScheduler {
+   public:
+    std::string name() const override { return "past"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      if (ctx.now() > 0.0) {
+        EXPECT_THROW(ctx.commit(job, 0, 0.0), std::logic_error);
+      }
+      ctx.commit(job, 0, ctx.now());
+    }
+  };
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 1.0, 1.0, {0.1})
+                            .add(3.0, 1.0, 1.0, {0.1})
+                            .build();
+  PastCommitter sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_TRUE(validate_schedule(inst, r.schedule).ok);
+}
+
+TEST(EngineTest, DoubleCommitRejected) {
+  class DoubleCommitter : public OnlineScheduler {
+   public:
+    std::string name() const override { return "double"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      ctx.commit(job, 0, ctx.now());
+      EXPECT_THROW(ctx.commit(job, 0, ctx.now() + 10.0), std::logic_error);
+    }
+  };
+  const Instance inst = InstanceBuilder(1, 1).add(0, 1, 1, {0.5}).build();
+  DoubleCommitter sched;
+  run_online(inst, sched);
+}
+
+TEST(EngineTest, FutureReservationHonored) {
+  // Commit job 1 at a future time; the completion event must fire and the
+  // schedule must record the reservation.
+  class FutureCommitter : public OnlineScheduler {
+   public:
+    std::string name() const override { return "future"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      ctx.commit(job, 0, ctx.now() + 100.0);
+      saw_arrival = true;
+    }
+    void on_completion(EngineContext& ctx, JobId, MachineId) override {
+      completion_time = ctx.now();
+    }
+    bool saw_arrival = false;
+    Time completion_time = -1.0;
+  };
+  const Instance inst = InstanceBuilder(1, 1).add(0, 2, 1, {0.5}).build();
+  FutureCommitter sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_TRUE(sched.saw_arrival);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 100.0);
+  EXPECT_DOUBLE_EQ(sched.completion_time, 102.0);
+}
+
+TEST(EngineTest, WakeupsFireInOrderAndCoalesce) {
+  class Waker : public OnlineScheduler {
+   public:
+    std::string name() const override { return "waker"; }
+    void on_start(EngineContext& ctx) override {
+      ctx.schedule_wakeup(3.0);
+      ctx.schedule_wakeup(1.0);
+      ctx.schedule_wakeup(3.0);  // duplicate coalesces
+    }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      ctx.commit(job, 0, ctx.now());
+    }
+    void on_wakeup(EngineContext& ctx) override {
+      fired.push_back(ctx.now());
+    }
+    std::vector<Time> fired;
+  };
+  const Instance inst = InstanceBuilder(1, 1).add(0, 10, 1, {0.5}).build();
+  Waker sched;
+  run_online(inst, sched);
+  ASSERT_EQ(sched.fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(sched.fired[1], 3.0);
+}
+
+TEST(EngineTest, CompletionFreesCapacityBeforeSameTimeArrival) {
+  // Job 0 occupies [0, 1); job 1 arrives exactly at t=1 and must fit
+  // immediately because completions are processed before arrivals.
+  class Immediate : public OnlineScheduler {
+   public:
+    std::string name() const override { return "immediate"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      ASSERT_TRUE(ctx.can_start(job, 0, ctx.now()));
+      ctx.commit(job, 0, ctx.now());
+    }
+  };
+  const Instance inst = InstanceBuilder(1, 1)
+                            .add(0.0, 1.0, 1.0, {1.0})
+                            .add(1.0, 1.0, 1.0, {1.0})
+                            .build();
+  Immediate sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(1), 1.0);
+}
+
+TEST(EngineTest, EventCountIsReported) {
+  const Instance inst = simple_instance();
+  GreedyReserver sched;
+  const RunResult r = run_online(inst, sched);
+  // 2 arrivals + 2 completions.
+  EXPECT_EQ(r.num_events, 4u);
+}
+
+TEST(EngineTest, EmptyInstanceCompletesTrivially) {
+  const Instance inst = InstanceBuilder(1, 1).build();
+  GreedyReserver sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_EQ(r.num_events, 0u);
+  EXPECT_TRUE(r.schedule.complete());
+}
+
+}  // namespace
+}  // namespace mris

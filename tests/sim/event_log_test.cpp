@@ -1,0 +1,103 @@
+// Tests of the optional engine event log (RunOptions::record_events).
+#include <gtest/gtest.h>
+
+#include "sched/mris.hpp"
+#include "sched/pq.hpp"
+#include "sim/engine.hpp"
+
+namespace mris {
+namespace {
+
+Instance two_jobs() {
+  return InstanceBuilder(1, 1)
+      .add(0.0, 2.0, 1.0, {1.0})
+      .add(1.0, 1.0, 1.0, {1.0})
+      .build();
+}
+
+TEST(EventLogTest, DisabledByDefault) {
+  const Instance inst = two_jobs();
+  PriorityQueueScheduler sched;
+  const RunResult r = run_online(inst, sched);
+  EXPECT_TRUE(r.log.empty());
+  EXPECT_GT(r.num_events, 0u);
+}
+
+TEST(EventLogTest, RecordsAllKindsInTimeOrder) {
+  const Instance inst = two_jobs();
+  MrisScheduler sched;  // uses wakeups, so all four kinds appear
+  RunOptions opts;
+  opts.record_events = true;
+  const RunResult r = run_online(inst, sched, opts);
+
+  ASSERT_FALSE(r.log.empty());
+  bool saw_arrival = false, saw_completion = false, saw_wakeup = false,
+       saw_commit = false;
+  Time prev = 0.0;
+  for (const EventRecord& e : r.log) {
+    EXPECT_GE(e.t, prev);
+    prev = e.t;
+    switch (e.kind) {
+      case EventRecord::Kind::kArrival:
+        saw_arrival = true;
+        break;
+      case EventRecord::Kind::kCompletion:
+        saw_completion = true;
+        break;
+      case EventRecord::Kind::kWakeup:
+        saw_wakeup = true;
+        break;
+      case EventRecord::Kind::kCommit:
+        saw_commit = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_arrival);
+  EXPECT_TRUE(saw_completion);
+  EXPECT_TRUE(saw_wakeup);
+  EXPECT_TRUE(saw_commit);
+}
+
+TEST(EventLogTest, CommitRecordsMatchSchedule) {
+  const Instance inst = two_jobs();
+  PriorityQueueScheduler sched;
+  RunOptions opts;
+  opts.record_events = true;
+  const RunResult r = run_online(inst, sched, opts);
+
+  std::size_t commits = 0;
+  for (const EventRecord& e : r.log) {
+    if (e.kind != EventRecord::Kind::kCommit) continue;
+    ++commits;
+    EXPECT_EQ(r.schedule.assignment(e.job).machine, e.machine);
+    EXPECT_DOUBLE_EQ(r.schedule.start_time(e.job), e.start);
+    EXPECT_GE(e.start, e.t);  // commits never start in the past
+  }
+  EXPECT_EQ(commits, inst.num_jobs());
+}
+
+TEST(EventLogTest, ArrivalAndCompletionCountsMatchJobs) {
+  const Instance inst = two_jobs();
+  PriorityQueueScheduler sched;
+  RunOptions opts;
+  opts.record_events = true;
+  const RunResult r = run_online(inst, sched, opts);
+
+  std::size_t arrivals = 0, completions = 0;
+  for (const EventRecord& e : r.log) {
+    arrivals += e.kind == EventRecord::Kind::kArrival;
+    completions += e.kind == EventRecord::Kind::kCompletion;
+  }
+  EXPECT_EQ(arrivals, inst.num_jobs());
+  EXPECT_EQ(completions, inst.num_jobs());
+}
+
+TEST(EventLogTest, KindNames) {
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kArrival), "arrival");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kCompletion), "completion");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kWakeup), "wakeup");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kCommit), "commit");
+}
+
+}  // namespace
+}  // namespace mris

@@ -1,0 +1,103 @@
+// Randomized end-to-end invariants: a scheduler making arbitrary (but
+// API-legal) choices — random machines, random future starts, random
+// deferrals — must always yield schedules the validator accepts, and the
+// engine must enforce the online rules regardless of scheduler behavior.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+/// Commits jobs at random feasible placements; defers some to wakeups.
+class ChaoticScheduler : public OnlineScheduler {
+ public:
+  explicit ChaoticScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "chaotic"; }
+
+  void on_arrival(EngineContext& ctx, JobId job) override {
+    if (util::uniform01(rng_) < 0.5) {
+      commit_randomly(ctx, job);
+    } else {
+      ctx.schedule_wakeup(ctx.now() + util::uniform(rng_, 0.1, 3.0));
+    }
+  }
+
+  void on_wakeup(EngineContext& ctx) override {
+    // Guarantee progress: place everything still pending.
+    const std::vector<JobId> pending = ctx.pending();
+    for (JobId id : pending) commit_randomly(ctx, id);
+  }
+
+ private:
+  void commit_randomly(EngineContext& ctx, JobId id) {
+    // Random machine, random delay before the earliest feasible start.
+    const auto machine = static_cast<MachineId>(
+        util::uniform_index(rng_, static_cast<std::uint64_t>(ctx.num_machines())));
+    const Time not_before = ctx.now() + util::uniform(rng_, 0.0, 4.0);
+    const Time start = ctx.earliest_fit_on(id, machine, not_before);
+    ctx.commit(id, machine, start);
+  }
+
+  util::Xoshiro256 rng_;
+};
+
+Instance random_instance(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const int machines = 1 + static_cast<int>(util::uniform_index(rng, 4));
+  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 5));
+  InstanceBuilder b(machines, resources);
+  const std::size_t n = 5 + util::uniform_index(rng, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> d(static_cast<std::size_t>(resources), 0.0);
+    // Mix of narrow and near-full jobs, some zero in several dimensions.
+    for (double& x : d) {
+      x = util::uniform01(rng) < 0.3 ? 0.0 : util::uniform(rng, 0.01, 1.0);
+    }
+    if (std::all_of(d.begin(), d.end(), [](double x) { return x == 0.0; })) {
+      d[0] = 0.5;
+    }
+    b.add(util::uniform(rng, 0.0, 25.0), util::uniform(rng, 1.0, 9.0),
+          util::uniform(rng, 0.25, 4.0), std::move(d));
+  }
+  return b.build();
+}
+
+/// Trivial objective lower bound (kept local to avoid a sched dependency).
+double trivial_twct_bound(const Instance& inst) {
+  double bound = 0.0;
+  for (const Job& j : inst.jobs()) {
+    bound += j.weight * (j.release + j.processing);
+  }
+  return bound;
+}
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, ChaoticSchedulerAlwaysYieldsFeasibleSchedules) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = random_instance(seed * 48271);
+  ChaoticScheduler sched(seed * 16807);
+  const RunResult r = run_online(inst, sched);
+
+  const ValidationResult valid = validate_schedule(inst, r.schedule);
+  EXPECT_TRUE(valid.ok) << valid.message;
+
+  // Engine invariants, independent of scheduler behavior.
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    EXPECT_GE(r.schedule.start_time(id), inst.job(id).release);
+  }
+  EXPECT_GE(makespan(inst, r.schedule),
+            inst.max_processing());  // someone must run that long
+  EXPECT_GE(total_weighted_completion_time(inst, r.schedule),
+            trivial_twct_bound(inst) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, EngineFuzz, ::testing::Range(1, 40));
+
+}  // namespace
+}  // namespace mris

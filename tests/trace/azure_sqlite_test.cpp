@@ -1,0 +1,110 @@
+#include "trace/azure_sqlite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#ifdef MRIS_HAVE_SQLITE
+#include <sqlite3.h>
+#endif
+
+namespace mris::trace {
+namespace {
+
+#ifdef MRIS_HAVE_SQLITE
+
+/// Builds a miniature packing-trace database mirroring the published
+/// schema, returning its path.  The path embeds the running test's name:
+/// ctest runs each case as its own process in parallel, so a shared path
+/// would race.
+std::string make_test_db() {
+  const std::string path =
+      ::testing::TempDir() + "/mris_azure_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".sqlite";
+  std::remove(path.c_str());
+  sqlite3* db = nullptr;
+  EXPECT_EQ(sqlite3_open(path.c_str(), &db), SQLITE_OK);
+  const char* schema =
+      "CREATE TABLE vmType (vmTypeId TEXT, machineId INTEGER, core REAL,"
+      " memory REAL, hdd REAL, ssd REAL, nic REAL);"
+      "CREATE TABLE vm (vmId INTEGER, tenantId INTEGER, vmTypeId TEXT,"
+      " priority INTEGER, starttime REAL, endtime REAL);"
+      "INSERT INTO vmType VALUES ('small', 0, 0.125, 0.1, 0.05, 0, 0.02);"
+      "INSERT INTO vmType VALUES ('big', 0, 0.5, 0.6, 0, 0.4, 0.25);"
+      "INSERT INTO vm VALUES (1, 10, 'small', 0, 0.0, 1.0);"
+      "INSERT INTO vm VALUES (2, 10, 'big', 1, 0.5, 2.5);"
+      "INSERT INTO vm VALUES (3, 11, 'big', 2, 1.0, NULL);";
+  char* err = nullptr;
+  EXPECT_EQ(sqlite3_exec(db, schema, nullptr, nullptr, &err), SQLITE_OK)
+      << (err != nullptr ? err : "");
+  sqlite3_close(db);
+  return path;
+}
+
+TEST(AzureSqliteTest, SupportIsCompiledIn) {
+  EXPECT_TRUE(azure_sqlite_supported());
+}
+
+TEST(AzureSqliteTest, LoadsRowsWithCsvSemantics) {
+  const std::string path = make_test_db();
+  const Workload w = load_azure_trace_sqlite(path);
+  ASSERT_EQ(w.jobs.size(), 3u);
+  EXPECT_EQ(w.num_resources(), 5u);
+  // Days -> seconds, demands from the sampled vm type.
+  EXPECT_DOUBLE_EQ(w.jobs[0].duration, 86400.0);
+  EXPECT_DOUBLE_EQ(w.jobs[0].demand[0], 0.125);
+  EXPECT_DOUBLE_EQ(w.jobs[1].demand[3], 0.4);
+  // Priorities shifted to positive weights.
+  EXPECT_DOUBLE_EQ(w.jobs[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(w.jobs[2].weight, 3.0);
+  // Tenants densely renumbered.
+  EXPECT_EQ(w.jobs[0].tenant, w.jobs[1].tenant);
+  EXPECT_NE(w.jobs[0].tenant, w.jobs[2].tenant);
+}
+
+TEST(AzureSqliteTest, NullEndtimeGetsOpenEndDuration) {
+  const std::string path = make_test_db();
+  AzureLoadOptions opts;
+  opts.open_end_duration_days = 5.0;
+  const Workload w = load_azure_trace_sqlite(path, opts);
+  EXPECT_DOUBLE_EQ(w.jobs[2].duration, 5.0 * 86400.0);
+}
+
+TEST(AzureSqliteTest, MaxJobsCapsRows) {
+  const std::string path = make_test_db();
+  AzureLoadOptions opts;
+  opts.max_jobs = 2;
+  const Workload w = load_azure_trace_sqlite(path, opts);
+  EXPECT_EQ(w.jobs.size(), 2u);
+}
+
+TEST(AzureSqliteTest, MissingFileThrows) {
+  EXPECT_THROW(load_azure_trace_sqlite("/no/such/file.sqlite"),
+               std::runtime_error);
+}
+
+TEST(AzureSqliteTest, MissingTableThrows) {
+  const std::string path = ::testing::TempDir() + "/mris_empty.sqlite";
+  std::remove(path.c_str());
+  sqlite3* db = nullptr;
+  ASSERT_EQ(sqlite3_open(path.c_str(), &db), SQLITE_OK);
+  sqlite3_exec(db, "CREATE TABLE unrelated (x INTEGER);", nullptr, nullptr,
+               nullptr);
+  sqlite3_close(db);
+  EXPECT_THROW(load_azure_trace_sqlite(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+#else
+
+TEST(AzureSqliteTest, GracefulWithoutSupport) {
+  EXPECT_FALSE(azure_sqlite_supported());
+  EXPECT_THROW(load_azure_trace_sqlite("any.sqlite"), std::runtime_error);
+}
+
+#endif  // MRIS_HAVE_SQLITE
+
+}  // namespace
+}  // namespace mris::trace

@@ -1,0 +1,126 @@
+#include "trace/azure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mris::trace {
+namespace {
+
+constexpr const char* kVmTypeCsv =
+    "vmTypeId,machineId,core,memory,hdd,ssd,nic\n"
+    "small,0,0.125,0.1,0.05,0,0.02\n"
+    "big,0,0.5,0.6,0,0.4,0.25\n";
+
+constexpr const char* kVmCsv =
+    "vmId,tenantId,vmTypeId,priority,starttime,endtime\n"
+    "1,10,small,0,0.0,1.0\n"
+    "2,10,big,1,0.5,2.5\n"
+    "3,11,small,0,-0.25,1.0\n"   // negative start: kept here, dropped later
+    "4,11,big,2,1.0,\n";         // open-ended VM
+
+TEST(AzureLoadTest, ParsesRowsAndResources) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  const Workload w = load_azure_trace(vm, vt);
+  ASSERT_EQ(w.jobs.size(), 4u);
+  ASSERT_EQ(w.num_resources(), 5u);
+  EXPECT_EQ(w.resource_names[0], "cpu");
+}
+
+TEST(AzureLoadTest, ConvertsDaysToSeconds) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  const Workload w = load_azure_trace(vm, vt);
+  EXPECT_DOUBLE_EQ(w.jobs[0].release, 0.0);
+  EXPECT_DOUBLE_EQ(w.jobs[0].duration, 86400.0);
+  EXPECT_DOUBLE_EQ(w.jobs[1].release, 0.5 * 86400.0);
+  EXPECT_DOUBLE_EQ(w.jobs[1].duration, 2.0 * 86400.0);
+}
+
+TEST(AzureLoadTest, MapsVmTypeDemands) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  const Workload w = load_azure_trace(vm, vt);
+  EXPECT_DOUBLE_EQ(w.jobs[0].demand[0], 0.125);  // small core
+  EXPECT_DOUBLE_EQ(w.jobs[1].demand[3], 0.4);    // big ssd
+}
+
+TEST(AzureLoadTest, ShiftsPrioritiesToPositiveWeights) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  const Workload w = load_azure_trace(vm, vt);
+  // min priority 0 -> shift +1.
+  EXPECT_DOUBLE_EQ(w.jobs[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(w.jobs[1].weight, 2.0);
+  EXPECT_DOUBLE_EQ(w.jobs[3].weight, 3.0);
+}
+
+TEST(AzureLoadTest, OpenEndedVmGetsConfiguredDuration) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  AzureLoadOptions opts;
+  opts.open_end_duration_days = 10.0;
+  const Workload w = load_azure_trace(vm, vt, opts);
+  EXPECT_DOUBLE_EQ(w.jobs[3].duration, 10.0 * 86400.0);
+}
+
+TEST(AzureLoadTest, MaxJobsCapsOutput) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  AzureLoadOptions opts;
+  opts.max_jobs = 2;
+  const Workload w = load_azure_trace(vm, vt, opts);
+  EXPECT_EQ(w.jobs.size(), 2u);
+}
+
+TEST(AzureLoadTest, UnknownVmTypeThrows) {
+  std::istringstream vm(
+      "vmId,tenantId,vmTypeId,priority,starttime,endtime\n"
+      "1,1,ghost,0,0,1\n");
+  std::istringstream vt(kVmTypeCsv);
+  EXPECT_THROW(load_azure_trace(vm, vt), std::runtime_error);
+}
+
+TEST(AzureLoadTest, MissingColumnThrows) {
+  std::istringstream vm("vmId,starttime\n1,0\n");
+  std::istringstream vt(kVmTypeCsv);
+  EXPECT_THROW(load_azure_trace(vm, vt), std::runtime_error);
+}
+
+TEST(AzureLoadTest, MalformedNumberThrows) {
+  std::istringstream vm(
+      "vmId,tenantId,vmTypeId,priority,starttime,endtime\n"
+      "1,1,small,0,zero,1\n");
+  std::istringstream vt(kVmTypeCsv);
+  EXPECT_THROW(load_azure_trace(vm, vt), std::runtime_error);
+}
+
+TEST(AzureLoadTest, MultiMachineVmTypeSamplesDeterministically) {
+  // Two machine candidates for one vmTypeId: the pick is seed-driven.
+  constexpr const char* kMulti =
+      "vmTypeId,machineId,core,memory,hdd,ssd,nic\n"
+      "t,0,0.1,0.1,0.1,0,0.1\n"
+      "t,1,0.9,0.9,0.9,0,0.9\n";
+  constexpr const char* kOneVm =
+      "vmId,tenantId,vmTypeId,priority,starttime,endtime\n"
+      "1,1,t,1,0,1\n";
+  AzureLoadOptions opts;
+  opts.seed = 4;
+  std::istringstream vm1(kOneVm), vt1(kMulti);
+  const Workload a = load_azure_trace(vm1, vt1, opts);
+  std::istringstream vm2(kOneVm), vt2(kMulti);
+  const Workload b = load_azure_trace(vm2, vt2, opts);
+  EXPECT_DOUBLE_EQ(a.jobs[0].demand[0], b.jobs[0].demand[0]);
+  EXPECT_TRUE(a.jobs[0].demand[0] == 0.1 || a.jobs[0].demand[0] == 0.9);
+}
+
+TEST(AzureLoadTest, PipelineToInstanceDropsNegativeStarts) {
+  std::istringstream vm(kVmCsv), vt(kVmTypeCsv);
+  const Workload w = merge_storage(load_azure_trace(vm, vt));
+  const Instance inst = to_instance(w, 20);
+  EXPECT_EQ(inst.num_jobs(), 3u);  // the negative-start row is dropped
+  EXPECT_EQ(inst.num_resources(), 4);
+}
+
+TEST(AzureLoadTest, MissingFilesThrow) {
+  EXPECT_THROW(load_azure_trace_files("/no/vm.csv", "/no/vmType.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mris::trace

@@ -1,0 +1,177 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+
+namespace mris::trace {
+namespace {
+
+GeneratorConfig small_config(std::size_t n = 2000, std::uint64_t seed = 7) {
+  GeneratorConfig c;
+  c.num_jobs = n;
+  c.seed = seed;
+  return c;
+}
+
+TEST(CatalogTest, DeterministicAndWithinBounds) {
+  const auto a = make_vm_type_catalog(25, 3);
+  const auto b = make_vm_type_catalog(25, 3);
+  ASSERT_EQ(a.size(), 25u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].cpu, b[i].cpu);
+    EXPECT_GT(a[i].cpu, 0.0);
+    EXPECT_LE(a[i].cpu, 1.0);
+    EXPECT_LE(a[i].memory, 1.0);
+    EXPECT_LE(a[i].network, 1.0);
+    // Storage exclusivity.
+    EXPECT_TRUE(a[i].hdd == 0.0 || a[i].ssd == 0.0);
+    EXPECT_GT(a[i].hdd + a[i].ssd, 0.0);
+  }
+}
+
+TEST(CatalogTest, SizeMixIsContentionHeavy) {
+  const auto catalog = make_vm_type_catalog(500, 11);
+  const auto sub_quarter = static_cast<std::size_t>(
+      std::count_if(catalog.begin(), catalog.end(),
+                    [](const VmType& t) { return t.cpu <= 0.25; }));
+  const auto full = static_cast<std::size_t>(
+      std::count_if(catalog.begin(), catalog.end(),
+                    [](const VmType& t) { return t.cpu == 1.0; }));
+  // Most types are quarter-machine or smaller, but a near-machine tail
+  // exists (it drives the fragmentation the schedulers must handle).
+  EXPECT_GT(sub_quarter, catalog.size() / 2);
+  EXPECT_GT(full, 0u);
+  EXPECT_LT(full, catalog.size() / 4);
+}
+
+TEST(GeneratorTest, ProducesRequestedJobCount) {
+  const Workload w = generate_azure_like(small_config());
+  EXPECT_EQ(w.jobs.size(), 2000u);
+  EXPECT_EQ(w.num_resources(), 5u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const Workload a = generate_azure_like(small_config(500, 13));
+  const Workload b = generate_azure_like(small_config(500, 13));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].release, b.jobs[i].release);
+    EXPECT_DOUBLE_EQ(a.jobs[i].duration, b.jobs[i].duration);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Workload a = generate_azure_like(small_config(500, 1));
+  const Workload b = generate_azure_like(small_config(500, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    any_diff |= (a.jobs[i].duration != b.jobs[i].duration);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ArrivalsSortedWithinWindow) {
+  const Workload w = generate_azure_like(small_config());
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    EXPECT_GE(w.jobs[i].release, 0.0);
+    EXPECT_LE(w.jobs[i].release, 12.5 * 86400.0);
+    if (i > 0) {
+      EXPECT_GE(w.jobs[i].release, w.jobs[i - 1].release);
+    }
+  }
+}
+
+TEST(GeneratorTest, DurationsClippedToConfiguredRange) {
+  const Workload w = generate_azure_like(small_config(5000, 17));
+  double lo = 1e18, hi = 0.0;
+  for (const TraceJob& j : w.jobs) {
+    lo = std::min(lo, j.duration);
+    hi = std::max(hi, j.duration);
+  }
+  EXPECT_GE(lo, 30.0);
+  EXPECT_LE(hi, 90.0 * 86400.0);
+  // The distribution must actually span several orders of magnitude.
+  EXPECT_GT(hi / lo, 1e3);
+}
+
+TEST(GeneratorTest, WeightsArePositiveSmallIntegers) {
+  const Workload w = generate_azure_like(small_config());
+  std::size_t heavy = 0;
+  for (const TraceJob& j : w.jobs) {
+    EXPECT_GE(j.weight, 1.0);
+    EXPECT_LE(j.weight, 3.0);
+    EXPECT_DOUBLE_EQ(j.weight, std::floor(j.weight));
+    if (j.weight > 1.0) ++heavy;
+  }
+  // Skewed: weight-1 jobs dominate but heavier ones exist.
+  EXPECT_GT(heavy, 0u);
+  EXPECT_LT(heavy, w.jobs.size() / 2);
+}
+
+TEST(GeneratorTest, DemandsRespectStorageExclusivity) {
+  const Workload w = generate_azure_like(small_config());
+  for (const TraceJob& j : w.jobs) {
+    EXPECT_TRUE(j.demand[kHdd] == 0.0 || j.demand[kSsd] == 0.0);
+    for (double d : j.demand) {
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, FullPipelineYieldsValidInstance) {
+  const Workload w = generate_azure_like(small_config(300, 23));
+  const Instance inst = to_instance(merge_storage(w), 20);
+  EXPECT_EQ(inst.num_resources(), 4);
+  EXPECT_EQ(inst.num_jobs(), 300u);
+  EXPECT_TRUE(inst.check_invariants().empty());
+  // Normalized processing times.
+  double min_p = 1e18;
+  for (const Job& j : inst.jobs()) min_p = std::min(min_p, j.processing);
+  EXPECT_DOUBLE_EQ(min_p, 1.0);
+}
+
+TEST(GeneratorTest, EmptyConfigYieldsEmptyWorkload) {
+  const Workload w = generate_azure_like(small_config(0));
+  EXPECT_TRUE(w.jobs.empty());
+  EXPECT_EQ(w.num_resources(), 5u);
+}
+
+TEST(PatienceInstanceTest, ShapeMatchesSection754) {
+  const Instance inst = make_patience_instance(100, 4, 14.0, 5);
+  ASSERT_EQ(inst.num_jobs(), 101u);
+  EXPECT_EQ(inst.num_machines(), 1);
+  // Blocker consumes the whole machine.
+  for (double d : inst.job(0).demand) EXPECT_DOUBLE_EQ(d, 1.0);
+  EXPECT_DOUBLE_EQ(inst.job(0).processing, 14.0);
+  double small_volume_per_resource = 0.0;
+  for (JobId j = 1; j <= 100; ++j) {
+    EXPECT_GT(inst.job(j).release, 0.0);
+    EXPECT_LT(inst.job(j).demand[0], 0.2);  // individually small
+    EXPECT_GE(inst.job(j).processing, 1.0);
+    small_volume_per_resource += inst.job(j).processing * inst.job(j).demand[0];
+  }
+  // The small jobs' per-resource volume is sized comparable to the blocker
+  // (so committing the blocker first roughly doubles their completions).
+  EXPECT_GT(small_volume_per_resource, 0.5 * 14.0);
+  EXPECT_LT(small_volume_per_resource, 2.0 * 14.0);
+}
+
+TEST(Lemma41InstanceTest, MatchesPaperConstruction) {
+  const Instance inst = make_lemma41_instance(10, 3, 0.5);
+  ASSERT_EQ(inst.num_jobs(), 10u);
+  EXPECT_DOUBLE_EQ(inst.job(0).processing, 10.0);
+  EXPECT_DOUBLE_EQ(inst.job(0).release, 0.0);
+  for (JobId j = 1; j < 10; ++j) {
+    EXPECT_DOUBLE_EQ(inst.job(j).release, 0.5);
+    EXPECT_DOUBLE_EQ(inst.job(j).processing, 1.0);
+    EXPECT_DOUBLE_EQ(inst.job(j).demand[0], 1.0 / 9.0);
+  }
+  EXPECT_THROW(make_lemma41_instance(1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mris::trace

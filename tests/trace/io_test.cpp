@@ -1,0 +1,86 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace mris::trace {
+namespace {
+
+TEST(WorkloadIoTest, RoundTripIsExact) {
+  GeneratorConfig cfg;
+  cfg.num_jobs = 200;
+  cfg.seed = 4;
+  const Workload original = generate_azure_like(cfg);
+
+  std::stringstream buffer;
+  write_workload_csv(buffer, original);
+  const Workload loaded = read_workload_csv(buffer);
+
+  ASSERT_EQ(loaded.jobs.size(), original.jobs.size());
+  EXPECT_EQ(loaded.resource_names, original.resource_names);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_EQ(loaded.jobs[i].release, original.jobs[i].release);
+    EXPECT_EQ(loaded.jobs[i].duration, original.jobs[i].duration);
+    EXPECT_EQ(loaded.jobs[i].weight, original.jobs[i].weight);
+    EXPECT_EQ(loaded.jobs[i].tenant, original.jobs[i].tenant);
+    EXPECT_EQ(loaded.jobs[i].demand, original.jobs[i].demand);
+  }
+}
+
+TEST(WorkloadIoTest, HeaderCarriesResourceNames) {
+  Workload w;
+  w.resource_names = {"cpu", "gpu"};
+  w.jobs = {{1.0, 2.0, 3.0, {0.5, 0.25}, 7}};
+  std::stringstream buffer;
+  write_workload_csv(buffer, w);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "release,duration,weight,tenant,cpu,gpu");
+}
+
+TEST(WorkloadIoTest, RejectsWrongHeader) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_workload_csv(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsRowWidthMismatch) {
+  std::istringstream in(
+      "release,duration,weight,tenant,cpu\n"
+      "1,2,3,0\n");
+  EXPECT_THROW(read_workload_csv(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsNonNumericField) {
+  std::istringstream in(
+      "release,duration,weight,tenant,cpu\n"
+      "1,two,3,0,0.5\n");
+  EXPECT_THROW(read_workload_csv(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mris_io_test.csv";
+  Workload w;
+  w.resource_names = {"cpu"};
+  w.jobs = {{0.5, 1.5, 2.0, {0.125}, 3}};
+  write_workload_csv_file(path, w);
+  const Workload loaded = read_workload_csv_file(path);
+  ASSERT_EQ(loaded.jobs.size(), 1u);
+  EXPECT_EQ(loaded.jobs[0].demand[0], 0.125);
+  EXPECT_EQ(loaded.jobs[0].tenant, 3);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_workload_csv_file("/no/such/file.csv"),
+               std::runtime_error);
+  Workload w;
+  w.resource_names = {"cpu"};
+  EXPECT_THROW(write_workload_csv_file("/no/such/dir/file.csv", w),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mris::trace

@@ -1,0 +1,158 @@
+#include "trace/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/generator.hpp"
+
+namespace mris::trace {
+namespace {
+
+Workload sequential_workload(std::size_t n) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  for (std::size_t i = 0; i < n; ++i) {
+    w.jobs.push_back({static_cast<double>(i), 1.0, 1.0, {0.5}});
+  }
+  return w;
+}
+
+TEST(DownsampleTest, EveryFthJobKept) {
+  const Workload w = sequential_workload(100);
+  const Workload s = downsample(w, 10, 0);
+  ASSERT_EQ(s.jobs.size(), 10u);
+  for (std::size_t i = 0; i < s.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.jobs[i].release, static_cast<double>(i * 10));
+  }
+}
+
+TEST(DownsampleTest, OffsetShiftsSelection) {
+  const Workload w = sequential_workload(100);
+  const Workload s = downsample(w, 10, 3);
+  ASSERT_EQ(s.jobs.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.jobs[0].release, 3.0);
+  EXPECT_DOUBLE_EQ(s.jobs.back().release, 93.0);
+}
+
+TEST(DownsampleTest, SortsByReleaseBeforeSampling) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  // Unsorted input with identifiable durations.
+  w.jobs = {
+      {5.0, 50.0, 1.0, {0.5}},
+      {1.0, 10.0, 1.0, {0.5}},
+      {3.0, 30.0, 1.0, {0.5}},
+      {2.0, 20.0, 1.0, {0.5}},
+  };
+  const Workload s = downsample(w, 2, 0);
+  ASSERT_EQ(s.jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.jobs[0].duration, 10.0);  // release 1
+  EXPECT_DOUBLE_EQ(s.jobs[1].duration, 30.0);  // release 3
+}
+
+TEST(DownsampleTest, PreservesReleaseWindow) {
+  // The point of the paper's scheme: fewer jobs over the SAME window.
+  const Workload w = sequential_workload(1000);
+  const Workload s = downsample(w, 100, 50);
+  EXPECT_GE(s.jobs.back().release, 900.0);
+}
+
+TEST(DownsampleTest, FactorOneIsIdentity) {
+  const Workload w = sequential_workload(10);
+  const Workload s = downsample(w, 1, 0);
+  EXPECT_EQ(s.jobs.size(), 10u);
+}
+
+TEST(DownsampleTest, InvalidArgumentsThrow) {
+  const Workload w = sequential_workload(10);
+  EXPECT_THROW(downsample(w, 0, 0), std::invalid_argument);
+  EXPECT_THROW(downsample(w, 5, 5), std::invalid_argument);
+}
+
+TEST(SampleOffsetsTest, DistinctAndInRange) {
+  util::Xoshiro256 rng(9);
+  const auto offsets = sample_offsets(64, 10, rng);
+  ASSERT_EQ(offsets.size(), 10u);
+  std::set<std::size_t> unique(offsets.begin(), offsets.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t o : offsets) EXPECT_LT(o, 64u);
+}
+
+TEST(SampleOffsetsTest, FullDrawIsPermutation) {
+  util::Xoshiro256 rng(10);
+  const auto offsets = sample_offsets(8, 8, rng);
+  std::set<std::size_t> unique(offsets.begin(), offsets.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SampleOffsetsTest, OverdrawThrows) {
+  util::Xoshiro256 rng(11);
+  EXPECT_THROW(sample_offsets(5, 6, rng), std::invalid_argument);
+}
+
+TEST(AugmentTest, AddsRequestedResources) {
+  util::Xoshiro256 rng(12);
+  Workload w = sequential_workload(50);
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    w.jobs[i].demand[0] = 0.01 * static_cast<double>(i + 1);
+  }
+  const Workload aug = augment_resources(w, 4, /*cpu_resource=*/0, rng);
+  ASSERT_EQ(aug.num_resources(), 4u);
+  ASSERT_EQ(aug.jobs[0].demand.size(), 4u);
+  EXPECT_EQ(aug.resource_names[1], "synth1");
+}
+
+TEST(AugmentTest, NewDemandsDrawnFromCpuMarginal) {
+  util::Xoshiro256 rng(13);
+  Workload w = sequential_workload(200);
+  std::set<double> cpu_values;
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    w.jobs[i].demand[0] = 0.001 * static_cast<double>(i + 1);
+    cpu_values.insert(w.jobs[i].demand[0]);
+  }
+  const Workload aug = augment_resources(w, 3, 0, rng);
+  for (const TraceJob& j : aug.jobs) {
+    EXPECT_TRUE(cpu_values.count(j.demand[1]))
+        << "augmented demand must equal some job's CPU demand";
+    EXPECT_TRUE(cpu_values.count(j.demand[2]));
+  }
+}
+
+TEST(AugmentTest, OriginalResourcesUntouched) {
+  util::Xoshiro256 rng(14);
+  const Workload w = generate_azure_like([] {
+    GeneratorConfig c;
+    c.num_jobs = 100;
+    c.seed = 5;
+    return c;
+  }());
+  const Workload aug = augment_resources(w, 8, kCpu, rng);
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    for (std::size_t l = 0; l < 5; ++l) {
+      EXPECT_DOUBLE_EQ(aug.jobs[i].demand[l], w.jobs[i].demand[l]);
+    }
+  }
+}
+
+TEST(AugmentTest, TargetBelowCurrentThrows) {
+  util::Xoshiro256 rng(15);
+  const Workload w = sequential_workload(5);
+  EXPECT_THROW(augment_resources(w, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(AugmentTest, SameTargetIsNoop) {
+  util::Xoshiro256 rng(16);
+  const Workload w = sequential_workload(5);
+  const Workload aug = augment_resources(w, 1, 0, rng);
+  EXPECT_EQ(aug.num_resources(), 1u);
+}
+
+TEST(AugmentTest, BadCpuIndexThrows) {
+  util::Xoshiro256 rng(17);
+  const Workload w = sequential_workload(5);
+  EXPECT_THROW(augment_resources(w, 3, 7, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mris::trace

@@ -1,0 +1,95 @@
+#include "trace/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace mris::trace {
+namespace {
+
+Workload two_job_workload() {
+  Workload w;
+  w.resource_names = {"cpu", "mem"};
+  w.jobs = {
+      {0.0, 10.0, 1.0, {0.5, 0.2}, 0},
+      {100.0, 20.0, 3.0, {0.1, 0.8}, 1},
+  };
+  return w;
+}
+
+TEST(StatsTest, EmptyWorkload) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  const WorkloadStats s = compute_stats(w);
+  EXPECT_EQ(s.num_jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.total_volume, 0.0);
+  EXPECT_DOUBLE_EQ(s.load_factor(4), 0.0);
+}
+
+TEST(StatsTest, BasicAggregates) {
+  const WorkloadStats s = compute_stats(two_job_workload());
+  EXPECT_EQ(s.num_jobs, 2u);
+  EXPECT_EQ(s.num_resources, 2u);
+  EXPECT_EQ(s.num_tenants, 2u);
+  EXPECT_DOUBLE_EQ(s.window, 100.0);
+  EXPECT_DOUBLE_EQ(s.arrival_rate, 0.02);
+  EXPECT_DOUBLE_EQ(s.duration.mean, 15.0);
+  EXPECT_DOUBLE_EQ(s.weight.mean, 2.0);
+  ASSERT_EQ(s.mean_demand.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean_demand[0], 0.3);
+  EXPECT_DOUBLE_EQ(s.mean_demand[1], 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_dominant_demand, (0.5 + 0.8) / 2.0);
+  // volume = 10*(0.7) + 20*(0.9) = 25.
+  EXPECT_DOUBLE_EQ(s.total_volume, 25.0);
+}
+
+TEST(StatsTest, LoadFactorDefinition) {
+  const WorkloadStats s = compute_stats(two_job_workload());
+  // V / (R * M * window) = 25 / (2 * 5 * 100).
+  EXPECT_DOUBLE_EQ(s.load_factor(5), 25.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(s.load_factor(0), 0.0);
+}
+
+TEST(StatsTest, ArrivalHistogramCountsAll) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  for (int i = 0; i < 100; ++i) {
+    w.jobs.push_back({static_cast<double>(i), 1.0, 1.0, {0.5}, 0});
+  }
+  const auto hist = arrival_histogram(w, 10);
+  std::size_t total = 0;
+  for (std::size_t c : hist) total += c;
+  EXPECT_EQ(total, 100u);
+  // Uniform arrivals: every bucket is populated.
+  for (std::size_t c : hist) EXPECT_GT(c, 0u);
+}
+
+TEST(StatsTest, ArrivalHistogramDegenerateWindow) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  w.jobs = {{5.0, 1.0, 1.0, {0.5}, 0}, {5.0, 1.0, 1.0, {0.5}, 0}};
+  const auto hist = arrival_histogram(w, 4);
+  EXPECT_EQ(hist[0], 2u);
+}
+
+TEST(StatsTest, FormatMentionsKeyNumbers) {
+  const std::string report = format_stats(compute_stats(two_job_workload()), 5);
+  EXPECT_NE(report.find("jobs:"), std::string::npos);
+  EXPECT_NE(report.find("load factor (M=5)"), std::string::npos);
+  EXPECT_NE(report.find("tenants:          2"), std::string::npos);
+}
+
+TEST(StatsTest, GeneratorDefaultsAreContendedAndHeavyTailed) {
+  GeneratorConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.seed = 8;
+  const WorkloadStats s = compute_stats(generate_azure_like(cfg));
+  // The documented properties the substitution relies on (DESIGN.md §3).
+  EXPECT_GT(s.duration.max / s.duration.min, 1e3);   // heavy tails
+  EXPECT_GT(s.mean_dominant_demand, 0.15);           // contended VM mix
+  EXPECT_GT(s.load_factor(20), 0.3);                 // meaningful load
+  EXPECT_EQ(s.num_tenants, 50u);
+}
+
+}  // namespace
+}  // namespace mris::trace

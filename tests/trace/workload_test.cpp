@@ -1,0 +1,105 @@
+#include "trace/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mris::trace {
+namespace {
+
+Workload small_workload() {
+  Workload w;
+  w.resource_names = {"cpu", "memory", "hdd", "ssd", "network"};
+  w.jobs = {
+      {0.0, 100.0, 2.0, {0.5, 0.4, 0.3, 0.0, 0.1}},
+      {10.0, 50.0, 1.0, {0.25, 0.2, 0.0, 0.6, 0.05}},
+  };
+  return w;
+}
+
+TEST(MergeStorageTest, CombinesHddAndSsd) {
+  const Workload merged = merge_storage(small_workload());
+  ASSERT_EQ(merged.num_resources(), 4u);
+  EXPECT_EQ(merged.resource_names[2], "storage");
+  EXPECT_DOUBLE_EQ(merged.jobs[0].demand[2], 0.3);  // hdd user
+  EXPECT_DOUBLE_EQ(merged.jobs[1].demand[2], 0.6);  // ssd user
+  // Other resources untouched.
+  EXPECT_DOUBLE_EQ(merged.jobs[0].demand[0], 0.5);
+  EXPECT_DOUBLE_EQ(merged.jobs[1].demand[3], 0.05);
+}
+
+TEST(MergeStorageTest, ClampsPathologicalDoubleUsers) {
+  Workload w = small_workload();
+  w.jobs[0].demand = {0.1, 0.1, 0.8, 0.9, 0.1};  // malformed: both storages
+  const Workload merged = merge_storage(w);
+  EXPECT_DOUBLE_EQ(merged.jobs[0].demand[2], 1.0);
+}
+
+TEST(MergeStorageTest, ThrowsWithoutStorageColumns) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  EXPECT_THROW(merge_storage(w), std::invalid_argument);
+}
+
+TEST(ToInstanceTest, NormalizesMinProcessingToOne) {
+  const Workload w = small_workload();
+  const Instance inst = to_instance(w, 4);
+  ASSERT_EQ(inst.num_jobs(), 2u);
+  // min duration 50 -> scale 1/50.
+  EXPECT_DOUBLE_EQ(inst.job(0).processing, 2.0);
+  EXPECT_DOUBLE_EQ(inst.job(1).processing, 1.0);
+  EXPECT_DOUBLE_EQ(inst.job(1).release, 0.2);
+  EXPECT_EQ(inst.num_machines(), 4);
+  EXPECT_EQ(inst.num_resources(), 5);
+}
+
+TEST(ToInstanceTest, SortsByReleaseAndRenumbers) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  w.jobs = {
+      {50.0, 10.0, 1.0, {0.5}},
+      {5.0, 10.0, 2.0, {0.25}},
+  };
+  const Instance inst = to_instance(w, 1);
+  EXPECT_DOUBLE_EQ(inst.job(0).weight, 2.0);  // earlier release first
+  EXPECT_EQ(inst.job(0).id, 0);
+}
+
+TEST(ToInstanceTest, DropsMalformedJobs) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  w.jobs = {
+      {-1.0, 10.0, 1.0, {0.5}},   // negative release: dropped
+      {0.0, 0.0, 1.0, {0.5}},     // zero duration: dropped
+      {0.0, 10.0, 1.0, {0.0}},    // zero demand: dropped
+      {0.0, 10.0, 1.0, {0.5}},    // kept
+  };
+  const Instance inst = to_instance(w, 1);
+  EXPECT_EQ(inst.num_jobs(), 1u);
+}
+
+TEST(ToInstanceTest, NoNormalizeKeepsRawTimes) {
+  ToInstanceOptions opts;
+  opts.num_machines = 2;
+  opts.normalize = false;
+  const Instance inst = to_instance(small_workload(), opts);
+  EXPECT_DOUBLE_EQ(inst.job(0).processing, 100.0);
+  EXPECT_DOUBLE_EQ(inst.job(1).release, 10.0);
+}
+
+TEST(ToInstanceTest, EmptyWorkload) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  const Instance inst = to_instance(w, 3);
+  EXPECT_EQ(inst.num_jobs(), 0u);
+  EXPECT_EQ(inst.num_machines(), 3);
+}
+
+TEST(ToInstanceTest, ClampsDemandDust) {
+  Workload w;
+  w.resource_names = {"cpu"};
+  w.jobs = {{0.0, 10.0, 1.0, {1.0 + 1e-15}}};
+  const Instance inst = to_instance(w, 1);
+  EXPECT_LE(inst.job(0).demand[0], 1.0);
+}
+
+}  // namespace
+}  // namespace mris::trace

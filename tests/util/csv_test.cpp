@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mris::util {
+namespace {
+
+TEST(CsvParseTest, SimpleFields) {
+  const auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  const auto f = parse_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvParseTest, QuotedCommaAndEscapedQuote) {
+  const auto f = parse_csv_line(R"("x,y",plain,"he said ""hi""")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "x,y");
+  EXPECT_EQ(f[1], "plain");
+  EXPECT_EQ(f[2], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, ToleratesCarriageReturn) {
+  const auto f = parse_csv_line("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvRoundTripTest, EscapeThenParse) {
+  const std::vector<std::string> fields = {"a,b", "c\"d", "", "plain"};
+  const auto parsed = parse_csv_line(join_csv(fields));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(CsvReadTest, HeaderAndRows) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  const CsvTable t = read_csv(in);
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.column("y"), 1);
+  EXPECT_EQ(t.column("missing"), -1);
+  EXPECT_EQ(t.rows[1][0], "3");
+}
+
+TEST(CsvReadTest, SkipsBlankLines) {
+  std::istringstream in("h\n\na\n\r\nb\n");
+  const CsvTable t = read_csv(in);
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvReadTest, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  const CsvTable t = read_csv(in, /*has_header=*/false);
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvWriteTest, RoundTripsThroughRead) {
+  CsvTable t;
+  t.header = {"name", "value"};
+  t.rows = {{"alpha", "1"}, {"with,comma", "2"}};
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in(out.str());
+  const CsvTable back = read_csv(in);
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(CsvReadFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely_missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mris::util

@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mris::util {
+namespace {
+
+TEST(SummaryTest, EmptyInputIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::vector<double> xs = {42.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(SummaryTest, KnownSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(MeanCiTest, SingleSampleHasZeroWidth) {
+  const std::vector<double> xs = {3.0};
+  const MeanCi ci = mean_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(MeanCiTest, KnownTwoSampleInterval) {
+  // n=2, mean 1.5, s = sqrt(0.5); t(1, .975) = 12.706.
+  const std::vector<double> xs = {1.0, 2.0};
+  const MeanCi ci = mean_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 1.5);
+  EXPECT_NEAR(ci.half_width, 12.706 * std::sqrt(0.5) / std::sqrt(2.0), 1e-9);
+  EXPECT_LT(ci.lo(), ci.mean);
+  EXPECT_GT(ci.hi(), ci.mean);
+}
+
+TEST(MeanCiTest, ConstantSampleHasZeroWidth) {
+  const std::vector<double> xs(10, 7.5);
+  const MeanCi ci = mean_ci95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(TCriticalTest, TableValuesAndAsymptote) {
+  EXPECT_NEAR(t_critical95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical95(9), 2.262, 1e-9);   // the paper's 10 reps
+  EXPECT_NEAR(t_critical95(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_critical95(1000), 1.96, 1e-9);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(EmpiricalCdfTest, MonotoneAndEndsAtOne) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 2.0, 5.0, 0.5, 4.0};
+  const auto cdf = empirical_cdf(xs, 100);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+}
+
+TEST(EmpiricalCdfTest, DownsamplesToRequestedPoints) {
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const auto cdf = empirical_cdf(xs, 50);
+  EXPECT_EQ(cdf.size(), 50u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 999.0);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  // -1 clamps into bin 0; 2.0 clamps into bin 1.
+  EXPECT_EQ(h[0], 2u);
+  EXPECT_EQ(h[1], 3u);
+}
+
+TEST(HistogramTest, DegenerateRangeReturnsZeros) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const auto h = histogram(xs, 5.0, 5.0, 4);
+  for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace mris::util
