@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/mris_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/mris_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/resource_profile.cpp" "src/sim/CMakeFiles/mris_sim.dir/resource_profile.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/resource_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_sim.dir/cluster.cpp.o"
+  "CMakeFiles/mris_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/engine.cpp.o"
+  "CMakeFiles/mris_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/resource_profile.cpp.o"
+  "CMakeFiles/mris_sim.dir/resource_profile.cpp.o.d"
+  "libmris_sim.a"
+  "libmris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
