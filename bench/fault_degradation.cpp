@@ -1,0 +1,110 @@
+// Robustness sweep: graceful degradation of the full scheduler lineup under
+// machine outages, stragglers, and probabilistic job failures (no paper
+// figure — the fault model is this repo's extension; see DESIGN.md "Fault
+// model & recovery semantics").
+//
+// Sweeps machine MTBF from harsh to mild at fixed MTTR, straggler mix, and
+// failure probability.  For every (MTBF, scheduler) point it reports
+//   * AWCT over the *actual* (faulty) execution,
+//   * wasted work (volume burnt by killed/failed attempts),
+//   * failed runs (validation/scheduler errors — expected to stay 0).
+// Every run is checked with the outage-aware fault validator; a violation
+// marks the run failed rather than aborting the sweep.
+#include "bench_common.hpp"
+
+#include <limits>
+
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+using namespace mris;
+
+int main() {
+  bench::print_header("fault_degradation", "robustness extension (DESIGN.md)");
+  const std::size_t reps = util::bench_reps();
+  const std::size_t n = bench::scaled(1000);
+  const int machines = 4;
+  // MTBF sweep, harsh -> mild, plus a fault-free reference point at +inf.
+  const std::vector<double> mtbf_values = {250.0, 1000.0, 4000.0,
+                                           std::numeric_limits<double>::infinity()};
+  const std::size_t base_jobs = n * std::max<std::size_t>(reps, 10);
+  const trace::Workload base = bench::base_workload(base_jobs);
+  util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xfa17u);
+
+  std::vector<exp::SchedulerSpec> lineup = exp::comparison_lineup();
+  lineup.push_back(exp::SchedulerSpec::Drf());
+  lineup.push_back(exp::SchedulerSpec::Hybrid());
+
+  std::vector<exp::Series> awct_series, wasted_series;
+  for (const auto& spec : lineup) {
+    awct_series.push_back({"AWCT:" + spec.display_name(), {}, {}, {}});
+    wasted_series.push_back({"WASTED:" + spec.display_name(), {}, {}, {}});
+  }
+
+  std::vector<std::vector<std::string>> table;
+  {
+    std::vector<std::string> header = {"MTBF"};
+    for (const auto& spec : lineup) header.push_back(spec.display_name());
+    header.push_back("failed");
+    table.push_back(std::move(header));
+  }
+
+  const std::size_t factor = base_jobs / n;
+  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+  for (double mtbf : mtbf_values) {
+    const auto factory =
+        bench::downsample_factory(base, factor, offsets, machines);
+    const bool faulty = std::isfinite(mtbf);
+
+    exp::FaultFactory make_faults;
+    if (faulty) {
+      make_faults = [&, mtbf](std::size_t rep) {
+        FaultSpec spec;
+        spec.mtbf = mtbf;
+        spec.mttr = 50.0;
+        spec.straggler_prob = 0.05;
+        spec.stretch_lo = 1.5;
+        spec.stretch_hi = 3.0;
+        spec.failure_prob = 0.02;
+        spec.max_retries = 3;
+        spec.retry_backoff = 1.0;
+        // The plan must match the rep's instance (outage horizon, stretch
+        // per job), so rebuild the instance here; downsampling is cheap
+        // relative to the runs themselves.
+        const Instance inst = factory(rep);
+        return make_fault_plan(spec, inst,
+                               util::bench_seed() + 0x9e37u + rep);
+      };
+    }
+
+    const auto points =
+        exp::replicate_lineup(reps, factory, lineup, make_faults);
+
+    const double x = faulty ? mtbf : 4.0 * mtbf_values[2];  // plot position
+    std::vector<std::string> row = {
+        faulty ? std::to_string(static_cast<long>(mtbf)) : "inf"};
+    std::size_t failed = 0;
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      row.push_back(exp::format_ci(points[s].awct));
+      failed += points[s].failed_runs;
+      awct_series[s].x.push_back(x);
+      awct_series[s].y.push_back(points[s].awct.mean);
+      awct_series[s].ci.push_back(points[s].awct.half_width);
+      wasted_series[s].x.push_back(x);
+      wasted_series[s].y.push_back(points[s].wasted_work.mean);
+      wasted_series[s].ci.push_back(points[s].wasted_work.half_width);
+    }
+    row.push_back(std::to_string(failed));
+    table.push_back(std::move(row));
+  }
+
+  exp::PlotOptions opts;
+  opts.title = "Graceful degradation: AWCT vs machine MTBF";
+  opts.xlabel = "MTBF (inf plotted at right edge)";
+  opts.ylabel = "AWCT";
+  opts.log_x = true;
+  std::vector<exp::Series> all = awct_series;
+  all.insert(all.end(), wasted_series.begin(), wasted_series.end());
+  bench::emit("fault_degradation", all, opts, table);
+  return 0;
+}

@@ -17,6 +17,12 @@ void Schedule::assign(JobId id, MachineId machine, Time start) {
   a.start = start;
 }
 
+void Schedule::unassign(JobId id) {
+  Assignment& a = assignments_.at(static_cast<std::size_t>(id));
+  a.machine = kInvalidMachine;
+  a.start = 0.0;
+}
+
 bool Schedule::complete() const noexcept {
   return std::all_of(assignments_.begin(), assignments_.end(),
                      [](const Assignment& a) { return a.assigned(); });
@@ -44,6 +50,13 @@ ValidationResult fail(const std::string& message) {
 }  // namespace
 
 ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   double tolerance) {
+  return validate_schedule(inst, sched, std::span<const OutageWindow>{},
+                           tolerance);
+}
+
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   std::span<const OutageWindow> outages,
                                    double tolerance) {
   if (sched.num_jobs() != inst.num_jobs()) {
     return fail("schedule covers " + std::to_string(sched.num_jobs()) +
@@ -74,6 +87,27 @@ ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
       return fail("job " + std::to_string(id) + " has non-finite start");
     }
     by_machine[static_cast<std::size_t>(a.machine)].push_back(id);
+  }
+
+  // Outage windows are zero-capacity periods: no job may overlap one on its
+  // machine (a job ending exactly at `down` or starting exactly at `up` is
+  // fine — occupancy is the half-open [S_j, C_j)).
+  for (const OutageWindow& o : outages) {
+    if (o.machine < 0 || o.machine >= M) {
+      return fail("outage window names machine " + std::to_string(o.machine) +
+                  " out of range [0, " + std::to_string(M) + ")");
+    }
+    for (JobId id : by_machine[static_cast<std::size_t>(o.machine)]) {
+      const Time s = sched.start_time(id);
+      const Time c = s + inst.job(id).processing;
+      if (c > o.down + tolerance && s < o.up - tolerance) {
+        std::ostringstream msg;
+        msg << "job " << id << " runs [" << s << ", " << c
+            << ") across outage [" << o.down << ", " << o.up
+            << ") of machine " << o.machine;
+        return fail(msg.str());
+      }
+    }
   }
 
   // Sweep line per machine: sort (time, delta-demand) events; the running

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,11 @@ class Schedule {
   /// a start decision is irrevocable).
   void assign(JobId id, MachineId machine, Time start);
 
+  /// Clears the assignment of `id` so it can be re-assigned.  Only the
+  /// fault/recovery path uses this (a killed job restarts from scratch);
+  /// scheduler-facing commits remain irrevocable.
+  void unassign(JobId id);
+
   /// True when every job has an assignment.
   bool complete() const noexcept;
 
@@ -70,6 +76,23 @@ struct ValidationResult {
 /// per-resource usage exceeding capacity 1 (+eps tolerance) at any time.
 /// Runs a sweep line over start/completion breakpoints per machine.
 ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   double tolerance = 1e-9);
+
+/// A zero-capacity period of one machine: down (crash) inclusive, up
+/// (repair) exclusive.  Produced by the fault model (sim/faults.hpp); the
+/// outage-aware validator treats these windows as periods no job may
+/// overlap on that machine.
+struct OutageWindow {
+  MachineId machine = kInvalidMachine;
+  Time down = 0.0;
+  Time up = 0.0;
+};
+
+/// Outage-aware validation: everything validate_schedule() checks, plus no
+/// job's declared execution window [S_j, S_j + p_j) may intersect an outage
+/// window of its machine (outages are zero-capacity periods).
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   std::span<const OutageWindow> outages,
                                    double tolerance = 1e-9);
 
 }  // namespace mris

@@ -10,9 +10,11 @@ namespace mris {
 
 void BfExecScheduler::on_arrival(EngineContext& ctx, JobId job) {
   const Time now = ctx.now();
+  if (ctx.earliest_start(job) > now) return;  // retry-gated; re-fires later
   MachineId best = kInvalidMachine;
   double best_norm = std::numeric_limits<double>::infinity();
   for (MachineId m = 0; m < ctx.num_machines(); ++m) {
+    if (!ctx.machine_up(m)) continue;
     if (!ctx.can_start(job, m, now)) continue;
     const std::vector<double> avail = ctx.cluster().available(m, now);
     double norm2 = 0.0;
@@ -23,18 +25,28 @@ void BfExecScheduler::on_arrival(EngineContext& ctx, JobId job) {
     }
   }
   if (best != kInvalidMachine) {
-    ctx.commit(job, best, now);
+    ctx.try_commit(job, best, now);
   }
-  // Infeasible on every machine: the job waits for a departure.
+  // Infeasible on every machine: the job waits for a departure or repair.
 }
 
 void BfExecScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
                                     MachineId machine) {
+  drain(ctx, machine);
+}
+
+void BfExecScheduler::on_machine_up(EngineContext& ctx, MachineId machine) {
+  drain(ctx, machine);
+}
+
+void BfExecScheduler::drain(EngineContext& ctx, MachineId machine) {
   const Time now = ctx.now();
+  if (!ctx.machine_up(machine)) return;
   std::vector<double> avail = ctx.cluster().available(machine, now);
   for (;;) {
     JobId shortest = kInvalidJob;
     for (JobId id : ctx.pending()) {
+      if (ctx.earliest_start(id) > now) continue;  // retry-gated
       if (!fits_available(avail, ctx.job(id).demand)) continue;
       if (!ctx.can_start(id, machine, now)) continue;
       if (shortest == kInvalidJob ||
@@ -46,7 +58,7 @@ void BfExecScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
     }
     if (shortest == kInvalidJob) break;
     const Job& chosen = ctx.job(shortest);
-    ctx.commit(shortest, machine, now);
+    if (!ctx.try_commit(shortest, machine, now)) break;
     for (std::size_t l = 0; l < avail.size(); ++l) {
       avail[l] = std::max(0.0, avail[l] - chosen.demand[l]);
     }

@@ -7,6 +7,10 @@
 //  * On departure of a job from machine m, repeatedly take the shortest
 //    queued job that fits on m and start it there (SJF from the queue,
 //    machine locality of the freed capacity).
+//
+// Fault hardening: a machine repair is treated like a departure on that
+// machine (freed capacity drains the queue there), and requeued jobs
+// re-enter through the normal arrival path.
 #pragma once
 
 #include "sim/engine.hpp"
@@ -19,6 +23,11 @@ class BfExecScheduler : public OnlineScheduler {
 
   void on_arrival(EngineContext& ctx, JobId job) override;
   void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+  void on_machine_up(EngineContext& ctx, MachineId machine) override;
+
+ private:
+  /// SJF-drains the pending queue onto the freed capacity of `machine`.
+  void drain(EngineContext& ctx, MachineId machine);
 };
 
 }  // namespace mris

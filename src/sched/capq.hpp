@@ -34,7 +34,14 @@ class CollectAllPqScheduler : public PriorityQueueScheduler {
     if (active(ctx)) PriorityQueueScheduler::on_completion(ctx, job, machine);
   }
 
-  void on_wakeup(EngineContext& ctx) override { scan_and_schedule(ctx); }
+  void on_wakeup(EngineContext& ctx) override {
+    if (active(ctx)) scan_and_schedule(ctx);
+  }
+
+  void on_machine_up(EngineContext& ctx, MachineId machine) override {
+    // A repair before the activation time must not break the patience.
+    if (active(ctx)) PriorityQueueScheduler::on_machine_up(ctx, machine);
+  }
 
  private:
   bool active(const EngineContext& ctx) const {

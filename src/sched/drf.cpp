@@ -15,21 +15,35 @@ double DrfScheduler::dominant_share(TenantId tenant) const {
   return share;
 }
 
-void DrfScheduler::on_arrival(EngineContext& ctx, JobId /*job*/) {
+void DrfScheduler::uncharge(EngineContext& ctx, JobId job) {
+  const auto charged = charged_.find(job);
+  if (charged == charged_.end()) return;
+  const Job& j = ctx.job(job);
+  const double m = static_cast<double>(ctx.num_machines());
+  auto it = allocated_.find(charged->second);
+  if (it != allocated_.end()) {
+    for (std::size_t l = 0; l < j.demand.size(); ++l) {
+      it->second[l] = std::max(0.0, it->second[l] - j.demand[l] / m);
+    }
+  }
+  charged_.erase(charged);
+}
+
+void DrfScheduler::on_arrival(EngineContext& ctx, JobId job) {
+  // A re-released job (killed or cancelled by a fault) is still charged
+  // against its tenant; release the share before reallocating.
+  uncharge(ctx, job);
   allocate(ctx);
 }
 
 void DrfScheduler::on_completion(EngineContext& ctx, JobId job,
                                  MachineId /*machine*/) {
   // Release the finished job's contribution to its tenant's share.
-  const Job& j = ctx.job(job);
-  const double m = static_cast<double>(ctx.num_machines());
-  auto it = allocated_.find(j.tenant);
-  if (it != allocated_.end()) {
-    for (std::size_t l = 0; l < j.demand.size(); ++l) {
-      it->second[l] = std::max(0.0, it->second[l] - j.demand[l] / m);
-    }
-  }
+  uncharge(ctx, job);
+  allocate(ctx);
+}
+
+void DrfScheduler::on_machine_up(EngineContext& ctx, MachineId /*machine*/) {
   allocate(ctx);
 }
 
@@ -46,9 +60,11 @@ void DrfScheduler::allocate(EngineContext& ctx) {
 
   for (;;) {
     // Head-of-line job per tenant: FIFO within tenant (pending() preserves
-    // release order).
+    // release order).  Retry-gated jobs are not schedulable yet and must
+    // not block their tenant's line.
     std::map<TenantId, JobId> head;
     for (JobId id : ctx.pending()) {
+      if (ctx.earliest_start(id) > now) continue;
       head.try_emplace(ctx.job(id).tenant, id);
     }
     if (head.empty()) return;
@@ -64,6 +80,7 @@ void DrfScheduler::allocate(EngineContext& ctx) {
       if (share >= best_share) continue;
       const Job& j = ctx.job(id);
       for (MachineId machine = 0; machine < M; ++machine) {
+        if (!ctx.machine_up(machine)) continue;
         if (!fits_available(avail[static_cast<std::size_t>(machine)],
                             j.demand)) {
           continue;
@@ -79,7 +96,8 @@ void DrfScheduler::allocate(EngineContext& ctx) {
     if (best_job == kInvalidJob) return;
 
     const Job& j = ctx.job(best_job);
-    ctx.commit(best_job, best_machine, now);
+    if (!ctx.try_commit(best_job, best_machine, now)) return;
+    charged_[best_job] = best_tenant;
     auto& alloc =
         allocated_
             .try_emplace(best_tenant,

@@ -25,6 +25,7 @@ class DrfScheduler : public OnlineScheduler {
 
   void on_arrival(EngineContext& ctx, JobId job) override;
   void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+  void on_machine_up(EngineContext& ctx, MachineId machine) override;
 
   /// Dominant share of a tenant right now (0 when nothing allocated).
   double dominant_share(TenantId tenant) const;
@@ -32,8 +33,16 @@ class DrfScheduler : public OnlineScheduler {
  private:
   void allocate(EngineContext& ctx);
 
+  /// Removes `job`'s contribution from its tenant's share (no-op if the
+  /// job is not currently charged).
+  void uncharge(EngineContext& ctx, JobId job);
+
   /// Per-tenant allocated demand, summed over that tenant's running jobs.
   std::map<TenantId, std::vector<double>> allocated_;
+
+  /// Jobs currently charged against their tenant's share.  A job killed by
+  /// a fault re-arrives while still charged; its share is released then.
+  std::map<JobId, TenantId> charged_;
 };
 
 }  // namespace mris

@@ -14,12 +14,12 @@ double HybridScheduler::cluster_utilization(const EngineContext& ctx,
 }
 
 void HybridScheduler::on_arrival(EngineContext& ctx, JobId job) {
-  if (cluster_utilization(ctx, ctx.now()) <= threshold_) {
+  if (ctx.earliest_start(job) <= ctx.now() &&  // not retry-gated
+      cluster_utilization(ctx, ctx.now()) <= threshold_) {
     for (MachineId m = 0; m < ctx.num_machines(); ++m) {
-      if (ctx.can_start(job, m, ctx.now())) {
-        ctx.commit(job, m, ctx.now());
-        break;
-      }
+      if (!ctx.machine_up(m)) continue;
+      if (!ctx.can_start(job, m, ctx.now())) continue;
+      if (ctx.try_commit(job, m, ctx.now())) break;
     }
   }
   // Fall through: whether committed or not, keep MRIS's wakeup chain armed

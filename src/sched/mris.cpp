@@ -91,9 +91,16 @@ void MrisScheduler::on_wakeup(EngineContext& ctx) {
           batch, config_.heuristic, not_before,
           [&ctx](JobId id) -> const Job& { return ctx.job(id); },
           [&ctx](JobId id, Time t, MachineId& m) {
-            return ctx.earliest_fit(id, t, m);
+            // Retry-gated jobs (fault requeues) may not start before their
+            // backoff gate; fault-free runs have earliest_start == now <= t.
+            return ctx.earliest_fit(id, std::max(t, ctx.earliest_start(id)),
+                                    m);
           },
-          [&ctx](JobId id, MachineId m, Time s) { ctx.commit(id, m, s); });
+          [&ctx](JobId id, MachineId m, Time s) {
+            // try_commit: a job that loses a placement race with a fault
+            // stays pending and is re-selected at the next interval.
+            ctx.try_commit(id, m, s);
+          });
       frontier_ = std::max(frontier_, end);
     }
   }

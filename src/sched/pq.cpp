@@ -15,6 +15,9 @@ bool fits_available(const std::vector<double>& available,
 }
 
 void PriorityQueueScheduler::enqueue(EngineContext& ctx, JobId job) {
+  // A requeued job may already sit in the queue (it re-arrives via
+  // on_arrival after a fault); never hold it twice.
+  if (std::find(queue_.begin(), queue_.end(), job) != queue_.end()) return;
   const double key = heuristic_key(heuristic_, ctx.job(job));
   const auto pos = std::lower_bound(
       queue_.begin(), queue_.end(), job, [&](JobId a, JobId b) {
@@ -36,6 +39,13 @@ void PriorityQueueScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
   scan_and_schedule(ctx);
 }
 
+void PriorityQueueScheduler::on_machine_up(EngineContext& ctx,
+                                           MachineId /*machine*/) {
+  // Repaired capacity may unblock queued jobs (including ones requeued by
+  // the very outage that just ended).
+  scan_and_schedule(ctx);
+}
+
 void PriorityQueueScheduler::scan_and_schedule(EngineContext& ctx) {
   const Time now = ctx.now();
   const int M = ctx.num_machines();
@@ -54,16 +64,19 @@ void PriorityQueueScheduler::scan_and_schedule(EngineContext& ctx) {
     const JobId id = queue_[read];
     const Job& job = ctx.job(id);
     bool committed = false;
-    for (MachineId m = 0; m < M; ++m) {
-      auto& avail = available[static_cast<std::size_t>(m)];
-      if (!fits_available(avail, job.demand)) continue;
-      if (!ctx.can_start(id, m, now)) continue;
-      ctx.commit(id, m, now);
-      for (std::size_t l = 0; l < avail.size(); ++l) {
-        avail[l] = std::max(0.0, avail[l] - job.demand[l]);
+    if (ctx.earliest_start(id) <= now) {  // skip retry-gated jobs
+      for (MachineId m = 0; m < M; ++m) {
+        if (!ctx.machine_up(m)) continue;
+        auto& avail = available[static_cast<std::size_t>(m)];
+        if (!fits_available(avail, job.demand)) continue;
+        if (!ctx.can_start(id, m, now)) continue;
+        if (!ctx.try_commit(id, m, now)) continue;
+        for (std::size_t l = 0; l < avail.size(); ++l) {
+          avail[l] = std::max(0.0, avail[l] - job.demand[l]);
+        }
+        committed = true;
+        break;
       }
-      committed = true;
-      break;
     }
     if (!committed) queue_[write++] = id;
   }

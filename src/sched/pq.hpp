@@ -26,6 +26,7 @@ class PriorityQueueScheduler : public OnlineScheduler {
 
   void on_arrival(EngineContext& ctx, JobId job) override;
   void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+  void on_machine_up(EngineContext& ctx, MachineId machine) override;
 
  protected:
   /// Scans the heuristic-ordered queue and greedily starts every job that

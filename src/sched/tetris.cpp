@@ -16,6 +16,10 @@ void TetrisScheduler::on_completion(EngineContext& ctx, JobId /*job*/,
   pack(ctx);
 }
 
+void TetrisScheduler::on_machine_up(EngineContext& ctx, MachineId /*machine*/) {
+  pack(ctx);
+}
+
 void TetrisScheduler::pack(EngineContext& ctx) {
   const Time now = ctx.now();
   // Normalizer for the small-volume term over the pending set at this event.
@@ -24,11 +28,13 @@ void TetrisScheduler::pack(EngineContext& ctx) {
     v_max = std::max(v_max, ctx.job(id).volume());
   }
   for (MachineId m = 0; m < ctx.num_machines(); ++m) {
+    if (!ctx.machine_up(m)) continue;
     std::vector<double> avail = ctx.cluster().available(m, now);
     for (;;) {
       JobId best = kInvalidJob;
       double best_score = -std::numeric_limits<double>::infinity();
       for (JobId id : ctx.pending()) {
+        if (ctx.earliest_start(id) > now) continue;  // retry-gated
         const Job& j = ctx.job(id);
         if (!fits_available(avail, j.demand)) continue;
         if (!ctx.can_start(id, m, now)) continue;
@@ -48,7 +54,7 @@ void TetrisScheduler::pack(EngineContext& ctx) {
       }
       if (best == kInvalidJob) break;
       const Job& chosen = ctx.job(best);
-      ctx.commit(best, m, now);
+      if (!ctx.try_commit(best, m, now)) break;
       for (std::size_t l = 0; l < avail.size(); ++l) {
         avail[l] = std::max(0.0, avail[l] - chosen.demand[l]);
       }

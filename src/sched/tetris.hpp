@@ -28,6 +28,7 @@ class TetrisScheduler : public OnlineScheduler {
 
   void on_arrival(EngineContext& ctx, JobId job) override;
   void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
+  void on_machine_up(EngineContext& ctx, MachineId machine) override;
 
  private:
   void pack(EngineContext& ctx);

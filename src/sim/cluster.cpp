@@ -54,6 +54,29 @@ void Cluster::reserve(const Job& job, MachineId m, Time start) {
                                                  job.demand);
 }
 
+void Cluster::release(MachineId m, Time start, Time duration,
+                      std::span<const double> demand) {
+  if (m < 0 || m >= num_machines()) {
+    throw std::logic_error("Cluster::release: machine index out of range");
+  }
+  machines_[static_cast<std::size_t>(m)].release(start, duration, demand);
+}
+
+void Cluster::force_reserve(MachineId m, Time start, Time duration,
+                            std::span<const double> demand) {
+  if (m < 0 || m >= num_machines()) {
+    throw std::logic_error(
+        "Cluster::force_reserve: machine index out of range");
+  }
+  machines_[static_cast<std::size_t>(m)].reserve(start, duration, demand);
+}
+
+void Cluster::block(MachineId m, Time from, Time to) {
+  const std::vector<double> full(static_cast<std::size_t>(num_resources_),
+                                 1.0);
+  force_reserve(m, from, to - from, full);
+}
+
 std::vector<double> Cluster::available(MachineId m, Time t) const {
   return machine(m).available_at(t);
 }

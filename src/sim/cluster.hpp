@@ -4,6 +4,7 @@
 // start (backfilling), and remaining capacity snapshots.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -40,6 +41,22 @@ class Cluster {
   /// Reserves `job` on machine `m` at `start`.  Throws std::logic_error if
   /// infeasible (callers must query first; this guards scheduler bugs).
   void reserve(const Job& job, MachineId m, Time start);
+
+  /// Removes a reservation of `demand` over [start, start + duration) on
+  /// machine `m` — the fault model's cancel/requeue path.
+  void release(MachineId m, Time start, Time duration,
+               std::span<const double> demand);
+
+  /// Adds `demand` over [start, start + duration) WITHOUT a feasibility
+  /// check.  Used for outage capacity blocks and straggler overruns, which
+  /// may legitimately exceed capacity 1 (the fault validator applies the
+  /// oversubscription policy instead).
+  void force_reserve(MachineId m, Time start, Time duration,
+                     std::span<const double> demand);
+
+  /// Blocks the full capacity of machine `m` over [from, to) — an outage
+  /// window: nothing with non-zero demand fits inside it afterwards.
+  void block(MachineId m, Time from, Time to);
 
   /// Remaining capacity vector of machine `m` at time t.
   std::vector<double> available(MachineId m, Time t) const;

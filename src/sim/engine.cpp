@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -9,7 +11,18 @@ namespace mris {
 
 namespace {
 
-enum class EventKind : int { kCompletion = 0, kArrival = 1, kWakeup = 2 };
+// Internal event kinds.  The relative order of the original three kinds
+// (completion < arrival < wakeup) is preserved so fault-free runs replay
+// the pre-fault engine byte-for-byte; repairs/crashes slot in between so
+// an arrival at t observes the post-fault cluster at t.
+enum class EventKind : int {
+  kCompletion = 0,
+  kMachineUp = 1,
+  kMachineDown = 2,
+  kArrival = 3,
+  kWakeup = 4,
+  kRetryReady = 5,
+};
 
 struct Event {
   Time t;
@@ -17,6 +30,7 @@ struct Event {
   std::uint64_t seq;  // FIFO tie-break within (t, kind)
   JobId job = kInvalidJob;
   MachineId machine = kInvalidMachine;
+  std::uint64_t aux = 0;  // completion: job epoch; machine event: outage idx
 };
 
 struct EventLater {
@@ -37,7 +51,14 @@ class Engine final : public EngineContext {
         cluster_(inst.num_machines(), inst.num_resources()),
         schedule_(inst.num_jobs()),
         released_(inst.num_jobs(), false),
-        committed_(inst.num_jobs(), false) {}
+        committed_(inst.num_jobs(), false),
+        retries_(inst.num_jobs(), 0),
+        injected_(inst.num_jobs(), 0),
+        gate_(inst.num_jobs(), 0.0),
+        epoch_(inst.num_jobs(), 0),
+        machine_down_flag_(static_cast<std::size_t>(inst.num_machines()), 0),
+        down_until_(static_cast<std::size_t>(inst.num_machines()), 0.0),
+        live_(static_cast<std::size_t>(inst.num_machines())) {}
 
   RunResult run();
 
@@ -67,39 +88,36 @@ class Engine final : public EngineContext {
   }
 
   Time earliest_fit_on(JobId id, MachineId m, Time not_before) const override {
+    // A revealed outage is a hard no-start zone even for zero-demand jobs
+    // (which the capacity block alone would not stop).
+    if (faults_ && m >= 0 && m < cluster_.num_machines() &&
+        machine_down_flag_[static_cast<std::size_t>(m)] &&
+        not_before < down_until_[static_cast<std::size_t>(m)]) {
+      not_before = down_until_[static_cast<std::size_t>(m)];
+    }
     return cluster_.earliest_fit_on(job(id), m, not_before);
   }
 
   Time earliest_fit(JobId id, Time not_before,
                     MachineId& best_machine) const override {
-    return cluster_.earliest_fit(job(id), not_before, best_machine);
+    Time best = std::numeric_limits<Time>::infinity();
+    best_machine = kInvalidMachine;
+    for (MachineId m = 0; m < cluster_.num_machines(); ++m) {
+      const Time s = earliest_fit_on(id, m, not_before);
+      if (s < best) {
+        best = s;
+        best_machine = m;
+      }
+    }
+    return best;
   }
 
   void commit(JobId id, MachineId m, Time start) override {
-    const Job& j = job(id);  // also enforces release visibility
-    if (committed_[static_cast<std::size_t>(id)]) {
-      throw std::logic_error("commit: job " + std::to_string(id) +
-                             " already committed (non-preemptive model)");
-    }
-    // Tolerate microscopic clock skew but not genuine past starts.
-    if (start < now_ - 1e-9) {
-      throw std::logic_error("commit: start " + std::to_string(start) +
-                             " is in the past (now=" + std::to_string(now_) +
-                             ")");
-    }
-    if (start + 1e-9 < j.release) {
-      throw std::logic_error("commit: start precedes release of job " +
-                             std::to_string(id));
-    }
-    cluster_.reserve(j, m, start);  // throws if infeasible
-    schedule_.assign(id, m, start);
-    if (options_.record_events) {
-      log_.push_back({EventRecord::Kind::kCommit, now_, id, m, start});
-    }
-    committed_[static_cast<std::size_t>(id)] = true;
-    pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                   pending_.end());
-    push({start + j.processing, EventKind::kCompletion, seq_++, id, m});
+    commit_impl(id, m, start, /*throwing=*/true);
+  }
+
+  bool try_commit(JobId id, MachineId m, Time start) override {
+    return commit_impl(id, m, start, /*throwing=*/false);
   }
 
   void schedule_wakeup(Time t) override {
@@ -111,8 +129,125 @@ class Engine final : public EngineContext {
     }
   }
 
+  int retry_count(JobId id) const override {
+    return retries_.at(static_cast<std::size_t>(id));
+  }
+
+  Time earliest_start(JobId id) const override {
+    return std::max(now_, gate_.at(static_cast<std::size_t>(id)));
+  }
+
+  bool machine_up(MachineId m) const override {
+    return machine_down_flag_.at(static_cast<std::size_t>(m)) == 0;
+  }
+
  private:
+  /// One committed reservation currently on a machine's calendar.  Tracked
+  /// only in faulty runs (the fault-free path never needs to revisit one).
+  struct LiveRes {
+    JobId job;
+    Time start;
+    Time declared_end;  ///< start + declared p_j (scheduler's view)
+    Time occupied_end;  ///< actual occupancy end (>= declared under stragglers)
+    bool extended;      ///< straggler extension already applied
+  };
+
   void push(Event e) { queue_.push(e); }
+
+  bool commit_impl(JobId id, MachineId m, Time start, bool throwing) {
+    if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs() ||
+        !released_[static_cast<std::size_t>(id)]) {
+      if (throwing) job(id);  // throws the canonical visibility error
+      return false;
+    }
+    const Job& j = inst_.job(id);
+    if (committed_[static_cast<std::size_t>(id)]) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: job " + std::to_string(id) +
+                             " already committed (non-preemptive model)");
+    }
+    // Tolerate microscopic clock skew but not genuine past starts.
+    if (start < now_ - 1e-9) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start " + std::to_string(start) +
+                             " is in the past (now=" + std::to_string(now_) +
+                             ")");
+    }
+    if (start + 1e-9 < j.release) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start precedes release of job " +
+                             std::to_string(id));
+    }
+    if (start + 1e-9 < gate_[static_cast<std::size_t>(id)]) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start precedes retry gate of job " +
+                             std::to_string(id));
+    }
+    if (m >= 0 && m < cluster_.num_machines() &&
+        machine_down_flag_[static_cast<std::size_t>(m)] &&
+        start < down_until_[static_cast<std::size_t>(m)] - 1e-9) {
+      // The outage block stops any non-zero demand via capacity, but
+      // zero-demand jobs would slip through; reject all starts inside a
+      // *revealed* outage window explicitly.
+      if (!throwing) return false;
+      throw std::logic_error("commit: machine " + std::to_string(m) +
+                             " is down until t=" +
+                             std::to_string(down_until_[static_cast<std::size_t>(m)]));
+    }
+    if (throwing) {
+      cluster_.reserve(j, m, start);  // throws if infeasible
+    } else {
+      if (m < 0 || m >= cluster_.num_machines() || !cluster_.fits(j, m, start)) {
+        return false;
+      }
+      cluster_.reserve(j, m, start);
+    }
+    schedule_.assign(id, m, start);
+    if (options_.record_events) {
+      log_.push_back({EventRecord::Kind::kCommit, now_, id, m, start});
+    }
+    committed_[static_cast<std::size_t>(id)] = true;
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                   pending_.end());
+    if (faults_) {
+      live_[static_cast<std::size_t>(m)].push_back(
+          {id, start, start + j.processing, start + j.processing, false});
+    }
+    push({start + j.processing, EventKind::kCompletion, seq_++, id, m,
+          epoch_[static_cast<std::size_t>(id)]});
+    return true;
+  }
+
+  /// Re-releases a lost job: invalidates its queued completion, clears the
+  /// assignment, appends it to pending_, and (for genuine losses) advances
+  /// the retry counter and exponential-backoff gate.  The caller notifies
+  /// the scheduler; a gated job instead gets a kRetryReady event at its
+  /// gate, which default-forwards to on_arrival.
+  void requeue(JobId id, MachineId lost_machine, bool count_retry) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    ++epoch_[i];
+    committed_[i] = false;
+    schedule_.unassign(id);
+    Time gate = now_;
+    if (count_retry) {
+      ++retries_[i];
+      if (faults_->retry_backoff > 0.0) {
+        gate = now_ + faults_->retry_backoff * std::ldexp(1.0, retries_[i] - 1);
+      }
+    }
+    gate_[i] = gate;
+    pending_.push_back(id);
+    if (options_.record_events) {
+      log_.push_back({EventRecord::Kind::kRequeue, now_, id, lost_machine, 0.0});
+    }
+    if (gate > now_ + 1e-12) {
+      push({gate, EventKind::kRetryReady, seq_++, id, lost_machine});
+    }
+  }
+
+  bool gated(JobId id) const {
+    return gate_[static_cast<std::size_t>(id)] > now_ + 1e-12;
+  }
 
   const Instance& inst_;
   OnlineScheduler& scheduler_;
@@ -129,13 +264,38 @@ class Engine final : public EngineContext {
   std::vector<char> committed_;
   std::set<Time> wakeups_;
   std::size_t processed_ = 0;
+
+  // Fault/recovery state (inert without a plan).
+  const FaultPlan* faults_ = nullptr;
+  std::vector<Attempt> attempts_;
+  std::vector<int> retries_;            ///< all losses (kills + injections)
+  std::vector<int> injected_;           ///< injected failures only (budget)
+  std::vector<Time> gate_;              ///< retry-backoff gates
+  std::vector<std::uint64_t> epoch_;    ///< invalidates stale completions
+  std::vector<char> machine_down_flag_;
+  std::vector<Time> down_until_;        ///< repair time of the live outage
+  std::vector<std::vector<LiveRes>> live_;  ///< per machine, commit order
 };
 
 RunResult Engine::run() {
+  if (options_.faults) {
+    options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
+    if (!options_.faults->empty()) faults_ = options_.faults;
+  }
+
   // Seed arrival events.
   for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
     const Job& j = inst_.jobs()[i];
     push({j.release, EventKind::kArrival, seq_++, j.id});
+  }
+  // Seed crash/repair events.  Capacity is blocked only when a crash is
+  // *processed*, so calendars never leak future outages to schedulers.
+  if (faults_) {
+    for (std::size_t i = 0; i < faults_->outages.size(); ++i) {
+      const OutageWindow& o = faults_->outages[i];
+      push({o.down, EventKind::kMachineDown, seq_++, kInvalidJob, o.machine, i});
+      push({o.up, EventKind::kMachineUp, seq_++, kInvalidJob, o.machine, i});
+    }
   }
 
   scheduler_.on_start(*this);
@@ -146,6 +306,41 @@ RunResult Engine::run() {
     queue_.pop();
     assert(e.t >= now_ - 1e-9 && "events must be non-decreasing in time");
     now_ = std::max(now_, e.t);
+    if (faults_) {
+      if (e.kind == EventKind::kCompletion &&
+          e.aux != epoch_[static_cast<std::size_t>(e.job)]) {
+        continue;  // superseded by a requeue/cancel
+      }
+      if (e.kind == EventKind::kRetryReady &&
+          (committed_[static_cast<std::size_t>(e.job)] || gated(e.job))) {
+        continue;  // committed meanwhile, or lost again with a later gate
+      }
+      if (e.kind == EventKind::kCompletion) {
+        // Straggler check: if the declared completion passes without the
+        // actual (stretched) runtime elapsing, extend the occupancy and
+        // re-arm the completion at the actual end.
+        auto& lv = live_[static_cast<std::size_t>(e.machine)];
+        auto it = std::find_if(lv.begin(), lv.end(), [&](const LiveRes& r) {
+          return r.job == e.job;
+        });
+        assert(it != lv.end() && "live completion without a reservation");
+        if (!it->extended) {
+          const Job& j = inst_.job(e.job);
+          const Time actual_end =
+              it->start + faults_->actual_processing(e.job, j.processing);
+          if (actual_end > it->declared_end + 1e-12) {
+            cluster_.force_reserve(e.machine, it->declared_end,
+                                   actual_end - it->declared_end, j.demand);
+            it->occupied_end = actual_end;
+            it->extended = true;
+            push({actual_end, EventKind::kCompletion, seq_++, e.job, e.machine,
+                  e.aux});
+            continue;  // not done yet; the real completion fires later
+          }
+          it->extended = true;  // declared == actual; nothing to extend
+        }
+      }
+    }
     ++processed_;
     if (options_.record_events) {
       EventRecord rec;
@@ -162,6 +357,15 @@ RunResult Engine::run() {
         case EventKind::kWakeup:
           rec.kind = EventRecord::Kind::kWakeup;
           break;
+        case EventKind::kMachineDown:
+          rec.kind = EventRecord::Kind::kMachineDown;
+          break;
+        case EventKind::kMachineUp:
+          rec.kind = EventRecord::Kind::kMachineUp;
+          break;
+        case EventKind::kRetryReady:
+          rec.kind = EventRecord::Kind::kRetryReady;
+          break;
       }
       log_.push_back(rec);
     }
@@ -171,12 +375,98 @@ RunResult Engine::run() {
         pending_.push_back(e.job);
         scheduler_.on_arrival(*this, e.job);
         break;
-      case EventKind::kCompletion:
+      case EventKind::kCompletion: {
+        if (faults_) {
+          auto& lv = live_[static_cast<std::size_t>(e.machine)];
+          auto it = std::find_if(lv.begin(), lv.end(), [&](const LiveRes& r) {
+            return r.job == e.job;
+          });
+          const LiveRes res = *it;
+          lv.erase(it);
+          const std::size_t ji = static_cast<std::size_t>(e.job);
+          const bool fail =
+              faults_->failure_prob > 0.0 &&
+              injected_[ji] < faults_->max_retries &&
+              failure_draw(faults_->seed, e.job, retries_[ji]) <
+                  faults_->failure_prob;
+          if (fail) {
+            attempts_.push_back({e.job, e.machine, res.start, now_,
+                                 Attempt::Outcome::kJobFailure});
+            ++injected_[ji];
+            if (options_.record_events) {
+              log_.push_back(
+                  {EventRecord::Kind::kJobFailed, now_, e.job, e.machine, 0.0});
+            }
+            requeue(e.job, e.machine, /*count_retry=*/true);
+            if (!gated(e.job)) scheduler_.on_arrival(*this, e.job);
+            break;  // the job did not complete
+          }
+          attempts_.push_back({e.job, e.machine, res.start, now_,
+                               Attempt::Outcome::kCompleted});
+        }
         --remaining;
         scheduler_.on_completion(*this, e.job, e.machine);
         break;
+      }
       case EventKind::kWakeup:
         scheduler_.on_wakeup(*this);
+        break;
+      case EventKind::kMachineDown: {
+        const OutageWindow& o = faults_->outages[e.aux];
+        const std::size_t mi = static_cast<std::size_t>(e.machine);
+        machine_down_flag_[mi] = 1;
+        down_until_[mi] = o.up;
+        cluster_.block(e.machine, o.down, o.up);
+        // Partition the machine's reservations: running jobs (started
+        // before the crash) are killed and their work is lost; ones that
+        // would start inside the window are silently cancelled; ones
+        // starting at/after the repair survive untouched.
+        std::vector<LiveRes> killed, cancelled;
+        auto& lv = live_[mi];
+        for (auto it = lv.begin(); it != lv.end();) {
+          if (it->start >= o.up) {
+            ++it;
+          } else if (it->start >= o.down) {
+            cancelled.push_back(*it);
+            it = lv.erase(it);
+          } else {
+            killed.push_back(*it);
+            it = lv.erase(it);
+          }
+        }
+        for (const LiveRes& r : killed) {
+          // [r.start, down) was real usage and stays on the calendar; the
+          // tail the dead job would still hold is freed.
+          cluster_.release(e.machine, o.down, r.occupied_end - o.down,
+                           inst_.job(r.job).demand);
+          attempts_.push_back({r.job, e.machine, r.start, o.down,
+                               Attempt::Outcome::kMachineFailure});
+          requeue(r.job, e.machine, /*count_retry=*/true);
+        }
+        for (const LiveRes& r : cancelled) {
+          cluster_.release(e.machine, r.start, r.declared_end - r.start,
+                           inst_.job(r.job).demand);
+          requeue(r.job, e.machine, /*count_retry=*/false);
+        }
+        scheduler_.on_machine_down(*this, e.machine);
+        for (const LiveRes& r : killed) {
+          if (!committed_[static_cast<std::size_t>(r.job)] && !gated(r.job)) {
+            scheduler_.on_arrival(*this, r.job);
+          }
+        }
+        for (const LiveRes& r : cancelled) {
+          if (!committed_[static_cast<std::size_t>(r.job)] && !gated(r.job)) {
+            scheduler_.on_arrival(*this, r.job);
+          }
+        }
+        break;
+      }
+      case EventKind::kMachineUp:
+        machine_down_flag_[static_cast<std::size_t>(e.machine)] = 0;
+        scheduler_.on_machine_up(*this, e.machine);
+        break;
+      case EventKind::kRetryReady:
+        scheduler_.on_retry_ready(*this, e.job);
         break;
     }
     if (queue_.empty() && remaining > 0) {
@@ -190,7 +480,8 @@ RunResult Engine::run() {
   if (!schedule_.complete()) {
     throw std::runtime_error("run_online: schedule incomplete after run");
   }
-  return RunResult{std::move(schedule_), processed_, std::move(log_)};
+  return RunResult{std::move(schedule_), processed_, std::move(log_),
+                   std::move(attempts_)};
 }
 
 }  // namespace
@@ -205,6 +496,16 @@ const char* event_kind_name(EventRecord::Kind kind) {
       return "wakeup";
     case EventRecord::Kind::kCommit:
       return "commit";
+    case EventRecord::Kind::kMachineDown:
+      return "machine-down";
+    case EventRecord::Kind::kMachineUp:
+      return "machine-up";
+    case EventRecord::Kind::kJobFailed:
+      return "job-failed";
+    case EventRecord::Kind::kRequeue:
+      return "requeue";
+    case EventRecord::Kind::kRetryReady:
+      return "retry-ready";
   }
   return "?";
 }

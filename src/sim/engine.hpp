@@ -4,9 +4,18 @@
 // wakeups (MRIS's interval boundaries gamma_k).
 //
 // Event ordering at equal timestamps: completions first (capacity frees at
-// C_j since jobs occupy [S_j, C_j)), then arrivals, then wakeups (so a
-// wakeup at gamma_k observes every job with r_j <= gamma_k, as Algorithm 1
-// line 3 requires).
+// C_j since jobs occupy [S_j, C_j)), then machine repairs, then machine
+// crashes, then arrivals (so an arrival observes the post-fault cluster),
+// then retry-ready notifications, then wakeups (so a wakeup at gamma_k
+// observes every job with r_j <= gamma_k, as Algorithm 1 line 3 requires).
+//
+// Fault semantics (RunOptions::faults, see sim/faults.hpp): a machine
+// outage kills every job running on it (the work is lost; the job is
+// re-released to the scheduler and restarts from scratch), cancels every
+// reservation starting inside the window, and blocks the window's capacity.
+// Stragglers extend a job's occupancy at its would-be completion; injected
+// failures turn a completion into a requeue.  With no fault plan the engine
+// byte-identically reproduces the fault-free behavior.
 #pragma once
 
 #include <memory>
@@ -17,6 +26,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
 
 namespace mris {
 
@@ -34,6 +44,8 @@ class OnlineScheduler {
   virtual void on_start(EngineContext& /*ctx*/) {}
 
   /// A job was released; its parameters are now visible via ctx.job().
+  /// Under faults this also fires when a killed/failed job is re-released
+  /// (distinguish via ctx.retry_count(job) > 0).
   virtual void on_arrival(EngineContext& /*ctx*/, JobId /*job*/) {}
 
   /// A committed job finished on `machine` (capacity already freed).
@@ -42,6 +54,21 @@ class OnlineScheduler {
 
   /// A wakeup previously requested via ctx.schedule_wakeup() fired.
   virtual void on_wakeup(EngineContext& /*ctx*/) {}
+
+  /// Machine `machine` crashed; its in-flight jobs were already killed and
+  /// re-released (each re-fires on_arrival after this callback).
+  virtual void on_machine_down(EngineContext& /*ctx*/, MachineId /*machine*/) {
+  }
+
+  /// Machine `machine` repaired; its capacity is available again.
+  virtual void on_machine_up(EngineContext& /*ctx*/, MachineId /*machine*/) {}
+
+  /// A requeued job's retry backoff expired and it is still uncommitted.
+  /// Defaults to re-exposing the job like an arrival, which makes every
+  /// arrival-driven scheduler retry-aware for free.
+  virtual void on_retry_ready(EngineContext& ctx, JobId job) {
+    on_arrival(ctx, job);
+  }
 };
 
 /// The scheduler-facing API of the running simulation.  Only released jobs
@@ -59,7 +86,8 @@ class EngineContext {
   /// not yet arrived (prevents accidental clairvoyance).
   virtual const Job& job(JobId id) const = 0;
 
-  /// Released-but-uncommitted jobs, in release order.
+  /// Released-but-uncommitted jobs, in release order (re-released jobs are
+  /// appended at their requeue time).
   virtual const std::vector<JobId>& pending() const = 0;
 
   /// Read access to machine reservation calendars.
@@ -79,17 +107,48 @@ class EngineContext {
   /// (start >= now enforced; future starts are reservations a la MRIS).
   virtual void commit(JobId id, MachineId m, Time start) = 0;
 
+  /// Non-throwing commit: returns false (leaving all state untouched)
+  /// where commit() would throw — the job is unreleased/committed/gated,
+  /// the start is in the past, or the reservation no longer fits (e.g. the
+  /// scheduler lost a race with a machine outage).  True means the
+  /// reservation was made exactly as by commit().
+  virtual bool try_commit(JobId id, MachineId m, Time start) = 0;
+
   /// Requests on_wakeup() at time t (>= now).  Duplicate times coalesce.
   virtual void schedule_wakeup(Time t) = 0;
+
+  // Fault/recovery observability -------------------------------------
+  // (trivial constants in fault-free runs)
+
+  /// Failed attempts of `id` so far (outage kills + injected failures).
+  virtual int retry_count(JobId id) const = 0;
+
+  /// Earliest time `id` may start: max(now, its retry-backoff gate).
+  /// Commits below this are rejected; schedulers should place requeued
+  /// jobs no earlier than this.
+  virtual Time earliest_start(JobId id) const = 0;
+
+  /// False while machine m is inside a revealed outage window.
+  virtual bool machine_up(MachineId m) const = 0;
 };
 
 /// One entry of the optional engine event log (observability/debugging).
 struct EventRecord {
-  enum class Kind { kArrival, kCompletion, kWakeup, kCommit };
+  enum class Kind {
+    kArrival,
+    kCompletion,
+    kWakeup,
+    kCommit,
+    kMachineDown,
+    kMachineUp,
+    kJobFailed,   ///< injected failure at the job's actual completion
+    kRequeue,     ///< a killed/failed job was re-released to the scheduler
+    kRetryReady,  ///< a requeued job's backoff gate expired
+  };
   Kind kind;
   Time t = 0.0;                        ///< when the event was processed
-  JobId job = kInvalidJob;             ///< kArrival/kCompletion/kCommit
-  MachineId machine = kInvalidMachine; ///< kCompletion/kCommit
+  JobId job = kInvalidJob;             ///< job-scoped kinds
+  MachineId machine = kInvalidMachine; ///< machine-scoped kinds
   Time start = 0.0;                    ///< kCommit: the committed start
 };
 
@@ -101,10 +160,18 @@ struct RunResult {
   Schedule schedule;
   std::size_t num_events = 0;  ///< processed engine events (diagnostics)
   std::vector<EventRecord> log;  ///< populated when requested
+  /// Execution attempts, in completion/kill order.  Populated only when a
+  /// fault plan was supplied (fault-free runs: exactly one successful
+  /// attempt per job, so the schedule says it all).
+  std::vector<Attempt> attempts;
 };
 
 struct RunOptions {
   bool record_events = false;  ///< fill RunResult::log (commits included)
+
+  /// Optional fault plan (not owned; must outlive the run).  nullptr or an
+  /// empty plan selects the zero-overhead fault-free path.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Simulates `scheduler` on `inst` from t=0 until every job is committed

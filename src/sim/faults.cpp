@@ -1,0 +1,350 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mris {
+
+bool FaultPlan::empty() const noexcept {
+  if (!outages.empty()) return false;
+  if (failure_prob > 0.0) return false;
+  for (double s : stretch) {
+    if (s != 1.0) return false;
+  }
+  return true;
+}
+
+void FaultPlan::validate(int num_machines, std::size_t num_jobs) const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("FaultPlan: " + what);
+  };
+  if (!(failure_prob >= 0.0) || failure_prob >= 1.0) {
+    bad("failure_prob must lie in [0, 1)");
+  }
+  if (max_retries < 0) bad("max_retries must be >= 0");
+  if (retry_backoff < 0.0) bad("retry_backoff must be >= 0");
+  if (!stretch.empty() && stretch.size() != num_jobs) {
+    bad("stretch has " + std::to_string(stretch.size()) +
+        " entries for " + std::to_string(num_jobs) + " jobs");
+  }
+  for (double s : stretch) {
+    if (!(s >= 1.0) || !std::isfinite(s)) bad("stretch factors must be >= 1");
+  }
+  if (!std::is_sorted(outages.begin(), outages.end(),
+                      [](const OutageWindow& a, const OutageWindow& b) {
+                        return a.down < b.down;
+                      })) {
+    bad("outages must be sorted by down time");
+  }
+  std::vector<Time> last_up(static_cast<std::size_t>(std::max(num_machines, 0)),
+                            -std::numeric_limits<Time>::infinity());
+  for (const OutageWindow& o : outages) {
+    if (o.machine < 0 || o.machine >= num_machines) {
+      bad("outage machine " + std::to_string(o.machine) + " out of range");
+    }
+    if (!(o.up > o.down) || o.down < 0.0 || !std::isfinite(o.up)) {
+      bad("outage window must satisfy 0 <= down < up < inf");
+    }
+    Time& prev = last_up[static_cast<std::size_t>(o.machine)];
+    if (o.down <= prev) {
+      bad("outage windows of machine " + std::to_string(o.machine) +
+          " overlap or touch");
+    }
+    prev = o.up;
+  }
+}
+
+double failure_draw(std::uint64_t seed, JobId job, int attempt) {
+  // Counter-based: one splitmix64 chain keyed by (seed, job, attempt), so
+  // the draw is independent of when the engine asks for it.
+  std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+  util::splitmix64(state);
+  state ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32;
+  state ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt));
+  const std::uint64_t bits = util::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
+                          std::uint64_t seed) {
+  FaultPlan plan;
+  plan.failure_prob = spec.failure_prob;
+  plan.max_retries = spec.max_retries;
+  plan.retry_backoff = spec.retry_backoff;
+  plan.seed = seed;
+
+  Time horizon = spec.horizon;
+  if (horizon <= 0.0) {
+    horizon = inst.last_release() + 4.0 * inst.max_processing();
+  }
+
+  // Outages: per machine, alternate exponential up-times (mean mtbf) and
+  // down-times (mean mttr, floored) until the horizon.  One jumped RNG
+  // stream per machine keeps plans identical under machine-count changes.
+  const bool outages_on =
+      spec.mtbf > 0.0 && std::isfinite(spec.mtbf) && horizon > 0.0;
+  if (outages_on) {
+    util::Xoshiro256 machine_rng(seed ^ 0x6f75746167655eULL);
+    for (MachineId m = 0; m < inst.num_machines(); ++m) {
+      util::Xoshiro256 rng = machine_rng;
+      machine_rng.jump();
+      Time t = 0.0;
+      for (;;) {
+        t += util::exponential(rng, 1.0 / spec.mtbf);
+        if (t >= horizon) break;
+        const Time repair = std::max(
+            spec.min_outage, util::exponential(rng, 1.0 / spec.mttr));
+        plan.outages.push_back({m, t, t + repair});
+        t += repair;
+      }
+    }
+    std::sort(plan.outages.begin(), plan.outages.end(),
+              [](const OutageWindow& a, const OutageWindow& b) {
+                if (a.down != b.down) return a.down < b.down;
+                return a.machine < b.machine;
+              });
+  }
+
+  if (spec.straggler_prob > 0.0) {
+    util::Xoshiro256 rng(seed ^ 0x73747261676c65ULL);
+    plan.stretch.assign(inst.num_jobs(), 1.0);
+    for (std::size_t j = 0; j < inst.num_jobs(); ++j) {
+      const double roll = util::uniform01(rng);
+      const double stretch = util::uniform(rng, spec.stretch_lo,
+                                           spec.stretch_hi);
+      // Both draws are consumed unconditionally so per-job streams stay
+      // aligned when straggler_prob changes.
+      if (roll < spec.straggler_prob) plan.stretch[j] = stretch;
+    }
+  }
+
+  plan.validate(inst.num_machines(), inst.num_jobs());
+  return plan;
+}
+
+const char* attempt_outcome_name(Attempt::Outcome outcome) {
+  switch (outcome) {
+    case Attempt::Outcome::kCompleted:
+      return "completed";
+    case Attempt::Outcome::kMachineFailure:
+      return "machine-failure";
+    case Attempt::Outcome::kJobFailure:
+      return "job-failure";
+  }
+  return "?";
+}
+
+FaultMetrics summarize_attempts(const Instance& inst,
+                                const std::vector<Attempt>& attempts) {
+  FaultMetrics m;
+  m.retries.assign(inst.num_jobs(), 0);
+  for (const Attempt& a : attempts) {
+    ++m.total_attempts;
+    const double work =
+        std::max(0.0, a.end - a.start) * inst.job(a.job).total_demand();
+    switch (a.outcome) {
+      case Attempt::Outcome::kCompleted:
+        m.useful_work += work;
+        break;
+      case Attempt::Outcome::kMachineFailure:
+        ++m.killed_by_outage;
+        ++m.retries[static_cast<std::size_t>(a.job)];
+        m.wasted_work += work;
+        break;
+      case Attempt::Outcome::kJobFailure:
+        ++m.injected_failures;
+        ++m.retries[static_cast<std::size_t>(a.job)];
+        m.wasted_work += work;
+        break;
+    }
+  }
+  const double total = m.useful_work + m.wasted_work;
+  m.goodput = total > 0.0 ? m.useful_work / total : 1.0;
+  return m;
+}
+
+namespace {
+
+ValidationResult fail(const std::string& message) {
+  return ValidationResult{false, message};
+}
+
+}  // namespace
+
+ValidationResult validate_fault_run(const Instance& inst,
+                                    const FaultPlan& plan,
+                                    const std::vector<Attempt>& attempts,
+                                    const Schedule& schedule,
+                                    const FaultValidationOptions& options) {
+  const double tol = options.tolerance;
+
+  // 1. Final schedule: feasible and clear of outage windows.
+  const ValidationResult base =
+      validate_schedule(inst, schedule, plan.outages, tol);
+  if (!base) return base;
+
+  // 2. Per-attempt consistency.
+  std::vector<int> completed(inst.num_jobs(), 0);
+  std::vector<int> injected(inst.num_jobs(), 0);
+  std::vector<Time> last_end(inst.num_jobs(),
+                             -std::numeric_limits<Time>::infinity());
+  for (const Attempt& a : attempts) {
+    if (a.job < 0 || static_cast<std::size_t>(a.job) >= inst.num_jobs()) {
+      return fail("attempt names unknown job " + std::to_string(a.job));
+    }
+    if (a.machine < 0 || a.machine >= inst.num_machines()) {
+      return fail("attempt of job " + std::to_string(a.job) +
+                  " names machine " + std::to_string(a.machine) +
+                  " out of range");
+    }
+    const Job& j = inst.job(a.job);
+    if (a.start + tol < j.release) {
+      return fail("attempt of job " + std::to_string(a.job) +
+                  " starts before its release");
+    }
+    if (a.end + tol < a.start) {
+      return fail("attempt of job " + std::to_string(a.job) +
+                  " ends before it starts");
+    }
+    if (a.start + tol < last_end[static_cast<std::size_t>(a.job)]) {
+      return fail("attempts of job " + std::to_string(a.job) + " overlap");
+    }
+    last_end[static_cast<std::size_t>(a.job)] = a.end;
+
+    const Time actual = plan.actual_processing(a.job, j.processing);
+    switch (a.outcome) {
+      case Attempt::Outcome::kCompleted: {
+        ++completed[static_cast<std::size_t>(a.job)];
+        if (std::abs(a.end - (a.start + actual)) > tol) {
+          return fail("completed attempt of job " + std::to_string(a.job) +
+                      " has wrong duration");
+        }
+        const Assignment& asg = schedule.assignment(a.job);
+        if (!asg.assigned() || asg.machine != a.machine ||
+            std::abs(asg.start - a.start) > tol) {
+          return fail("completed attempt of job " + std::to_string(a.job) +
+                      " disagrees with the final schedule");
+        }
+        break;
+      }
+      case Attempt::Outcome::kMachineFailure: {
+        // The kill instant must be the start of an outage of that machine
+        // that the attempt was running across.
+        bool matched = false;
+        for (const OutageWindow& o : plan.outages) {
+          if (o.machine == a.machine && std::abs(o.down - a.end) <= tol &&
+              a.start < o.down + tol) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return fail("machine-failure attempt of job " +
+                      std::to_string(a.job) +
+                      " does not end at an outage of machine " +
+                      std::to_string(a.machine));
+        }
+        break;
+      }
+      case Attempt::Outcome::kJobFailure:
+        ++injected[static_cast<std::size_t>(a.job)];
+        if (std::abs(a.end - (a.start + actual)) > tol) {
+          return fail("failed attempt of job " + std::to_string(a.job) +
+                      " has wrong duration");
+        }
+        break;
+    }
+
+    // No attempt occupancy may reach into an outage window of its machine
+    // (killed attempts end exactly at `down`, handled by the tolerance).
+    for (const OutageWindow& o : plan.outages) {
+      if (o.machine != a.machine) continue;
+      if (a.end > o.down + tol && a.start < o.up - tol) {
+        std::ostringstream msg;
+        msg << attempt_outcome_name(a.outcome) << " attempt of job " << a.job
+            << " occupies [" << a.start << ", " << a.end
+            << ") across outage [" << o.down << ", " << o.up
+            << ") of machine " << o.machine;
+        return fail(msg.str());
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    if (completed[i] != 1) {
+      return fail("job " + std::to_string(i) + " has " +
+                  std::to_string(completed[i]) +
+                  " completed attempts (want exactly 1)");
+    }
+    if (injected[i] > plan.max_retries) {
+      return fail("job " + std::to_string(i) + " suffered " +
+                  std::to_string(injected[i]) +
+                  " injected failures, above the retry budget of " +
+                  std::to_string(plan.max_retries));
+    }
+  }
+
+  // 3. Capacity over actual occupancy, per machine.  Straggler overruns
+  // (the [S + p_j, end) tail of a stretched attempt) may oversubscribe
+  // under the default policy.
+  const int R = inst.num_resources();
+  for (MachineId m = 0; m < inst.num_machines(); ++m) {
+    struct Ev {
+      Time t;
+      int kind;  // 0 = end (release), 1 = start (acquire)
+      const Attempt* a;
+    };
+    std::vector<Ev> events;
+    std::vector<const Attempt*> on_machine;
+    for (const Attempt& a : attempts) {
+      if (a.machine != m || a.end <= a.start) continue;
+      on_machine.push_back(&a);
+      events.push_back({a.start, 1, &a});
+      events.push_back({a.end, 0, &a});
+    }
+    std::sort(events.begin(), events.end(), [](const Ev& x, const Ev& y) {
+      if (x.t != y.t) return x.t < y.t;
+      return x.kind < y.kind;
+    });
+    std::vector<double> usage(static_cast<std::size_t>(R), 0.0);
+    for (const Ev& e : events) {
+      const Job& j = inst.job(e.a->job);
+      const double sign = e.kind == 1 ? 1.0 : -1.0;
+      for (int l = 0; l < R; ++l) {
+        usage[static_cast<std::size_t>(l)] +=
+            sign * j.demand[static_cast<std::size_t>(l)];
+      }
+      if (e.kind != 1) continue;
+      bool overloaded = false;
+      for (int l = 0; l < R; ++l) {
+        if (usage[static_cast<std::size_t>(l)] > 1.0 + tol) overloaded = true;
+      }
+      if (!overloaded) continue;
+      if (options.allow_straggler_oversubscription) {
+        bool in_overrun = false;
+        for (const Attempt* a : on_machine) {
+          const Time declared_end = a->start + inst.job(a->job).processing;
+          if (a->end > declared_end + tol && e.t > declared_end - tol &&
+              e.t < a->end + tol) {
+            in_overrun = true;
+            break;
+          }
+        }
+        if (in_overrun) continue;
+      }
+      std::ostringstream msg;
+      msg << "machine " << m << " overloaded at t=" << e.t
+          << " over actual attempt occupancy (job " << e.a->job
+          << " starting)";
+      return fail(msg.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace mris

@@ -1,0 +1,172 @@
+// Fault model for the online engine: seeded, deterministic fault plans that
+// turn the fault-free simulator of Section 3 into a testbed for the
+// imperfect clusters real multi-resource schedulers face.  Three fault
+// classes are modeled:
+//
+//  * Machine outages — machine m crashes at `down` and repairs at `up`;
+//    every job running on m at `down` is killed (non-preemptive semantics:
+//    the work is lost and the job restarts from scratch), every reservation
+//    that would start inside [down, up) is cancelled, and the window is a
+//    zero-capacity period nothing may overlap.
+//  * Stragglers — a job's actual runtime is `stretch * p_j` (stretch >= 1),
+//    revealed only at the would-be completion: the scheduler packs against
+//    the declared p_j and the engine extends the occupancy when the declared
+//    completion passes without the job finishing.
+//  * Probabilistic job failure — at each actual completion the attempt
+//    fails with probability `failure_prob`, at most `max_retries` times per
+//    job, after which the injection stops so every run terminates.
+//
+// All randomness is resolved either ahead of time (outage windows, stretch
+// factors, in make_fault_plan) or by a counter-based hash of
+// (seed, job, attempt) (failure draws), so a plan replays byte-identically
+// regardless of scheduler behavior or event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace mris {
+
+/// A fully materialized fault plan for one run.  Empty plan == fault-free.
+struct FaultPlan {
+  /// Outage windows, sorted by `down`; windows of one machine must not
+  /// overlap or touch (enforced by validate()).
+  std::vector<OutageWindow> outages;
+
+  /// Per-job runtime multiplier (>= 1).  Empty means no stragglers;
+  /// otherwise the size must equal the instance's job count.
+  std::vector<double> stretch;
+
+  /// Per-attempt failure probability in [0, 1).
+  double failure_prob = 0.0;
+
+  /// Injected failures per job are capped at this many, so the (retry+1)-th
+  /// attempt of a job always succeeds.  Outage kills are not counted
+  /// against this budget (outages are finite, so termination still holds).
+  int max_retries = 3;
+
+  /// Base retry backoff: after the k-th loss of a job the engine gates its
+  /// restart to `loss_time + retry_backoff * 2^(k-1)`.  0 disables gating.
+  Time retry_backoff = 0.0;
+
+  /// Seed for the counter-based per-attempt failure draws.
+  std::uint64_t seed = 0;
+
+  /// True when the plan injects nothing (the engine then takes the
+  /// zero-overhead fault-free path).
+  bool empty() const noexcept;
+
+  /// Throws std::invalid_argument if the plan is malformed for an instance
+  /// with the given shape (machine ids out of range, unsorted/overlapping
+  /// windows, stretch size/value violations, probability out of range).
+  void validate(int num_machines, std::size_t num_jobs) const;
+
+  /// Actual runtime of job `id` with declared processing time `p`.
+  Time actual_processing(JobId id, Time p) const {
+    return stretch.empty() ? p : p * stretch[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Deterministic uniform [0,1) draw for the `attempt`-th completion of
+/// `job` under `seed` — independent of event interleaving.
+double failure_draw(std::uint64_t seed, JobId job, int attempt);
+
+/// Generator knobs for make_fault_plan.  Times share the instance's unit.
+struct FaultSpec {
+  /// Mean time between failures per machine (exponential up-times).
+  /// <= 0 or +inf disables outages.
+  double mtbf = 0.0;
+
+  /// Mean time to repair (exponential down-times, floored at min_outage).
+  double mttr = 1.0;
+
+  /// Shortest generated outage (guards degenerate zero-length windows).
+  double min_outage = 1e-3;
+
+  /// Outages are generated in [0, horizon); <= 0 derives a horizon from
+  /// the instance (last release + 4 * max processing time).
+  Time horizon = 0.0;
+
+  /// Fraction of jobs that straggle; their stretch is uniform in
+  /// [stretch_lo, stretch_hi].
+  double straggler_prob = 0.0;
+  double stretch_lo = 1.5;
+  double stretch_hi = 4.0;
+
+  double failure_prob = 0.0;  ///< per-attempt failure probability
+  int max_retries = 3;
+  Time retry_backoff = 0.0;
+};
+
+/// Materializes a deterministic plan: same (spec, instance shape, seed) ==
+/// identical plan.  Outage windows are drawn per machine as alternating
+/// exponential up/down periods; stragglers are drawn per job.
+FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
+                          std::uint64_t seed);
+
+/// One execution attempt of a job, as recorded by the engine.  `end` is the
+/// actual occupancy end: the kill time for kMachineFailure, the actual
+/// (stretched) completion for kCompleted and kJobFailure.
+struct Attempt {
+  enum class Outcome {
+    kCompleted,       ///< ran to completion
+    kMachineFailure,  ///< killed mid-run by a machine outage
+    kJobFailure,      ///< injected probabilistic failure at completion
+  };
+
+  JobId job = kInvalidJob;
+  MachineId machine = kInvalidMachine;
+  Time start = 0.0;
+  Time end = 0.0;
+  Outcome outcome = Outcome::kCompleted;
+};
+
+/// Short name of an attempt outcome ("completed", "machine-failure", ...).
+const char* attempt_outcome_name(Attempt::Outcome outcome);
+
+/// Recovery metrics over one faulty run (per-job retry counts, wasted work,
+/// goodput) — the robustness counterparts of core/metrics.hpp.
+struct FaultMetrics {
+  std::vector<int> retries;        ///< failed attempts per job (by JobId)
+  std::size_t total_attempts = 0;
+  std::size_t killed_by_outage = 0;
+  std::size_t injected_failures = 0;
+  double useful_work = 0.0;  ///< sum over completed attempts of u_j * run
+  double wasted_work = 0.0;  ///< same sum over killed/failed attempts
+  /// useful / (useful + wasted); 1 when no work was performed at all.
+  double goodput = 1.0;
+};
+
+FaultMetrics summarize_attempts(const Instance& inst,
+                                const std::vector<Attempt>& attempts);
+
+struct FaultValidationOptions {
+  /// Stragglers overrun reservations the scheduler packed in good faith
+  /// against declared processing times; real clusters oversubscribe in that
+  /// case, so capacity breaches covered by a straggler's extension interval
+  /// are tolerated by default.
+  bool allow_straggler_oversubscription = true;
+  double tolerance = 1e-9;
+};
+
+/// Full feasibility check of a faulty run:
+///  * the final schedule is feasible and avoids outage windows
+///    (validate_schedule with the plan's outages, i.e. zero-capacity
+///    periods);
+///  * every job has exactly one completed attempt, matching the schedule;
+///  * failed attempts end consistently (machine kills at an outage start,
+///    injected failures at the actual completion) and never overlap an
+///    outage of their machine;
+///  * per-machine capacity holds over *actual* attempt occupancy, modulo
+///    the straggler oversubscription policy;
+///  * injected failures respect the per-job retry budget.
+ValidationResult validate_fault_run(const Instance& inst,
+                                    const FaultPlan& plan,
+                                    const std::vector<Attempt>& attempts,
+                                    const Schedule& schedule,
+                                    const FaultValidationOptions& options = {});
+
+}  // namespace mris

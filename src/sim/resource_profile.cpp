@@ -104,4 +104,19 @@ void ResourceProfile::reserve(Time start, Time duration,
   }
 }
 
+void ResourceProfile::release(Time start, Time duration,
+                              std::span<const double> demand) {
+  assert(demand.size() == static_cast<std::size_t>(num_resources_));
+  if (duration <= 0.0) return;
+  const Time end = start + duration;
+  const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
+  const std::size_t last = ensure_breakpoint(end);
+  for (std::size_t i = first; i < last; ++i) {
+    for (std::size_t l = 0; l < demand.size(); ++l) {
+      usage_[i][l] -= demand[l];
+      if (usage_[i][l] < 0.0 && usage_[i][l] > -1e-12) usage_[i][l] = 0.0;
+    }
+  }
+}
+
 }  // namespace mris

@@ -49,6 +49,11 @@ class ResourceProfile {
   /// capacity — call fits() first; Cluster enforces this pairing.
   void reserve(Time start, Time duration, std::span<const double> demand);
 
+  /// Subtracts a previously reserved `demand` over [start, start +
+  /// duration) — the cancel/requeue path of the fault model.  Tiny negative
+  /// residues from floating-point rounding are clamped to zero.
+  void release(Time start, Time duration, std::span<const double> demand);
+
   /// Latest breakpoint (== end of the last reservation), 0 when empty.
   Time horizon() const noexcept { return times_.back(); }
 

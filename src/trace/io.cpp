@@ -18,12 +18,13 @@ std::string exact(double v) {
   return buf;
 }
 
-double parse_number(const std::string& s, const char* what) {
+double parse_number(const std::string& s, const char* what,
+                    std::size_t line) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || (end != nullptr && *end != '\0')) {
-    throw std::runtime_error(std::string("workload csv: bad ") + what +
-                             ": '" + s + "'");
+    throw std::runtime_error("workload csv: line " + std::to_string(line) +
+                             ": bad " + what + ": '" + s + "'");
   }
   return v;
 }
@@ -67,18 +68,27 @@ Workload read_workload_csv(std::istream& in) {
   w.resource_names.assign(table.header.begin() + kFixedColumns,
                           table.header.end());
   w.jobs.reserve(table.rows.size());
-  for (const auto& row : table.rows) {
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const std::size_t line =
+        r < table.line_numbers.size() ? table.line_numbers[r] : r + 2;
     if (row.size() != table.header.size()) {
-      throw std::runtime_error("workload csv: row width mismatch");
+      // A short row usually means a truncated file or a stray line break;
+      // point at the exact line and show what is there.
+      throw std::runtime_error(
+          "workload csv: line " + std::to_string(line) + ": expected " +
+          std::to_string(table.header.size()) + " fields, got " +
+          std::to_string(row.size()) + " (row starts '" +
+          (row.empty() ? std::string() : row[0]) + "')");
     }
     TraceJob j;
-    j.release = parse_number(row[0], "release");
-    j.duration = parse_number(row[1], "duration");
-    j.weight = parse_number(row[2], "weight");
-    j.tenant = static_cast<TenantId>(parse_number(row[3], "tenant"));
+    j.release = parse_number(row[0], "release", line);
+    j.duration = parse_number(row[1], "duration", line);
+    j.weight = parse_number(row[2], "weight", line);
+    j.tenant = static_cast<TenantId>(parse_number(row[3], "tenant", line));
     j.demand.reserve(w.resource_names.size());
     for (std::size_t c = kFixedColumns; c < row.size(); ++c) {
-      j.demand.push_back(parse_number(row[c], "demand"));
+      j.demand.push_back(parse_number(row[c], "demand", line));
     }
     w.jobs.push_back(std::move(j));
   }

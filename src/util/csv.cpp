@@ -75,7 +75,9 @@ CsvTable read_csv(std::istream& in, bool has_header) {
   CsvTable table;
   std::string line;
   bool header_pending = has_header;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line == "\r") continue;
     auto fields = parse_csv_line(line);
     if (header_pending) {
@@ -83,6 +85,7 @@ CsvTable read_csv(std::istream& in, bool has_header) {
       header_pending = false;
     } else {
       table.rows.push_back(std::move(fields));
+      table.line_numbers.push_back(line_number);
     }
   }
   return table;

@@ -24,6 +24,11 @@ struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
 
+  /// 1-based physical line number of each data row in the source stream
+  /// (blank lines are skipped, so rows[i] need not sit on line i+2).
+  /// Parallel to `rows`; used for error messages that point at the file.
+  std::vector<std::size_t> line_numbers;
+
   /// Index of a header column, or -1 if absent.
   int column(std::string_view name) const;
 };

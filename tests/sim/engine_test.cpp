@@ -203,5 +203,109 @@ TEST(EngineTest, EmptyInstanceCompletesTrivially) {
   EXPECT_TRUE(r.schedule.complete());
 }
 
+// --- Event ordering at equal timestamps under faults ---------------------
+// The documented order is: completions, repairs, crashes, arrivals,
+// retry-ready, wakeups.  Each test pins one adjacent pair.
+
+TEST(EngineFaultOrderingTest, CompletionAtCrashInstantSurvives) {
+  // Job occupies [0, 2); the machine crashes at exactly t=2.  Completions
+  // are processed before crashes, so the job finishes instead of dying.
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 2.0, 1.0, {1.0}).build();
+  FaultPlan plan;
+  plan.outages = {{0, 2.0, 3.0}};
+  GreedyReserver sched;
+  RunOptions opts;
+  opts.faults = &plan;
+  const RunResult r = run_online(inst, sched, opts);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_EQ(r.attempts[0].outcome, Attempt::Outcome::kCompleted);
+  EXPECT_DOUBLE_EQ(r.attempts[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 0.0);
+}
+
+TEST(EngineFaultOrderingTest, ArrivalAtCrashInstantSeesMachineDown) {
+  class Observer : public OnlineScheduler {
+   public:
+    std::string name() const override { return "observer"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      saw_down = !ctx.machine_up(0);
+      MachineId m = kInvalidMachine;
+      const Time s = ctx.earliest_fit(job, ctx.now(), m);
+      fit = s;
+      ctx.commit(job, m, s);
+    }
+    bool saw_down = false;
+    Time fit = -1.0;
+  };
+  const Instance inst =
+      InstanceBuilder(1, 1).add(2.0, 1.0, 1.0, {1.0}).build();
+  FaultPlan plan;
+  plan.outages = {{0, 2.0, 5.0}};
+  Observer sched;
+  RunOptions opts;
+  opts.faults = &plan;
+  const RunResult r = run_online(inst, sched, opts);
+  EXPECT_TRUE(sched.saw_down);  // the crash was processed first
+  EXPECT_DOUBLE_EQ(sched.fit, 5.0);
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 5.0);
+}
+
+TEST(EngineFaultOrderingTest, RepairProcessedBeforeSameTimeArrival) {
+  class Observer : public OnlineScheduler {
+   public:
+    std::string name() const override { return "observer"; }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      saw_up = ctx.machine_up(0);
+      ctx.commit(job, 0, ctx.now());
+    }
+    bool saw_up = false;
+  };
+  const Instance inst =
+      InstanceBuilder(1, 1).add(3.0, 1.0, 1.0, {1.0}).build();
+  FaultPlan plan;
+  plan.outages = {{0, 1.0, 3.0}};
+  Observer sched;
+  RunOptions opts;
+  opts.faults = &plan;
+  opts.record_events = true;
+  const RunResult r = run_online(inst, sched, opts);
+  EXPECT_TRUE(sched.saw_up);  // repair precedes the arrival at t=3
+  EXPECT_DOUBLE_EQ(r.schedule.start_time(0), 3.0);
+
+  // The log confirms the order of the same-timestamp events.
+  std::vector<EventRecord::Kind> at3;
+  for (const EventRecord& e : r.log) {
+    if (e.t == 3.0) at3.push_back(e.kind);
+  }
+  ASSERT_GE(at3.size(), 2u);
+  EXPECT_EQ(at3[0], EventRecord::Kind::kMachineUp);
+  EXPECT_EQ(at3[1], EventRecord::Kind::kArrival);
+}
+
+TEST(EngineFaultOrderingTest, WakeupAtCrashInstantObservesOutage) {
+  class Waker : public OnlineScheduler {
+   public:
+    std::string name() const override { return "waker"; }
+    void on_start(EngineContext& ctx) override { ctx.schedule_wakeup(2.0); }
+    void on_arrival(EngineContext& ctx, JobId job) override {
+      ctx.commit(job, 0, ctx.now());
+    }
+    void on_wakeup(EngineContext& ctx) override {
+      saw_down = !ctx.machine_up(0);
+    }
+    bool saw_down = false;
+  };
+  const Instance inst =
+      InstanceBuilder(1, 1).add(0.0, 1.0, 1.0, {1.0}).build();
+  FaultPlan plan;
+  plan.outages = {{0, 2.0, 4.0}};
+  Waker sched;
+  RunOptions opts;
+  opts.faults = &plan;
+  run_online(inst, sched, opts);
+  EXPECT_TRUE(sched.saw_down);  // the crash at t=2 precedes the wakeup
+}
+
 }  // namespace
 }  // namespace mris

@@ -50,6 +50,8 @@ TEST(EventLogTest, RecordsAllKindsInTimeOrder) {
       case EventRecord::Kind::kCommit:
         saw_commit = true;
         break;
+      default:
+        break;  // fault kinds cannot appear in a fault-free run
     }
   }
   EXPECT_TRUE(saw_arrival);
@@ -97,6 +99,12 @@ TEST(EventLogTest, KindNames) {
   EXPECT_STREQ(event_kind_name(EventRecord::Kind::kCompletion), "completion");
   EXPECT_STREQ(event_kind_name(EventRecord::Kind::kWakeup), "wakeup");
   EXPECT_STREQ(event_kind_name(EventRecord::Kind::kCommit), "commit");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kMachineDown),
+               "machine-down");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kMachineUp), "machine-up");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kJobFailed), "job-failed");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kRequeue), "requeue");
+  EXPECT_STREQ(event_kind_name(EventRecord::Kind::kRetryReady), "retry-ready");
 }
 
 }  // namespace

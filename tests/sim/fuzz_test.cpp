@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/metrics.hpp"
+#include "sched/pq.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -98,6 +99,54 @@ TEST_P(EngineFuzz, ChaoticSchedulerAlwaysYieldsFeasibleSchedules) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, EngineFuzz, ::testing::Range(1, 40));
+
+// A fixed seed must replay a faulty run byte-identically: same schedule,
+// same attempt history, same event count — the fault plan is materialized
+// up front and failure draws are counter-based, so nothing depends on
+// wall-clock or iteration order.
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, SameSeedReplaysByteIdentically) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = random_instance(seed * 48271);
+
+  FaultSpec spec;
+  spec.mtbf = 15.0;
+  spec.mttr = 2.0;
+  spec.straggler_prob = 0.2;
+  spec.stretch_hi = 2.5;
+  spec.failure_prob = 0.1;
+  spec.retry_backoff = 0.5;
+  const FaultPlan plan = make_fault_plan(spec, inst, seed * 977);
+
+  RunOptions opts;
+  opts.faults = &plan;
+  PriorityQueueScheduler s1, s2;
+  const RunResult a = run_online(inst, s1, opts);
+  const RunResult b = run_online(inst, s2, opts);
+
+  EXPECT_EQ(a.num_events, b.num_events);
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    EXPECT_EQ(a.schedule.assignment(id).machine,
+              b.schedule.assignment(id).machine);
+    EXPECT_EQ(a.schedule.start_time(id), b.schedule.start_time(id));
+  }
+  ASSERT_EQ(a.attempts.size(), b.attempts.size());
+  for (std::size_t i = 0; i < a.attempts.size(); ++i) {
+    EXPECT_EQ(a.attempts[i].job, b.attempts[i].job);
+    EXPECT_EQ(a.attempts[i].machine, b.attempts[i].machine);
+    EXPECT_EQ(a.attempts[i].start, b.attempts[i].start);
+    EXPECT_EQ(a.attempts[i].end, b.attempts[i].end);
+    EXPECT_EQ(a.attempts[i].outcome, b.attempts[i].outcome);
+  }
+
+  const ValidationResult valid =
+      validate_fault_run(inst, plan, a.attempts, a.schedule);
+  EXPECT_TRUE(valid.ok) << valid.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, FaultFuzz, ::testing::Range(1, 12));
 
 }  // namespace
 }  // namespace mris

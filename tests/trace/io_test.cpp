@@ -60,6 +60,41 @@ TEST(WorkloadIoTest, RejectsNonNumericField) {
   EXPECT_THROW(read_workload_csv(in), std::runtime_error);
 }
 
+TEST(WorkloadIoTest, NonNumericErrorNamesLineAndField) {
+  std::istringstream in(
+      "release,duration,weight,tenant,cpu\n"
+      "1,2,3,0,0.5\n"
+      "\n"
+      "4,oops,6,0,0.25\n");
+  try {
+    read_workload_csv(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    // The bad row sits on physical line 4 (a blank line precedes it).
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duration"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'oops'"), std::string::npos) << msg;
+  }
+}
+
+TEST(WorkloadIoTest, TruncatedFileErrorNamesLineAndWidth) {
+  // A file cut off mid-row: the final record has too few fields.
+  std::istringstream in(
+      "release,duration,weight,tenant,cpu\n"
+      "1,2,3,0,0.5\n"
+      "4,5,6\n");
+  try {
+    read_workload_csv(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 5 fields, got 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'4'"), std::string::npos) << msg;
+  }
+}
+
 TEST(WorkloadIoTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/mris_io_test.csv";
   Workload w;
