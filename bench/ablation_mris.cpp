@@ -77,6 +77,6 @@ int main() {
                       {points[s].awct.mean},
                       {points[s].awct.half_width}});
   }
-  exp::write_series_csv("results_ablation_mris.csv", series);
+  exp::write_series_csv(bench::results_csv_path("ablation_mris"), series);
   return 0;
 }

@@ -2,7 +2,8 @@
 //
 // Every bench is a standalone binary that prints the figure's series as a
 // table plus an ASCII plot, and writes the raw numbers to
-// results_<bench>.csv in the working directory.  Scale knobs (env vars):
+// results/results_<bench>.csv under the working directory.  Scale knobs
+// (env vars):
 //   MRIS_BENCH_SCALE  multiplies job counts (default 1.0)
 //   MRIS_SEED         base RNG seed (default 42)
 //   MRIS_REPS         replications per data point (default 10, as in the
@@ -16,6 +17,7 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -66,6 +68,15 @@ inline void print_header(const char* name, const char* paper_ref) {
               util::bench_reps(), util::bench_scale());
 }
 
+/// Path of the bench's raw-output CSV: results/results_<bench>.csv under
+/// the working directory.  Creates results/ on first use so benches can be
+/// run from a fresh build tree or the repo root alike.
+inline std::string results_csv_path(const std::string& bench_name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);  // best-effort
+  return "results/results_" + bench_name + ".csv";
+}
+
 /// Emits the table + plot + CSV for a finished sweep.
 inline void emit(const std::string& bench_name,
                  const std::vector<exp::Series>& series,
@@ -73,7 +84,7 @@ inline void emit(const std::string& bench_name,
                  const std::vector<std::vector<std::string>>& table) {
   std::printf("%s", exp::render_table(table).c_str());
   std::printf("\n%s", exp::render_plot(series, opts).c_str());
-  const std::string csv = "results_" + bench_name + ".csv";
+  const std::string csv = results_csv_path(bench_name);
   if (exp::write_series_csv(csv, series)) {
     std::printf("raw series written to %s\n", csv.c_str());
   }

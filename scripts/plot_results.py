@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Plot the CSV series emitted by the bench binaries.
 
-Every figure bench writes `results_<bench>.csv` with columns
+Every figure bench writes `results/results_<bench>.csv` (columns
     series,x,y,ci95_half_width
-next to where it ran.  This script turns one or more of those files into
-matplotlib figures (PNG next to each CSV), shading the 95% confidence
-band where present.
+under the directory it ran in).  This script turns one or more of those
+files into matplotlib figures (PNG next to each CSV), shading the 95%
+confidence band where present.
 
-    ./scripts/plot_results.py results_fig3_arrival_rate.csv
-    ./scripts/plot_results.py --logx --logy results_*.csv
+    ./scripts/plot_results.py results/results_fig3_arrival_rate.csv
+    ./scripts/plot_results.py --logx --logy results/results_*.csv
 """
 import argparse
 import collections

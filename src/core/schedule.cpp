@@ -5,20 +5,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace mris {
 
 void Schedule::assign(JobId id, MachineId machine, Time start) {
   Assignment& a = assignments_.at(static_cast<std::size_t>(id));
-  if (a.assigned()) {
-    throw std::logic_error("Schedule::assign: job " + std::to_string(id) +
-                           " already assigned (non-preemptive model)");
-  }
+  MRIS_EXPECT(!a.assigned(),
+              "Schedule::assign: job already assigned (start-once "
+              "non-preemptive model)");
+  MRIS_EXPECT(std::isfinite(start), "Schedule::assign: non-finite start");
   a.machine = machine;
   a.start = start;
 }
 
 void Schedule::unassign(JobId id) {
   Assignment& a = assignments_.at(static_cast<std::size_t>(id));
+  MRIS_EXPECT(a.assigned(),
+              "Schedule::unassign: job has no assignment to clear");
   a.machine = kInvalidMachine;
   a.start = 0.0;
 }

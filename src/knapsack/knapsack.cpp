@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace mris::knapsack {
 
 namespace {
@@ -232,7 +234,13 @@ Selection solve_cadp(const std::vector<Item>& items, double capacity,
     sizes[i] = static_cast<std::int64_t>(std::floor(items[i].size / K));
   }
   const auto cap = static_cast<std::int64_t>(std::floor(capacity / K));
-  return solve_integer_core(items, sizes, cap);
+  Selection sel = solve_integer_core(items, sizes, cap);
+  // Lemma 6.1: rounding every size down by at most K = eps*zeta/n lets the
+  // true total exceed zeta by at most n*K = eps*zeta, never more.
+  MRIS_ENSURE(sel.total_size <= (1.0 + eps) * capacity * (1.0 + 1e-12),
+              "solve_cadp: selection exceeds the (1+eps)*zeta capacity "
+              "guarantee of Lemma 6.1");
+  return sel;
 }
 
 Selection solve_greedy_constraint(const std::vector<Item>& items,
@@ -258,7 +266,11 @@ Selection solve_greedy_constraint(const std::vector<Item>& items,
     // dominance argument of Remark 1), then stop; total <= 2 * zeta.
     if (size > capacity) break;
   }
-  return finish(items, chosen);
+  Selection sel = finish(items, chosen);
+  MRIS_ENSURE(sel.total_size <= 2.0 * capacity * (1.0 + 1e-12),
+              "solve_greedy_constraint: selection exceeds the 2*zeta bound "
+              "of Remark 1");
+  return sel;
 }
 
 Selection solve_greedy_half(const std::vector<Item>& items, double capacity) {

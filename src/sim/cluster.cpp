@@ -68,7 +68,8 @@ void Cluster::force_reserve(MachineId m, Time start, Time duration,
     throw std::logic_error(
         "Cluster::force_reserve: machine index out of range");
   }
-  machines_[static_cast<std::size_t>(m)].reserve(start, duration, demand);
+  machines_[static_cast<std::size_t>(m)].force_reserve(start, duration,
+                                                       demand);
 }
 
 void Cluster::block(MachineId m, Time from, Time to) {

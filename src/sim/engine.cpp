@@ -1,11 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <set>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace mris {
 
@@ -203,6 +204,8 @@ class Engine final : public EngineContext {
       cluster_.reserve(j, m, start);
     }
     schedule_.assign(id, m, start);
+    MRIS_ENSURE(schedule_.assignment(id).assigned(),
+                "commit must leave the job assigned in the schedule");
     if (options_.record_events) {
       log_.push_back({EventRecord::Kind::kCommit, now_, id, m, start});
     }
@@ -210,7 +213,11 @@ class Engine final : public EngineContext {
     pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
                    pending_.end());
     if (faults_) {
-      live_[static_cast<std::size_t>(m)].push_back(
+      auto& lv = live_[static_cast<std::size_t>(m)];
+      MRIS_INVARIANT(std::none_of(lv.begin(), lv.end(),
+                                  [&](const LiveRes& r) { return r.job == id; }),
+                     "committed job already has a live reservation");
+      lv.push_back(
           {id, start, start + j.processing, start + j.processing, false});
     }
     push({start + j.processing, EventKind::kCompletion, seq_++, id, m,
@@ -225,6 +232,8 @@ class Engine final : public EngineContext {
   /// gate, which default-forwards to on_arrival.
   void requeue(JobId id, MachineId lost_machine, bool count_retry) {
     const std::size_t i = static_cast<std::size_t>(id);
+    MRIS_EXPECT(committed_[i],
+                "requeue of a job without a committed reservation");
     ++epoch_[i];
     committed_[i] = false;
     schedule_.unassign(id);
@@ -304,7 +313,8 @@ RunResult Engine::run() {
   while (!queue_.empty()) {
     const Event e = queue_.top();
     queue_.pop();
-    assert(e.t >= now_ - 1e-9 && "events must be non-decreasing in time");
+    MRIS_INVARIANT(e.t >= now_ - 1e-9,
+                   "events must be non-decreasing in time");
     now_ = std::max(now_, e.t);
     if (faults_) {
       if (e.kind == EventKind::kCompletion &&
@@ -323,7 +333,9 @@ RunResult Engine::run() {
         auto it = std::find_if(lv.begin(), lv.end(), [&](const LiveRes& r) {
           return r.job == e.job;
         });
-        assert(it != lv.end() && "live completion without a reservation");
+        MRIS_INVARIANT(it != lv.end(),
+                       "live completion without a reservation");
+        if (it == lv.end()) continue;  // unreachable unless in count mode
         if (!it->extended) {
           const Job& j = inst_.job(e.job);
           const Time actual_end =
@@ -381,6 +393,9 @@ RunResult Engine::run() {
           auto it = std::find_if(lv.begin(), lv.end(), [&](const LiveRes& r) {
             return r.job == e.job;
           });
+          MRIS_INVARIANT(it != lv.end(),
+                         "completion of a job with no live reservation");
+          if (it == lv.end()) break;  // unreachable unless in count mode
           const LiveRes res = *it;
           lv.erase(it);
           const std::size_t ji = static_cast<std::size_t>(e.job);
@@ -412,6 +427,8 @@ RunResult Engine::run() {
         scheduler_.on_wakeup(*this);
         break;
       case EventKind::kMachineDown: {
+        MRIS_EXPECT(e.aux < faults_->outages.size(),
+                    "machine-down event names an unknown outage window");
         const OutageWindow& o = faults_->outages[e.aux];
         const std::size_t mi = static_cast<std::size_t>(e.machine);
         machine_down_flag_[mi] = 1;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace mris {
@@ -67,7 +68,9 @@ double failure_draw(std::uint64_t seed, JobId job, int attempt) {
   state ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32;
   state ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt));
   const std::uint64_t bits = util::splitmix64(state);
-  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  const double draw = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  MRIS_ENSURE(draw >= 0.0 && draw < 1.0, "failure_draw outside [0, 1)");
+  return draw;
 }
 
 FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
@@ -124,6 +127,8 @@ FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
   }
 
   plan.validate(inst.num_machines(), inst.num_jobs());
+  MRIS_ENSURE(plan.stretch.empty() || plan.stretch.size() == inst.num_jobs(),
+              "make_fault_plan: stretch table must cover every job");
   return plan;
 }
 
@@ -144,6 +149,9 @@ FaultMetrics summarize_attempts(const Instance& inst,
   FaultMetrics m;
   m.retries.assign(inst.num_jobs(), 0);
   for (const Attempt& a : attempts) {
+    MRIS_EXPECT(a.job >= 0 && static_cast<std::size_t>(a.job) < inst.num_jobs(),
+                "summarize_attempts: attempt names a job outside the "
+                "instance");
     ++m.total_attempts;
     const double work =
         std::max(0.0, a.end - a.start) * inst.job(a.job).total_demand();

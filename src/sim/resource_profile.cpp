@@ -1,10 +1,21 @@
 #include "sim/resource_profile.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
+
 namespace mris {
+
+namespace {
+
+/// Slack applied by capacity/non-negativity contracts: commits pass a
+/// fits() check with tolerance 1e-9 first, so anything past this is a
+/// genuine double-booking, not floating-point dust.
+constexpr double kContractSlack = 1e-6;
+
+}  // namespace
 
 ResourceProfile::ResourceProfile(int num_resources)
     : num_resources_(num_resources) {
@@ -35,7 +46,8 @@ std::vector<double> ResourceProfile::available_at(Time t) const {
 bool ResourceProfile::fits(Time start, Time duration,
                            std::span<const double> demand,
                            double tolerance) const {
-  assert(demand.size() == static_cast<std::size_t>(num_resources_));
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "fits: demand dimension != machine resource dimension");
   if (duration <= 0.0) return true;
   const Time end = start + duration;
   for (std::size_t i = segment_of(start); i < times_.size(); ++i) {
@@ -74,8 +86,9 @@ Time ResourceProfile::earliest_fit(Time not_before, Time duration,
       }
     }
     if (conflict_next < 0.0) return s;
-    assert(std::isfinite(conflict_next) &&
-           "last segment is all-zero, so demand <= 1 always fits there");
+    MRIS_INVARIANT(std::isfinite(conflict_next),
+                   "last segment is all-zero, so demand <= 1 always fits "
+                   "there");
     s = conflict_next;
   }
 }
@@ -90,10 +103,8 @@ std::size_t ResourceProfile::ensure_breakpoint(Time t) {
   return i + 1;
 }
 
-void ResourceProfile::reserve(Time start, Time duration,
-                              std::span<const double> demand) {
-  assert(demand.size() == static_cast<std::size_t>(num_resources_));
-  if (duration <= 0.0) return;
+std::pair<std::size_t, std::size_t> ResourceProfile::add(
+    Time start, Time duration, std::span<const double> demand) {
   const Time end = start + duration;
   const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
   const std::size_t last = ensure_breakpoint(end);  // exclusive segment
@@ -102,11 +113,36 @@ void ResourceProfile::reserve(Time start, Time duration,
       usage_[i][l] += demand[l];
     }
   }
+  return {first, last};
+}
+
+void ResourceProfile::reserve(Time start, Time duration,
+                              std::span<const double> demand) {
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "reserve: demand dimension != machine resource dimension");
+  if (duration <= 0.0) return;
+  const auto [first, last] = add(start, duration, demand);
+  for (std::size_t i = first; i < last; ++i) {
+    for (std::size_t l = 0; l < demand.size(); ++l) {
+      MRIS_ENSURE(usage_[i][l] <= 1.0 + kContractSlack,
+                  "reserve: per-resource usage exceeds capacity 1 "
+                  "(double-booked reservation; call fits() first)");
+    }
+  }
+}
+
+void ResourceProfile::force_reserve(Time start, Time duration,
+                                    std::span<const double> demand) {
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "force_reserve: demand dimension != machine resource dimension");
+  if (duration <= 0.0) return;
+  add(start, duration, demand);
 }
 
 void ResourceProfile::release(Time start, Time duration,
                               std::span<const double> demand) {
-  assert(demand.size() == static_cast<std::size_t>(num_resources_));
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "release: demand dimension != machine resource dimension");
   if (duration <= 0.0) return;
   const Time end = start + duration;
   const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
@@ -114,6 +150,9 @@ void ResourceProfile::release(Time start, Time duration,
   for (std::size_t i = first; i < last; ++i) {
     for (std::size_t l = 0; l < demand.size(); ++l) {
       usage_[i][l] -= demand[l];
+      MRIS_INVARIANT(usage_[i][l] >= -kContractSlack,
+                     "release: usage went negative (released a demand that "
+                     "was never reserved)");
       if (usage_[i][l] < 0.0 && usage_[i][l] > -1e-12) usage_[i][l] = 0.0;
     }
   }

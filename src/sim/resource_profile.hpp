@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/job.hpp"
@@ -45,9 +46,16 @@ class ResourceProfile {
                     std::span<const double> demand,
                     double tolerance = 1e-9) const;
 
-  /// Adds `demand` over [start, start + duration).  Does not check
-  /// capacity — call fits() first; Cluster enforces this pairing.
+  /// Adds `demand` over [start, start + duration).  Callers must check
+  /// fits() first (Cluster enforces this pairing); an MRIS_ENSURE contract
+  /// verifies the affected segments stay within capacity 1.
   void reserve(Time start, Time duration, std::span<const double> demand);
+
+  /// Adds `demand` over [start, start + duration) with no capacity
+  /// contract — outage blocks and straggler overruns may legitimately
+  /// push a segment past capacity 1.
+  void force_reserve(Time start, Time duration,
+                     std::span<const double> demand);
 
   /// Subtracts a previously reserved `demand` over [start, start +
   /// duration) — the cancel/requeue path of the fault model.  Tiny negative
@@ -64,6 +72,11 @@ class ResourceProfile {
   /// Ensures a breakpoint exactly at t (splitting a segment if needed);
   /// returns its index.
   std::size_t ensure_breakpoint(Time t);
+
+  /// Shared add-demand implementation behind reserve / force_reserve.
+  /// Returns the affected segment range [first, last).
+  std::pair<std::size_t, std::size_t> add(Time start, Time duration,
+                                          std::span<const double> demand);
 
   int num_resources_;
   std::vector<Time> times_;

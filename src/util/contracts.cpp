@@ -1,0 +1,75 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mris::util {
+
+namespace {
+
+std::atomic<ContractMode> g_mode{ContractMode::kThrow};
+std::atomic<std::uint64_t> g_violations{0};
+
+std::string format_violation(const char* kind, const char* condition,
+                             const char* message, const char* file, int line) {
+  std::string out;
+  out.reserve(128);
+  out += "contract violation (";
+  out += kind;
+  out += ") at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += message;
+  out += " [";
+  out += condition;
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+ContractMode contract_mode() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+ContractMode set_contract_mode(ContractMode mode) noexcept {
+  return g_mode.exchange(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t contract_violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_contract_violation_count() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+void contract_failed_abort(const char* kind, const char* condition,
+                           const char* message, const char* file, int line) {
+  std::fprintf(stderr, "%s\n",
+               format_violation(kind, condition, message, file, line).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void contract_failed(const char* kind, const char* condition,
+                     const char* message, const char* file, int line) {
+  switch (contract_mode()) {
+    case ContractMode::kAbort:
+      contract_failed_abort(kind, condition, message, file, line);
+    case ContractMode::kThrow:
+      throw ContractViolation(
+          format_violation(kind, condition, message, file, line));
+    case ContractMode::kCount:
+      g_violations.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(
+          stderr, "%s (continuing: count mode)\n",
+          format_violation(kind, condition, message, file, line).c_str());
+      return;
+  }
+}
+
+}  // namespace mris::util

@@ -1,0 +1,86 @@
+// Runtime contracts for the simulator's correctness-critical invariants.
+//
+// The default RelWithDebInfo build defines NDEBUG, which silently compiles
+// out every `assert` — exactly in the configuration CI tests.  These macros
+// are active in *every* build type.  The checks themselves are a single
+// predictable branch; the failure path is out-of-line and cold, so a passing
+// contract costs nearly nothing on hot paths.
+//
+//   MRIS_EXPECT(cond, msg)     precondition  (caller handed us bad state)
+//   MRIS_ENSURE(cond, msg)     postcondition (we produced bad state)
+//   MRIS_INVARIANT(cond, msg)  internal consistency (state became bad)
+//
+// Failure modes (set_contract_mode, thread-safe):
+//   kThrow (default)  throw ContractViolation (a std::logic_error) with
+//                     kind, condition text, message, and file:line;
+//   kAbort            print the same diagnostic to stderr and abort() —
+//                     the right mode under sanitizers/fuzzing, where a
+//                     core dump beats an unwound stack;
+//   kCount            log to stderr, bump a global counter, and continue —
+//                     for measuring violation rates in soak runs.  Callers
+//                     still guard against unusable state after a violated
+//                     contract, so kCount degrades accuracy, not safety.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mris::util {
+
+enum class ContractMode {
+  kThrow,
+  kAbort,
+  kCount,
+};
+
+/// Thrown on contract failure in kThrow mode.  Derives from
+/// std::logic_error so existing catch/EXPECT_THROW sites keep working.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Current global failure mode (thread-safe).
+ContractMode contract_mode() noexcept;
+
+/// Sets the global failure mode; returns the previous one.
+ContractMode set_contract_mode(ContractMode mode) noexcept;
+
+/// RAII guard that restores the previous mode (for tests).
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode)
+      : previous_(set_contract_mode(mode)) {}
+  ~ScopedContractMode() { set_contract_mode(previous_); }
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode previous_;
+};
+
+/// Violations observed in kCount mode since the last reset.
+std::uint64_t contract_violation_count() noexcept;
+void reset_contract_violation_count() noexcept;
+
+/// Cold failure handler: aborts, throws, or counts per the global mode.
+/// Out of line so the fast path stays a bare branch.
+[[noreturn]] void contract_failed_abort(const char* kind, const char* condition,
+                                        const char* message, const char* file,
+                                        int line);
+void contract_failed(const char* kind, const char* condition,
+                     const char* message, const char* file, int line);
+
+}  // namespace mris::util
+
+#define MRIS_CONTRACT_CHECK_(kind, cond, msg)                               \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::mris::util::contract_failed(kind, #cond, msg, __FILE__, __LINE__);  \
+    }                                                                       \
+  } while (false)
+
+#define MRIS_EXPECT(cond, msg) MRIS_CONTRACT_CHECK_("precondition", cond, msg)
+#define MRIS_ENSURE(cond, msg) MRIS_CONTRACT_CHECK_("postcondition", cond, msg)
+#define MRIS_INVARIANT(cond, msg) MRIS_CONTRACT_CHECK_("invariant", cond, msg)

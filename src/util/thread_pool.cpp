@@ -1,9 +1,17 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+
+#include "util/contracts.hpp"
 
 namespace mris::util {
+
+namespace {
+
+/// Pool whose worker_loop is running on this thread (nullptr outside).
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,6 +33,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -40,6 +49,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  // Blocking on futures served by this same pool from one of its own
+  // workers deadlocks once every worker does it (always, for size() == 1).
+  MRIS_EXPECT(t_worker_of != this,
+              "parallel_for called from inside the pool it targets");
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
@@ -63,6 +76,9 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 ThreadPool& global_pool() {
+  // C++11 magic-static initialization: concurrent first callers block on
+  // the compiler's guard until one thread finishes construction, so this
+  // is race-free (TSan-verified by ThreadPoolTest.GlobalPoolConcurrentFirstUse).
   static ThreadPool pool;
   return pool;
 }

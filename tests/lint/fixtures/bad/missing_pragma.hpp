@@ -1,0 +1,10 @@
+// Fixture: a header with no #pragma once (and an include guard instead,
+// which the project style forbids).
+#ifndef FIXTURE_MISSING_PRAGMA_HPP_
+#define FIXTURE_MISSING_PRAGMA_HPP_
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif  // FIXTURE_MISSING_PRAGMA_HPP_

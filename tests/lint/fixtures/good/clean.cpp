@@ -1,0 +1,17 @@
+// Fixture: a clean translation unit.  Raw strings may contain anything.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+const std::string kDoc = R"doc(
+  rand() time() float assert(std::cout) — all inert inside a raw string.
+)doc";
+
+double sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,242 @@
+#include "tools/lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mris::lint {
+namespace {
+
+std::vector<Finding> lint(const std::string& source,
+                          const std::string& path = "x/test.cpp") {
+  return lint_source(path, source);
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule,
+              int line = -1) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && (line < 0 || f.line == line);
+  });
+}
+
+// --- comment/string stripping --------------------------------------------
+
+TEST(LintStripTest, LineCommentsAreBlanked) {
+  const std::string s = strip_comments_and_strings("int x; // rand()\nint y;");
+  EXPECT_EQ(s.find("rand"), std::string::npos);
+  EXPECT_NE(s.find("int y;"), std::string::npos);
+}
+
+TEST(LintStripTest, BlockCommentsPreserveNewlines) {
+  const std::string s =
+      strip_comments_and_strings("a /* rand()\n time() */ b");
+  EXPECT_EQ(s.find("rand"), std::string::npos);
+  EXPECT_EQ(s.find("time"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1);
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('b'), std::string::npos);
+}
+
+TEST(LintStripTest, StringLiteralsAreBlanked) {
+  const std::string s =
+      strip_comments_and_strings("call(\"rand() \\\" time()\");");
+  EXPECT_EQ(s.find("rand"), std::string::npos);
+  EXPECT_EQ(s.find("time"), std::string::npos);
+  EXPECT_NE(s.find("call("), std::string::npos);
+}
+
+TEST(LintStripTest, RawStringsAreBlanked) {
+  const std::string s = strip_comments_and_strings(
+      "auto d = R\"doc(rand() \" ' float)doc\"; int after;");
+  EXPECT_EQ(s.find("rand"), std::string::npos);
+  EXPECT_EQ(s.find("float"), std::string::npos);
+  EXPECT_NE(s.find("int after;"), std::string::npos);
+}
+
+TEST(LintStripTest, DigitSeparatorIsNotACharLiteral) {
+  const std::string s =
+      strip_comments_and_strings("int n = 1'000'000; float f;");
+  EXPECT_NE(s.find("float f;"), std::string::npos);
+}
+
+TEST(LintStripTest, CharLiteralsAreBlanked) {
+  const std::string s = strip_comments_and_strings("char c = 'f'; int g;");
+  // The 'f' must not survive as code, the rest must.
+  EXPECT_NE(s.find("char c ="), std::string::npos);
+  EXPECT_NE(s.find("int g;"), std::string::npos);
+  EXPECT_EQ(s.find("'f'"), std::string::npos);
+}
+
+// --- rules ----------------------------------------------------------------
+
+TEST(LintRuleTest, FlagsRandFamily) {
+  EXPECT_TRUE(has_rule(lint("int x = std::rand();"), "determinism-rand", 1));
+  EXPECT_TRUE(has_rule(lint("srand(7);"), "determinism-rand", 1));
+  EXPECT_TRUE(
+      has_rule(lint("std::random_device rd;"), "determinism-rand", 1));
+  EXPECT_TRUE(has_rule(lint("std::mt19937 gen;"), "determinism-rand", 1));
+}
+
+TEST(LintRuleTest, FlagsWallClockReads) {
+  EXPECT_TRUE(has_rule(lint("long t = time(nullptr);"), "determinism-time"));
+  EXPECT_TRUE(has_rule(lint("auto c = clock();"), "determinism-time"));
+  EXPECT_TRUE(has_rule(lint("auto n = std::chrono::steady_clock::now();"),
+                       "determinism-time"));
+}
+
+TEST(LintRuleTest, IdentifiersContainingRuleWordsAreClean) {
+  EXPECT_TRUE(lint("double completion_time(int j);").empty());
+  EXPECT_TRUE(lint("double start_time = 0.0;").empty());
+  EXPECT_TRUE(lint("int operand = 3;").empty());
+  EXPECT_TRUE(lint("static_assert(sizeof(int) == 4);").empty());
+}
+
+TEST(LintRuleTest, RngHeaderIsExemptFromDeterminismRules) {
+  EXPECT_TRUE(
+      lint_source("src/util/rng.hpp",
+                  "#pragma once\n// impl\nstd::uint64_t x = rand();\n")
+          .empty());
+}
+
+TEST(LintRuleTest, FlagsUnorderedIteration) {
+  EXPECT_TRUE(has_rule(lint("for (auto& kv : unordered_map_) f(kv);"),
+                       "unordered-iter"));
+  EXPECT_TRUE(lint("for (auto& kv : sorted_map_) f(kv);").empty());
+  // Declaring one is fine; only iterating is flagged.
+  EXPECT_TRUE(lint("std::unordered_map<int, int> m;").empty());
+}
+
+TEST(LintRuleTest, TracksUnorderedVariablesAcrossLines) {
+  // The declaration and the range-for are lines apart; the linter remembers
+  // which identifiers were declared with an unordered_* type.
+  EXPECT_TRUE(has_rule(lint("std::unordered_map<int, int> hist;\n"
+                            "void f() {\n"
+                            "  for (auto& kv : hist) g(kv);\n"
+                            "}\n"),
+                       "unordered-iter", 3));
+  // Reference parameters count as declarations too.
+  EXPECT_TRUE(has_rule(lint("void f(const std::unordered_set<int>& seen) {\n"
+                            "  for (int s : seen) g(s);\n"
+                            "}\n"),
+                       "unordered-iter", 2));
+  // A for loop over an unrelated name stays clean.
+  EXPECT_TRUE(lint("std::unordered_map<int, int> hist;\n"
+                   "void f(std::vector<int>& v) {\n"
+                   "  for (int s : v) g(s);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, FlagsFloat) {
+  EXPECT_TRUE(has_rule(lint("float f = 0.5f;"), "no-float", 1));
+  EXPECT_TRUE(lint("double d = 0.5; int afloat = 1;").empty());
+}
+
+TEST(LintRuleTest, FlagsNakedAssertButNotContractsHeader) {
+  EXPECT_TRUE(has_rule(lint("assert(x > 0);"), "naked-assert"));
+  EXPECT_TRUE(has_rule(lint("#include <cassert>"), "naked-assert"));
+  EXPECT_TRUE(lint_source("src/util/contracts.hpp",
+                          "#pragma once\nvoid f() { assert(1); }\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, FlagsStdout) {
+  EXPECT_TRUE(has_rule(lint("std::cout << x;"), "stdout"));
+  EXPECT_TRUE(has_rule(lint("printf(\"%d\", x);"), "stdout"));
+  EXPECT_TRUE(lint("std::snprintf(buf, sizeof buf, \"%d\", x);").empty());
+}
+
+TEST(LintRuleTest, HeaderRequiresPragmaOnce) {
+  EXPECT_TRUE(has_rule(lint_source("x/h.hpp", "int f();\n"), "pragma-once", 1));
+  EXPECT_TRUE(lint_source("x/h.hpp", "#pragma once\nint f();\n").empty());
+  // Not required for .cpp files.
+  EXPECT_TRUE(lint_source("x/h.cpp", "int f() { return 1; }\n").empty());
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(LintSuppressionTest, SameLineAllowSilencesRule) {
+  EXPECT_TRUE(lint("float f;  // mris-lint: allow(no-float)").empty());
+}
+
+TEST(LintSuppressionTest, PreviousLineAllowSilencesRule) {
+  EXPECT_TRUE(
+      lint("// mris-lint: allow(no-float)\nfloat f;").empty());
+}
+
+TEST(LintSuppressionTest, AllowAllSilencesEveryRule) {
+  EXPECT_TRUE(lint("float f = rand();  // mris-lint: allow(all)").empty());
+}
+
+TEST(LintSuppressionTest, WrongRuleDoesNotSilence) {
+  EXPECT_TRUE(has_rule(lint("float f;  // mris-lint: allow(stdout)"),
+                       "no-float"));
+}
+
+TEST(LintSuppressionTest, FileLevelAllowSilencesWholeFile) {
+  EXPECT_TRUE(lint("// mris-lint: allow-file(no-float)\n\nfloat a;\nfloat b;")
+                  .empty());
+}
+
+TEST(LintSuppressionTest, NoSuppressModeReportsAnyway) {
+  Options options;
+  options.honor_suppressions = false;
+  EXPECT_TRUE(has_rule(
+      lint_source("x/test.cpp", "float f;  // mris-lint: allow(no-float)",
+                  options),
+      "no-float"));
+}
+
+// --- fixture files (the same ones the ctest invocations scan) -------------
+
+TEST(LintFixtureTest, GoodFixturesAreClean) {
+  const auto files = collect_sources(std::string(MRIS_LINT_FIXTURES) + "/good");
+  ASSERT_GE(files.size(), 2u);
+  for (const auto& path : files) {
+    const auto findings = lint_file(path);
+    for (const auto& f : findings) ADD_FAILURE() << format_finding(f);
+  }
+}
+
+TEST(LintFixtureTest, BadFixturesTripEveryRule) {
+  const auto dir = std::string(MRIS_LINT_FIXTURES) + "/bad";
+  std::vector<Finding> all;
+  for (const auto& path : collect_sources(dir)) {
+    const auto findings = lint_file(path);
+    all.insert(all.end(), findings.begin(), findings.end());
+  }
+  EXPECT_TRUE(has_rule(all, "determinism-rand"));
+  EXPECT_TRUE(has_rule(all, "determinism-time"));
+  EXPECT_TRUE(has_rule(all, "unordered-iter"));
+  EXPECT_TRUE(has_rule(all, "no-float"));
+  EXPECT_TRUE(has_rule(all, "naked-assert"));
+  EXPECT_TRUE(has_rule(all, "stdout"));
+  EXPECT_TRUE(has_rule(all, "pragma-once"));
+}
+
+TEST(LintFixtureTest, BadFixtureLinesAreExact) {
+  const auto findings =
+      lint_file(std::string(MRIS_LINT_FIXTURES) + "/bad/violations.cpp");
+  EXPECT_TRUE(has_rule(findings, "naked-assert", 3));
+  EXPECT_TRUE(has_rule(findings, "determinism-rand", 12));
+  EXPECT_TRUE(has_rule(findings, "determinism-time", 13));
+  EXPECT_TRUE(has_rule(findings, "determinism-rand", 14));
+  EXPECT_TRUE(has_rule(findings, "unordered-iter", 20));
+  EXPECT_TRUE(has_rule(findings, "no-float", 24));
+  EXPECT_TRUE(has_rule(findings, "naked-assert", 25));
+  EXPECT_TRUE(has_rule(findings, "stdout", 26));
+}
+
+TEST(LintFixtureTest, CollectSourcesIsSortedAndFiltered) {
+  const auto files = collect_sources(MRIS_LINT_FIXTURES);
+  ASSERT_GE(files.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  for (const auto& f : files) {
+    EXPECT_TRUE(f.ends_with(".hpp") || f.ends_with(".cpp")) << f;
+  }
+}
+
+}  // namespace
+}  // namespace mris::lint

@@ -1,0 +1,134 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/resource_profile.hpp"
+
+namespace mris::util {
+namespace {
+
+TEST(ContractsTest, DefaultModeIsThrow) {
+  EXPECT_EQ(contract_mode(), ContractMode::kThrow);
+}
+
+TEST(ContractsTest, PassingContractsAreSilent) {
+  EXPECT_NO_THROW(MRIS_EXPECT(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(MRIS_ENSURE(true, "trivially true"));
+  EXPECT_NO_THROW(MRIS_INVARIANT(2 > 1, "ordering works"));
+}
+
+TEST(ContractsTest, ThrowModeRaisesContractViolation) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  EXPECT_THROW(MRIS_EXPECT(false, "must fail"), ContractViolation);
+  // ContractViolation is a std::logic_error so existing handlers work.
+  EXPECT_THROW(MRIS_ENSURE(false, "must fail"), std::logic_error);
+}
+
+TEST(ContractsTest, ViolationMessageCarriesKindLocationAndCondition) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  try {
+    MRIS_INVARIANT(1 == 2, "the impossible happened");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("the impossible happened"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractsTest, CountModeLogsAndContinues) {
+  ScopedContractMode guard(ContractMode::kCount);
+  reset_contract_violation_count();
+  EXPECT_NO_THROW(MRIS_EXPECT(false, "counted, not thrown"));
+  EXPECT_NO_THROW(MRIS_INVARIANT(false, "counted, not thrown"));
+  EXPECT_EQ(contract_violation_count(), 2u);
+  MRIS_ENSURE(true, "passing checks do not count");
+  EXPECT_EQ(contract_violation_count(), 2u);
+  reset_contract_violation_count();
+  EXPECT_EQ(contract_violation_count(), 0u);
+}
+
+TEST(ContractsTest, ScopedModeRestoresPrevious) {
+  const ContractMode before = contract_mode();
+  {
+    ScopedContractMode guard(ContractMode::kCount);
+    EXPECT_EQ(contract_mode(), ContractMode::kCount);
+  }
+  EXPECT_EQ(contract_mode(), before);
+}
+
+TEST(ContractsDeathTest, AbortModeAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ScopedContractMode guard(ContractMode::kAbort);
+  EXPECT_DEATH(MRIS_EXPECT(false, "fatal precondition"),
+               "contract violation.*fatal precondition");
+}
+
+// --- the NDEBUG hole, regression-tested ------------------------------------
+// The default tier-1 build is RelWithDebInfo, which defines NDEBUG and
+// compiles `assert` out.  These tests pin down that the contracts that
+// replaced the simulator's asserts fire in THIS build configuration.
+
+TEST(ContractsNdebugTest, ContractsFireEvenWhereAssertWouldNot) {
+#ifdef NDEBUG
+  // In this configuration a naked assert(false) would be a silent no-op —
+  // exactly the hole the contracts subsystem closes.
+  const bool assert_is_compiled_out = true;
+#else
+  const bool assert_is_compiled_out = false;
+#endif
+  (void)assert_is_compiled_out;
+  EXPECT_THROW(MRIS_INVARIANT(false, "fires in every build type"),
+               ContractViolation);
+}
+
+TEST(ContractsNdebugTest, ResourceProfileDimensionContractFires) {
+  // Was assert(demand.size() == num_resources_): compiled out in the
+  // tier-1 build, i.e. an out-of-bounds demand silently corrupted usage.
+  ResourceProfile profile(2);
+  const std::vector<double> wrong_dim = {0.5};
+  EXPECT_THROW(profile.reserve(0.0, 1.0, wrong_dim), ContractViolation);
+  EXPECT_THROW(profile.fits(0.0, 1.0, wrong_dim), ContractViolation);
+  EXPECT_THROW(profile.release(0.0, 1.0, wrong_dim), ContractViolation);
+}
+
+TEST(ContractsNdebugTest, CapacityPostconditionFiresOnDoubleBooking) {
+  // reserve() without a fits() check was previously unchecked at any
+  // build type: two 0.8-demand reservations overlap silently.
+  ResourceProfile profile(1);
+  const std::vector<double> demand = {0.8};
+  profile.reserve(0.0, 1.0, demand);
+  EXPECT_THROW(profile.reserve(0.5, 1.0, demand), ContractViolation);
+}
+
+TEST(ContractsNdebugTest, ForceReserveMayExceedCapacity) {
+  // The outage-block/straggler path is exempt by design.
+  ResourceProfile profile(1);
+  const std::vector<double> demand = {0.8};
+  profile.reserve(0.0, 1.0, demand);
+  EXPECT_NO_THROW(profile.force_reserve(0.5, 1.0, demand));
+  EXPECT_GT(profile.usage_at(0.75, 0), 1.0);
+}
+
+TEST(ContractsNdebugTest, ReleaseOfUnreservedDemandFires) {
+  ResourceProfile profile(1);
+  const std::vector<double> demand = {0.5};
+  EXPECT_THROW(profile.release(0.0, 1.0, demand), ContractViolation);
+}
+
+TEST(ContractsNdebugTest, StartOncePreconditionFires) {
+  Schedule schedule(2);
+  schedule.assign(0, 0, 1.0);
+  EXPECT_THROW(schedule.assign(0, 1, 2.0), ContractViolation);
+  EXPECT_THROW(schedule.unassign(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mris::util

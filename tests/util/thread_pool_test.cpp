@@ -5,7 +5,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/contracts.hpp"
 
 namespace mris::util {
 namespace {
@@ -71,9 +74,119 @@ TEST(ThreadPoolTest, SizeReflectsRequestedWorkers) {
   EXPECT_EQ(pool.size(), 5u);
 }
 
+TEST(ThreadPoolTest, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWhenEveryIterationThrows) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("all fail");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForFromInsidePoolViolatesContract) {
+  // Blocking on the pool from one of its own workers can deadlock (always
+  // does for a 1-worker pool); the contract rejects it up front.
+  ThreadPool pool(1);
+  auto fut = pool.submit([&pool] {
+    EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}),
+                 ContractViolation);
+  });
+  fut.get();
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerOfAnotherPoolIsFine) {
+  ThreadPool outer(1);
+  ThreadPool inner(2);
+  auto fut = outer.submit([&inner] {
+    std::atomic<int> n{0};
+    inner.parallel_for(16, [&](std::size_t) { ++n; });
+    return n.load();
+  });
+  EXPECT_EQ(fut.get(), 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersStress) {
+  // Many external threads hammering submit() — the TSan target for the
+  // queue/cv handshake.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(8);
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(100);
+      for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForStress) {
+  // Several threads running parallel_for on the same pool at once; every
+  // index of every call must run exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kItems = 500;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    v = std::vector<std::atomic<int>>(kItems);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.parallel_for(kItems, [&hits, c](std::size_t i) { ++hits[c][i]; });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& v : hits) {
+    for (const auto& h : v) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolConcurrentFirstUse) {
+  // Concurrent first-touch of the magic static: every thread must see the
+  // same fully-constructed pool (TSan verifies the guard handshake).
+  constexpr int kThreads = 8;
+  std::vector<ThreadPool*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      ThreadPool& pool = global_pool();
+      auto fut = pool.submit([] { return 1; });
+      EXPECT_EQ(fut.get(), 1);
+      seen[static_cast<std::size_t>(t)] = &pool;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,413 @@
+#include "tools/lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mris::lint {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `text` contains `word` at position `pos` with non-word
+/// characters (or boundaries) on both sides.
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_word_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < text.size() && is_word_char(text[end])) return false;
+  return true;
+}
+
+/// First position of `word` (as a whole word) in `text`, npos if absent.
+std::size_t find_word(const std::string& text, const std::string& word) {
+  for (std::size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string::npos;
+}
+
+/// True if `word` occurs as a whole word and the next non-space character
+/// after it is '(' — i.e. it is used as a call.
+bool has_call(const std::string& text, const std::string& word) {
+  for (std::size_t pos = text.find(word); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (!word_at(text, pos, word)) continue;
+    std::size_t after = pos + word.size();
+    while (after < text.size() && (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] == '(') return true;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      return lines;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+bool line_allows(const std::string& original_line, const std::string& rule) {
+  const std::size_t tag = original_line.find("mris-lint: allow(");
+  if (tag == std::string::npos) return false;
+  const std::size_t open = original_line.find('(', tag);
+  const std::size_t close = original_line.find(')', open);
+  if (close == std::string::npos) return false;
+  const std::string arg = original_line.substr(open + 1, close - open - 1);
+  return arg == rule || arg == "all";
+}
+
+bool file_allows(const std::vector<std::string>& original_lines,
+                 const std::string& rule) {
+  const std::size_t scan = std::min<std::size_t>(original_lines.size(), 10);
+  for (std::size_t i = 0; i < scan; ++i) {
+    const std::string& line = original_lines[i];
+    const std::size_t tag = line.find("mris-lint: allow-file(");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = line.find('(', tag);
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string arg = line.substr(open + 1, close - open - 1);
+    if (arg == rule || arg == "all") return true;
+  }
+  return false;
+}
+
+/// Identifiers declared (anywhere in the file) with an unordered_* type:
+/// for every `unordered_xxx<...>` occurrence, the identifier following the
+/// closing angle bracket (skipping `&`, `*`, and `const`).  Range-fors over
+/// these names are flagged even when the declaration is lines away.
+std::vector<std::string> collect_unordered_names(const std::string& stripped) {
+  std::vector<std::string> names;
+  for (std::size_t pos = stripped.find("unordered_"); pos != std::string::npos;
+       pos = stripped.find("unordered_", pos + 1)) {
+    if (pos > 0 && is_word_char(stripped[pos - 1])) continue;
+    std::size_t i = pos;
+    while (i < stripped.size() && is_word_char(stripped[i])) ++i;
+    if (i >= stripped.size() || stripped[i] != '<') continue;
+    int depth = 0;
+    for (; i < stripped.size(); ++i) {
+      if (stripped[i] == '<') ++depth;
+      if (stripped[i] == '>' && --depth == 0) break;
+    }
+    if (i >= stripped.size()) continue;
+    ++i;  // past '>'
+    for (;;) {
+      while (i < stripped.size() &&
+             (stripped[i] == ' ' || stripped[i] == '&' || stripped[i] == '*')) {
+        ++i;
+      }
+      if (word_at(stripped, i, "const")) {
+        i += 5;
+        continue;
+      }
+      break;
+    }
+    std::size_t end = i;
+    while (end < stripped.size() && is_word_char(stripped[end])) ++end;
+    if (end > i) names.push_back(stripped.substr(i, end - i));
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+struct RuleContext {
+  const std::string& path;
+  const std::vector<std::string>& original_lines;
+  const Options& options;
+  std::vector<Finding>& findings;
+
+  void report(int line, const std::string& rule, const std::string& message) {
+    if (options.honor_suppressions) {
+      if (file_allows(original_lines, rule)) return;
+      const std::size_t i = static_cast<std::size_t>(line) - 1;
+      if (i < original_lines.size() && line_allows(original_lines[i], rule)) {
+        return;
+      }
+      if (i >= 1 && i - 1 < original_lines.size() &&
+          line_allows(original_lines[i - 1], rule)) {
+        return;
+      }
+    }
+    findings.push_back({path, line, rule, message});
+  }
+};
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& source) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  std::string out = source;
+  State state = State::kCode;
+  std::string raw_delim;       // )delim" that terminates the raw string
+  char last_code_char = '\0';  // last significant char seen in kCode
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — R (possibly after u8/u/U/L) directly
+          // before the quote.
+          if (last_code_char == 'R') {
+            const std::size_t open = source.find('(', i + 1);
+            if (open != std::string::npos) {
+              raw_delim = ")" + source.substr(i + 1, open - i - 1) + "\"";
+              state = State::kRawString;
+              out[i] = ' ';
+              break;
+            }
+          }
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'' && is_word_char(last_code_char)) {
+          // Digit separator (1'000) or u8'x' — only a literal when the
+          // previous char ends a number/identifier is *not* true; keep
+          // separators intact by skipping the literal state.
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        } else {
+          if (c != ' ' && c != '\t') last_code_char = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          last_code_char = '\0';
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          last_code_char = '\0';
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          last_code_char = '\0';
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          last_code_char = '\0';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Options& options) {
+  std::vector<Finding> findings;
+  const std::string stripped = strip_comments_and_strings(source);
+  const std::vector<std::string> original_lines = split_lines(source);
+  const std::vector<std::string> lines = split_lines(stripped);
+  RuleContext ctx{path, original_lines, options, findings};
+
+  const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  const bool rng_exempt = ends_with(path, "util/rng.hpp");
+  const bool contracts_exempt = ends_with(path, "util/contracts.hpp");
+
+  if (is_header) {
+    const bool has_pragma =
+        std::any_of(lines.begin(), lines.end(), [](const std::string& l) {
+          return l.find("#pragma once") != std::string::npos;
+        });
+    if (!has_pragma) {
+      ctx.report(1, "pragma-once", "header is missing #pragma once");
+    }
+  }
+
+  static const std::vector<std::string> kRandWords = {
+      "rand", "srand", "rand_r", "random_device", "mt19937", "mt19937_64"};
+  static const std::vector<std::string> kClockWords = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  const std::vector<std::string> unordered_names =
+      collect_unordered_names(stripped);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+
+    if (!rng_exempt) {
+      for (const std::string& word : kRandWords) {
+        if (find_word(line, word) != std::string::npos) {
+          ctx.report(lineno, "determinism-rand",
+                     "'" + word +
+                         "' breaks seeded determinism; use the xoshiro "
+                         "streams in util/rng.hpp");
+        }
+      }
+      if (has_call(line, "time") || has_call(line, "clock") ||
+          has_call(line, "gettimeofday")) {
+        ctx.report(lineno, "determinism-time",
+                   "wall-clock reads make runs irreproducible; derive times "
+                   "from the simulation clock");
+      }
+      for (const std::string& word : kClockWords) {
+        if (find_word(line, word) != std::string::npos) {
+          ctx.report(lineno, "determinism-time",
+                     "'std::chrono::" + word +
+                         "' is a wall-clock read; results must not depend "
+                         "on it");
+        }
+      }
+    }
+
+    if (find_word(line, "for") != std::string::npos) {
+      const bool direct = line.find("unordered_") != std::string::npos;
+      const bool via_name = std::any_of(
+          unordered_names.begin(), unordered_names.end(),
+          [&](const std::string& name) {
+            return find_word(line, name) != std::string::npos;
+          });
+      if (direct || via_name) {
+        ctx.report(lineno, "unordered-iter",
+                   "iterating an unordered container has "
+                   "implementation-defined order; use a sorted container or "
+                   "sort the keys first");
+      }
+    }
+
+    if (find_word(line, "float") != std::string::npos) {
+      ctx.report(lineno, "no-float",
+                 "float is banned (doubles only): mixed precision makes "
+                 "capacity comparisons platform-dependent");
+    }
+
+    if (!contracts_exempt) {
+      if (has_call(line, "assert") ||
+          line.find("<cassert>") != std::string::npos ||
+          line.find("<assert.h>") != std::string::npos) {
+        ctx.report(lineno, "naked-assert",
+                   "assert is compiled out in NDEBUG (RelWithDebInfo) "
+                   "builds; use MRIS_EXPECT/MRIS_ENSURE/MRIS_INVARIANT from "
+                   "util/contracts.hpp");
+      }
+    }
+
+    if (find_word(line, "cout") != std::string::npos ||
+        has_call(line, "printf")) {
+      ctx.report(lineno, "stdout",
+                 "library code must not write to stdout; return data and "
+                 "let binaries print");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(path, buffer.str(), options);
+}
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root);
+    return files;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace mris::lint

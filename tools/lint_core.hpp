@@ -1,0 +1,67 @@
+// Core of mris_lint: the project's determinism and style rules as plain
+// text analysis, separated from main() so the rules are unit-testable.
+//
+// Rules (ids are what suppression comments name):
+//   determinism-rand   std::rand/srand/random_device/mt19937 outside
+//                      util/rng.hpp — simulations must use the seeded
+//                      xoshiro streams so runs replay bit-exactly.
+//   determinism-time   time()/clock()/chrono clock reads — wall-clock
+//                      values make results irreproducible.
+//   unordered-iter     range-for over an unordered container — iteration
+//                      order is implementation-defined, so any
+//                      result-affecting loop over one is nondeterministic.
+//   pragma-once        every header starts with #pragma once.
+//   no-float           float is banned (doubles only): mixed precision
+//                      makes capacity comparisons platform-dependent.
+//   naked-assert       assert()/<cassert> outside util/contracts.hpp —
+//                      NDEBUG builds (the default RelWithDebInfo tier)
+//                      compile asserts out; use MRIS_EXPECT/ENSURE/
+//                      INVARIANT instead.
+//   stdout             std::cout/printf in library code — libraries
+//                      return data; binaries own the terminal.
+//
+// Suppressions: append `// mris-lint: allow(<rule>)` (or allow(all)) to
+// the offending line or the line above it.  A file-wide exemption is
+// `// mris-lint: allow-file(<rule>)` within the first 10 lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mris::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  bool honor_suppressions = true;
+};
+
+/// Blanks out comments and string/character literal contents (newlines
+/// preserved, so line numbers survive).  Handles escapes, raw strings,
+/// and digit separators (1'000 is not a char literal).
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Lints one translation unit given as text.  `path` is used for
+/// reporting, for header detection (.hpp), and for the two allow-listed
+/// files (util/rng.hpp, util/contracts.hpp).
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Options& options = {});
+
+/// Reads and lints a file; an unreadable file is itself a finding.
+std::vector<Finding> lint_file(const std::string& path,
+                               const Options& options = {});
+
+/// All .hpp/.cpp files under `root` (or just {root} when it is a file),
+/// sorted so output and exit codes are deterministic.
+std::vector<std::string> collect_sources(const std::string& root);
+
+/// "file:line: [rule] message" — the clickable compiler-style format.
+std::string format_finding(const Finding& finding);
+
+}  // namespace mris::lint

@@ -1,0 +1,80 @@
+// mris_lint — the project's custom determinism/style linter.
+//
+// Usage:
+//   mris_lint [--no-suppress] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 when every scanned file is clean, 1 otherwise (so it can
+// run as a ctest).  Findings go to stdout in compiler format
+// (file:line: [rule] message); the summary goes to stderr.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint_core.hpp"
+
+namespace {
+
+constexpr const char* kRuleHelp =
+    "rules:\n"
+    "  determinism-rand  rand/srand/random_device/mt19937 outside "
+    "util/rng.hpp\n"
+    "  determinism-time  time()/clock()/chrono clock reads\n"
+    "  unordered-iter    range-for over an unordered container\n"
+    "  pragma-once       header missing #pragma once\n"
+    "  no-float          float (doubles only)\n"
+    "  naked-assert      assert()/<cassert> outside util/contracts.hpp\n"
+    "  stdout            std::cout/printf in library code\n"
+    "suppress with '// mris-lint: allow(<rule>)' on or above the line,\n"
+    "or '// mris-lint: allow-file(<rule>)' in the first 10 lines.\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mris::lint::Options options;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-suppress") {
+      options.honor_suppressions = false;
+    } else if (arg == "--list-rules") {
+      std::fputs(kRuleHelp, stdout);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs("usage: mris_lint [--no-suppress] [--list-rules] "
+                 "<file-or-dir>...\n",
+                 stdout);
+      std::fputs(kRuleHelp, stdout);
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fputs("mris_lint: no files or directories given (try --help)\n",
+               stderr);
+    return 2;
+  }
+
+  std::size_t files = 0;
+  std::size_t total = 0;
+  for (const std::string& root : roots) {
+    const std::vector<std::string> sources =
+        mris::lint::collect_sources(root);
+    if (sources.empty()) {
+      std::fprintf(stderr, "mris_lint: nothing to lint under '%s'\n",
+                   root.c_str());
+      return 2;
+    }
+    for (const std::string& path : sources) {
+      ++files;
+      for (const mris::lint::Finding& f :
+           mris::lint::lint_file(path, options)) {
+        std::fprintf(stdout, "%s\n", mris::lint::format_finding(f).c_str());
+        ++total;
+      }
+    }
+  }
+  std::fprintf(stderr, "mris_lint: %zu finding(s) in %zu file(s)\n", total,
+               files);
+  return total == 0 ? 0 : 1;
+}
