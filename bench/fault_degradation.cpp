@@ -1,110 +1,348 @@
-// Robustness sweep: graceful degradation of the full scheduler lineup under
-// machine outages, stragglers, and probabilistic job failures (no paper
-// figure — the fault model is this repo's extension; see DESIGN.md "Fault
-// model & recovery semantics").
+// Robustness sweep: checkpoint/partial-restart versus restart-from-scratch
+// under machine outages, stragglers, and probabilistic job failures (no
+// paper figure — the fault model is this repo's extension; see
+// docs/FAULTS.md and DESIGN.md "Fault model & recovery semantics").
 //
-// Sweeps machine MTBF from harsh to mild at fixed MTTR, straggler mix, and
-// failure probability.  For every (MTBF, scheduler) point it reports
-//   * AWCT over the *actual* (faulty) execution,
-//   * wasted work (volume burnt by killed/failed attempts),
-//   * failed runs (validation/scheduler errors — expected to stay 0).
-// Every run is checked with the outage-aware fault validator; a violation
-// marks the run failed rather than aborting the sweep.
+// Three sweeps, all over the same azure-like workload and paired fault
+// plans (identical outages/stretches/failure draws per replication, so the
+// recovery policy is the only difference between arms):
+//
+//   1. MTBF sweep (harsh -> mild, plus a fault-free point at +inf):
+//      AWCT, wasted work, and checkpoint/restore overhead for a
+//      restart-from-scratch arm and a checkpointing arm, for MRIS and
+//      PQ-WSJF.  Checkpointing salvages most of a killed attempt, so its
+//      wasted work sits strictly below the scratch arm at every finite
+//      MTBF.
+//   2. Checkpoint-interval sweep (fixed harsh MTBF, periodic policy):
+//      coarser grids salvage less (wasted work rises); the restore
+//      overhead paid per resume falls with fewer resumed marks.
+//   3. Restore-overhead sweep (fixed harsh MTBF): as the cost of loading a
+//      checkpoint grows, the AWCT of the checkpointing arm climbs past the
+//      (overhead-independent) scratch arm — the crossover that decides
+//      when checkpointing pays off.
+//
+// Every faulty run is checked with the outage- and checkpoint-aware fault
+// validator; a violation marks the run failed rather than aborting the
+// sweep.
+//
+// Flags (defaults reproduce the committed CSV; run with no flags for the
+// deterministic CI configuration):
+//   --checkpoint-policy none|periodic|fraction   checkpointing arm policy
+//   --checkpoint-interval T    periodic grid step (work units)
+//   --checkpoint-fraction f    fraction-of-p_j grid step, in (0,1)
+//   --restore-overhead T       resume cost prepended per checkpoint restore
+//   --help                     print usage and exit
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <limits>
 
+#include "sim/checkpoint/checkpoint.hpp"
 #include "sim/faults.hpp"
+#include "util/flags.hpp"
 #include "util/rng.hpp"
 
 using namespace mris;
 
-int main() {
-  bench::print_header("fault_degradation", "robustness extension (DESIGN.md)");
+namespace {
+
+constexpr double kMttr = 50.0;
+
+/// The checkpointing arm configured by the flags.
+struct ArmConfig {
+  CheckpointPolicy::Kind kind = CheckpointPolicy::Kind::kPeriodic;
+  double interval = 25.0;
+  double fraction = 0.10;
+  double restore = 2.0;
+
+  CheckpointPolicy policy(double restore_override) const {
+    switch (kind) {
+      case CheckpointPolicy::Kind::kPeriodic:
+        return CheckpointPolicy::Periodic(interval, restore_override);
+      case CheckpointPolicy::Kind::kFraction:
+        return CheckpointPolicy::FractionOfP(fraction, restore_override);
+      case CheckpointPolicy::Kind::kNone:
+      default:
+        return CheckpointPolicy::None();
+    }
+  }
+  CheckpointPolicy policy() const { return policy(restore); }
+  const char* name() const { return checkpoint_kind_name(kind); }
+};
+
+void print_usage() {
+  std::printf(
+      "usage: fault_degradation [--checkpoint-policy none|periodic|fraction]\n"
+      "                         [--checkpoint-interval T]"
+      " [--checkpoint-fraction f]\n"
+      "                         [--restore-overhead T] [--help]\n"
+      "\n"
+      "  --checkpoint-policy    policy of the checkpointing arm"
+      " (default periodic);\n"
+      "                         'none' degenerates to a second"
+      " restart-from-scratch arm\n"
+      "  --checkpoint-interval  periodic checkpoint grid step in work units"
+      " (default 25)\n"
+      "  --checkpoint-fraction  fraction-of-p_j grid step in (0,1)"
+      " (default 0.1)\n"
+      "  --restore-overhead     time prepended to every resumed attempt"
+      " (default 2)\n"
+      "\n"
+      "Scale knobs come from the environment: MRIS_BENCH_SCALE, MRIS_SEED,\n"
+      "MRIS_REPS (see bench_common.hpp).  Output lands in\n"
+      "results/results_fault_degradation.csv.\n");
+}
+
+/// Base fault spec shared by every arm; only `checkpoint` differs.
+FaultSpec base_fault_spec(double mtbf) {
+  FaultSpec spec;
+  spec.mtbf = mtbf;
+  spec.mttr = kMttr;
+  spec.straggler_prob = 0.05;
+  spec.stretch_lo = 1.5;
+  spec.stretch_hi = 3.0;
+  spec.failure_prob = 0.02;
+  spec.max_retries = 3;
+  spec.retry_backoff = 1.0;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.get_bool("help")) {
+    print_usage();
+    return 0;
+  }
+  ArmConfig arm;
+  try {
+    arm.kind = parse_checkpoint_kind(
+        flags.get("checkpoint-policy", "periodic"));
+    arm.interval = flags.get_double("checkpoint-interval", arm.interval);
+    arm.fraction = flags.get_double("checkpoint-fraction", arm.fraction);
+    arm.restore = flags.get_double("restore-overhead", arm.restore);
+    arm.policy().validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fault_degradation: %s\n", e.what());
+    return 2;
+  }
+  if (const auto unknown = flags.unconsumed(); !unknown.empty()) {
+    std::fprintf(stderr, "fault_degradation: unknown flag --%s (--help?)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+
+  bench::print_header("fault_degradation",
+                      "robustness extension (docs/FAULTS.md)");
+  std::printf("checkpoint arm: %s interval=%g fraction=%g restore=%g\n",
+              arm.name(), arm.interval, arm.fraction, arm.restore);
   const std::size_t reps = util::bench_reps();
   const std::size_t n = bench::scaled(1000);
   const int machines = 4;
-  // MTBF sweep, harsh -> mild, plus a fault-free reference point at +inf.
-  const std::vector<double> mtbf_values = {250.0, 1000.0, 4000.0,
-                                           std::numeric_limits<double>::infinity()};
   const std::size_t base_jobs = n * std::max<std::size_t>(reps, 10);
   const trace::Workload base = bench::base_workload(base_jobs);
   util::Xoshiro256 offset_rng(util::bench_seed() ^ 0xfa17u);
+  const std::size_t factor = base_jobs / n;
+  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
+  const auto factory =
+      bench::downsample_factory(base, factor, offsets, machines);
 
-  std::vector<exp::SchedulerSpec> lineup = exp::comparison_lineup();
-  lineup.push_back(exp::SchedulerSpec::Drf());
-  lineup.push_back(exp::SchedulerSpec::Hybrid());
+  // A fault factory for one (MTBF, policy) arm.  The plan seed depends only
+  // on the replication, so the scratch and checkpoint arms of a point see
+  // byte-identical outages, stretches, and failure draws.
+  const auto faults_for = [&](double mtbf, const CheckpointPolicy& policy) {
+    return exp::FaultFactory([&factory, mtbf, policy](std::size_t rep) {
+      FaultSpec spec = base_fault_spec(mtbf);
+      spec.checkpoint = policy;
+      // The plan must match the rep's instance (outage horizon, stretch per
+      // job), so rebuild the instance here; downsampling is cheap relative
+      // to the runs themselves.
+      const Instance inst = factory(rep);
+      return make_fault_plan(spec, inst, util::bench_seed() + 0x9e37u + rep);
+    });
+  };
 
-  std::vector<exp::Series> awct_series, wasted_series;
-  for (const auto& spec : lineup) {
-    awct_series.push_back({"AWCT:" + spec.display_name(), {}, {}, {}});
-    wasted_series.push_back({"WASTED:" + spec.display_name(), {}, {}, {}});
+  std::vector<exp::Series> all_series;
+
+  // ---- Sweep 1: AWCT / wasted work / overhead vs machine MTBF ------------
+  const std::vector<exp::SchedulerSpec> lineup = {exp::SchedulerSpec::Mris(),
+                                                  exp::SchedulerSpec::Pq()};
+  const std::vector<double> mtbf_values = {
+      250.0, 1000.0, 4000.0, std::numeric_limits<double>::infinity()};
+  struct Mode {
+    std::string label;
+    CheckpointPolicy policy;
+  };
+  const std::vector<Mode> modes = {{"scratch", CheckpointPolicy::None()},
+                                   {arm.name(), arm.policy()}};
+
+  std::vector<std::vector<exp::Series>> awct(modes.size()),
+      wasted(modes.size()), overhead(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (const auto& spec : lineup) {
+      const std::string tag = spec.display_name() + ":" + modes[m].label;
+      awct[m].push_back({"AWCT:" + tag, {}, {}, {}});
+      wasted[m].push_back({"WASTED:" + tag, {}, {}, {}});
+      overhead[m].push_back({"OVERHEAD:" + tag, {}, {}, {}});
+    }
   }
 
   std::vector<std::vector<std::string>> table;
   {
     std::vector<std::string> header = {"MTBF"};
-    for (const auto& spec : lineup) header.push_back(spec.display_name());
+    for (const auto& mode : modes) {
+      for (const auto& spec : lineup) {
+        header.push_back("AWCT " + spec.display_name() + " " + mode.label);
+      }
+    }
+    header.push_back("wasted scratch");
+    header.push_back(std::string("wasted ") + arm.name());
     header.push_back("failed");
     table.push_back(std::move(header));
   }
 
-  const std::size_t factor = base_jobs / n;
-  const auto offsets = trace::sample_offsets(factor, reps, offset_rng);
   for (double mtbf : mtbf_values) {
-    const auto factory =
-        bench::downsample_factory(base, factor, offsets, machines);
     const bool faulty = std::isfinite(mtbf);
-
-    exp::FaultFactory make_faults;
-    if (faulty) {
-      make_faults = [&, mtbf](std::size_t rep) {
-        FaultSpec spec;
-        spec.mtbf = mtbf;
-        spec.mttr = 50.0;
-        spec.straggler_prob = 0.05;
-        spec.stretch_lo = 1.5;
-        spec.stretch_hi = 3.0;
-        spec.failure_prob = 0.02;
-        spec.max_retries = 3;
-        spec.retry_backoff = 1.0;
-        // The plan must match the rep's instance (outage horizon, stretch
-        // per job), so rebuild the instance here; downsampling is cheap
-        // relative to the runs themselves.
-        const Instance inst = factory(rep);
-        return make_fault_plan(spec, inst,
-                               util::bench_seed() + 0x9e37u + rep);
-      };
-    }
-
-    const auto points =
-        exp::replicate_lineup(reps, factory, lineup, make_faults);
-
     const double x = faulty ? mtbf : 4.0 * mtbf_values[2];  // plot position
     std::vector<std::string> row = {
         faulty ? std::to_string(static_cast<long>(mtbf)) : "inf"};
     std::size_t failed = 0;
-    for (std::size_t s = 0; s < lineup.size(); ++s) {
-      row.push_back(exp::format_ci(points[s].awct));
-      failed += points[s].failed_runs;
-      awct_series[s].x.push_back(x);
-      awct_series[s].y.push_back(points[s].awct.mean);
-      awct_series[s].ci.push_back(points[s].awct.half_width);
-      wasted_series[s].x.push_back(x);
-      wasted_series[s].y.push_back(points[s].wasted_work.mean);
-      wasted_series[s].ci.push_back(points[s].wasted_work.half_width);
+    std::vector<std::string> wasted_cells;
+    std::vector<exp::PointResult> faultfree_points;
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      // The fault-free reference point is policy-independent: run it once
+      // (m == 0) and mirror the numbers into the other arm's series.
+      std::vector<exp::PointResult> points;
+      if (faulty || m == 0) {
+        points = exp::replicate_lineup(
+            reps, factory, lineup,
+            faulty ? faults_for(mtbf, modes[m].policy)
+                   : exp::FaultFactory{});
+        if (!faulty) faultfree_points = points;
+      } else {
+        points = faultfree_points;
+      }
+
+      for (std::size_t s = 0; s < lineup.size(); ++s) {
+        row.push_back(exp::format_ci(points[s].awct));
+        failed += points[s].failed_runs;
+        awct[m][s].x.push_back(x);
+        awct[m][s].y.push_back(points[s].awct.mean);
+        awct[m][s].ci.push_back(points[s].awct.half_width);
+        wasted[m][s].x.push_back(x);
+        wasted[m][s].y.push_back(points[s].wasted_work.mean);
+        wasted[m][s].ci.push_back(points[s].wasted_work.half_width);
+        overhead[m][s].x.push_back(x);
+        overhead[m][s].y.push_back(points[s].checkpoint_overhead.mean);
+        overhead[m][s].ci.push_back(points[s].checkpoint_overhead.half_width);
+      }
+      wasted_cells.push_back(exp::format_ci(points[0].wasted_work));
     }
+    row.insert(row.end(), wasted_cells.begin(), wasted_cells.end());
     row.push_back(std::to_string(failed));
     table.push_back(std::move(row));
   }
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      all_series.push_back(awct[m][s]);
+      all_series.push_back(wasted[m][s]);
+      all_series.push_back(overhead[m][s]);
+    }
+  }
+
+  // ---- Sweep 2: wasted work / overhead vs checkpoint interval ------------
+  // Fixed harsh MTBF, periodic policy, MRIS only.  x = grid step.
+  const double harsh_mtbf = mtbf_values[0];
+  const std::vector<double> intervals = {5.0, 25.0, 100.0, 400.0};
+  exp::Series ival_awct{"IVAL-AWCT:MRIS:periodic", {}, {}, {}};
+  exp::Series ival_wasted{"IVAL-WASTED:MRIS:periodic", {}, {}, {}};
+  exp::Series ival_overhead{"IVAL-OVERHEAD:MRIS:periodic", {}, {}, {}};
+  std::vector<std::vector<std::string>> ival_table = {
+      {"interval", "AWCT", "wasted", "overhead", "failed"}};
+  const std::vector<exp::SchedulerSpec> mris_only = {
+      exp::SchedulerSpec::Mris()};
+  for (double interval : intervals) {
+    const auto points = exp::replicate_lineup(
+        reps, factory, mris_only,
+        faults_for(harsh_mtbf,
+                   CheckpointPolicy::Periodic(interval, arm.restore)));
+    const auto& p = points[0];
+    ival_awct.x.push_back(interval);
+    ival_awct.y.push_back(p.awct.mean);
+    ival_awct.ci.push_back(p.awct.half_width);
+    ival_wasted.x.push_back(interval);
+    ival_wasted.y.push_back(p.wasted_work.mean);
+    ival_wasted.ci.push_back(p.wasted_work.half_width);
+    ival_overhead.x.push_back(interval);
+    ival_overhead.y.push_back(p.checkpoint_overhead.mean);
+    ival_overhead.ci.push_back(p.checkpoint_overhead.half_width);
+    ival_table.push_back({exp::format_num(interval), exp::format_ci(p.awct),
+                          exp::format_ci(p.wasted_work),
+                          exp::format_ci(p.checkpoint_overhead),
+                          std::to_string(p.failed_runs)});
+  }
+  all_series.push_back(ival_awct);
+  all_series.push_back(ival_wasted);
+  all_series.push_back(ival_overhead);
+
+  // ---- Sweep 3: AWCT vs restore overhead (the crossover) -----------------
+  // Fixed harsh MTBF, MRIS only.  The scratch arm never pays restore
+  // overhead, so it is evaluated once and drawn as a flat reference line.
+  const std::vector<double> restores = {0.0, 10.0, 50.0, 200.0, 800.0};
+  exp::Series xover_ckpt{std::string("XOVER-AWCT:MRIS:") + arm.name(),
+                         {},
+                         {},
+                         {}};
+  exp::Series xover_scratch{"XOVER-AWCT:MRIS:scratch", {}, {}, {}};
+  const auto scratch_points = exp::replicate_lineup(
+      reps, factory, mris_only,
+      faults_for(harsh_mtbf, CheckpointPolicy::None()));
+  std::vector<std::vector<std::string>> xover_table = {
+      {"restore", std::string("AWCT ") + arm.name(), "AWCT scratch",
+       "failed"}};
+  for (double restore : restores) {
+    const auto points = exp::replicate_lineup(
+        reps, factory, mris_only, faults_for(harsh_mtbf, arm.policy(restore)));
+    const auto& p = points[0];
+    xover_ckpt.x.push_back(restore);
+    xover_ckpt.y.push_back(p.awct.mean);
+    xover_ckpt.ci.push_back(p.awct.half_width);
+    xover_scratch.x.push_back(restore);
+    xover_scratch.y.push_back(scratch_points[0].awct.mean);
+    xover_scratch.ci.push_back(scratch_points[0].awct.half_width);
+    xover_table.push_back(
+        {exp::format_num(restore), exp::format_ci(p.awct),
+         exp::format_ci(scratch_points[0].awct),
+         std::to_string(p.failed_runs + scratch_points[0].failed_runs)});
+  }
+  all_series.push_back(xover_ckpt);
+  all_series.push_back(xover_scratch);
+
+  std::printf("\n-- checkpoint interval sweep (MTBF=%g, restore=%g) --\n",
+              harsh_mtbf, arm.restore);
+  std::printf("%s", exp::render_table(ival_table).c_str());
+  std::printf("\n-- restore overhead sweep (MTBF=%g, %s arm) --\n",
+              harsh_mtbf, arm.name());
+  std::printf("%s", exp::render_table(xover_table).c_str());
+  std::printf("\n-- AWCT vs MTBF (scratch vs %s) --\n", arm.name());
 
   exp::PlotOptions opts;
-  opts.title = "Graceful degradation: AWCT vs machine MTBF";
+  opts.title = "Degradation under faults: scratch vs checkpoint recovery";
   opts.xlabel = "MTBF (inf plotted at right edge)";
   opts.ylabel = "AWCT";
   opts.log_x = true;
-  std::vector<exp::Series> all = awct_series;
-  all.insert(all.end(), wasted_series.begin(), wasted_series.end());
-  bench::emit("fault_degradation", all, opts, table);
+  std::vector<exp::Series> plot_series;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      plot_series.push_back(awct[m][s]);
+    }
+  }
+  std::printf("%s", exp::render_table(table).c_str());
+  std::printf("\n%s", exp::render_plot(plot_series, opts).c_str());
+  const std::string csv = bench::results_csv_path("fault_degradation");
+  if (exp::write_series_csv(csv, all_series)) {
+    std::printf("raw series written to %s\n", csv.c_str());
+  }
   return 0;
 }

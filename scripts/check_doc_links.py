@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (or, with no arguments, the repo's
+documentation set: README.md, DESIGN.md, EXPERIMENTS.md, THEORY.md,
+ROADMAP.md and docs/*.md) for inline links and images
+`[text](target)` / `![alt](target)`.  External schemes (http, https,
+mailto) and pure in-page anchors (`#...`) are ignored; every other
+target is resolved relative to the linking file and must exist.
+
+Runs as a ctest (`doc_links`), so a renamed or deleted file breaks CI
+rather than readers.  Exit status: 0 when every link resolves, 1
+otherwise (broken links are listed in file:line: form).
+"""
+import os
+import re
+import sys
+
+# Inline link or image: [text](target) — target up to the first ')' or
+# space (markdown titles `[x](file "title")` keep only the path part).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, ...
+
+
+def default_files(repo_root):
+    files = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "THEORY.md",
+                 "ROADMAP.md"):
+        path = os.path.join(repo_root, name)
+        if os.path.isfile(path):
+            files.append(path)
+    docs = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs):
+        for entry in sorted(os.listdir(docs)):
+            if entry.endswith(".md"):
+                files.append(os.path.join(docs, entry))
+    return files
+
+
+def check_file(path):
+    """Returns a list of 'file:line: message' strings for broken links."""
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            # Links inside fenced code blocks are examples, not navigation.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if EXTERNAL_RE.match(target) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, rel))
+                if not os.path.exists(resolved):
+                    broken.append(
+                        f"{path}:{lineno}: broken link '{target}' "
+                        f"(resolved to {resolved})")
+    return broken
+
+
+def main(argv):
+    if len(argv) > 1:
+        files = argv[1:]
+    else:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        files = default_files(repo_root)
+    if not files:
+        print("check_doc_links: no markdown files found", file=sys.stderr)
+        return 2
+    broken = []
+    for path in files:
+        broken.extend(check_file(path))
+    for message in broken:
+        print(message)
+    print(f"check_doc_links: {len(files)} files, {len(broken)} broken links",
+          file=sys.stderr)
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

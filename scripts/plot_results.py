@@ -9,6 +9,16 @@ confidence band where present.
 
     ./scripts/plot_results.py results/results_fig3_arrival_rate.csv
     ./scripts/plot_results.py --logx --logy results/results_*.csv
+
+Benches that emit several metric families into one CSV prefix the series
+name (`AWCT:...`, `WASTED:...`, `XOVER-AWCT:...`; see
+bench/fault_degradation.cpp).  Use --metric to plot one family at a
+time — series whose name is the prefix or starts with "<prefix>:":
+
+    ./scripts/plot_results.py --metric WASTED --logx --logy \
+        results/results_fault_degradation.csv
+    ./scripts/plot_results.py --metric XOVER-AWCT \
+        results/results_fault_degradation.csv
 """
 import argparse
 import collections
@@ -37,6 +47,13 @@ def load_series(path):
 
 def plot_file(path, args, plt):
     data = load_series(path)
+    if args.metric:
+        data = collections.OrderedDict(
+            (name, series) for name, series in data.items()
+            if name == args.metric or name.startswith(args.metric + ":"))
+        if not data:
+            raise SystemExit(
+                f"{path}: no series match --metric {args.metric}")
     fig, ax = plt.subplots(figsize=(7, 4.5))
     for name, (xs, ys, cis) in data.items():
         line, = ax.plot(xs, ys, marker="o", markersize=3, label=name)
@@ -54,7 +71,8 @@ def plot_file(path, args, plt):
     ax.set_ylabel(args.ylabel)
     ax.legend(fontsize=8)
     ax.grid(True, alpha=0.3)
-    out = os.path.splitext(path)[0] + ".png"
+    suffix = f".{args.metric}" if args.metric else ""
+    out = os.path.splitext(path)[0] + suffix + ".png"
     fig.tight_layout()
     fig.savefig(out, dpi=150)
     print(f"wrote {out}")
@@ -65,6 +83,9 @@ def main():
     parser.add_argument("csv_files", nargs="+")
     parser.add_argument("--logx", action="store_true")
     parser.add_argument("--logy", action="store_true")
+    parser.add_argument("--metric", default="",
+                        help="only plot series named PREFIX or 'PREFIX:...' "
+                             "(e.g. WASTED, XOVER-AWCT)")
     parser.add_argument("--xlabel", default="x")
     parser.add_argument("--ylabel", default="AWCT")
     args = parser.parse_args()

@@ -63,4 +63,29 @@ double total_volume(const JobRange& jobs) {
   return v;
 }
 
+/// Residual-work state of a job under checkpoint/partial-restart
+/// (sim/checkpoint): `done` units of p_j survived previous attempts as a
+/// checkpoint, so the next attempt executes the remaining work plus a fixed
+/// restore overhead.  A fresh job (or one under restart-from-scratch) is the
+/// all-zero state, for which effective_processing(j) == p_j exactly.
+///
+/// The engine exposes resumed jobs to schedulers with
+/// processing = effective_processing(), so residual-aware scheduling —
+/// MRIS's interval classification p_j <= gamma_k and knapsack volume
+/// v_j = p_j * u_j included — falls out of the ordinary Job accessors.
+struct ResidualWork {
+  Time done = 0.0;     ///< checkpointed progress, in [0, p_j)
+  Time restore = 0.0;  ///< restore overhead of the next attempt (0 if fresh)
+
+  /// Work still to execute (excluding restore).
+  Time remaining(const Job& job) const noexcept {
+    return std::max(0.0, job.processing - done);
+  }
+
+  /// Declared duration of the next attempt: restore + remaining work.
+  Time effective_processing(const Job& job) const noexcept {
+    return restore + remaining(job);
+  }
+};
+
 }  // namespace mris

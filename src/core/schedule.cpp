@@ -62,6 +62,22 @@ ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
 ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
                                    std::span<const OutageWindow> outages,
                                    double tolerance) {
+  return validate_schedule(inst, sched, outages, std::span<const Time>{},
+                           tolerance);
+}
+
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   std::span<const OutageWindow> outages,
+                                   std::span<const Time> durations,
+                                   double tolerance) {
+  if (!durations.empty() && durations.size() != inst.num_jobs()) {
+    return fail("durations cover " + std::to_string(durations.size()) +
+                " jobs but instance has " + std::to_string(inst.num_jobs()));
+  }
+  const auto duration_of = [&](JobId id) {
+    return durations.empty() ? inst.job(id).processing
+                             : durations[static_cast<std::size_t>(id)];
+  };
   if (sched.num_jobs() != inst.num_jobs()) {
     return fail("schedule covers " + std::to_string(sched.num_jobs()) +
                 " jobs but instance has " + std::to_string(inst.num_jobs()));
@@ -103,7 +119,7 @@ ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
     }
     for (JobId id : by_machine[static_cast<std::size_t>(o.machine)]) {
       const Time s = sched.start_time(id);
-      const Time c = s + inst.job(id).processing;
+      const Time c = s + duration_of(id);
       if (c > o.down + tolerance && s < o.up - tolerance) {
         std::ostringstream msg;
         msg << "job " << id << " runs [" << s << ", " << c
@@ -129,7 +145,7 @@ ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
     for (JobId id : by_machine[static_cast<std::size_t>(m)]) {
       const Time s = sched.start_time(id);
       events.push_back({s, 1, id});
-      events.push_back({s + inst.job(id).processing, 0, id});
+      events.push_back({s + duration_of(id), 0, id});
     }
     std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
       if (a.t != b.t) return a.t < b.t;

@@ -95,4 +95,16 @@ ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
                                    std::span<const OutageWindow> outages,
                                    double tolerance = 1e-9);
 
+/// Duration-aware validation for checkpoint/partial-restart runs: identical
+/// to the outage-aware overload, except job `j` occupies
+/// [S_j, S_j + durations[j]) instead of [S_j, S_j + p_j).  A resumed job's
+/// final attempt runs only its residual work plus restore overhead, so
+/// validating its occupancy against the full p_j would both overstate
+/// capacity usage and flag phantom outage overlaps.  `durations` must be
+/// empty (fall back to p_j) or have one entry per job.
+ValidationResult validate_schedule(const Instance& inst, const Schedule& sched,
+                                   std::span<const OutageWindow> outages,
+                                   std::span<const Time> durations,
+                                   double tolerance = 1e-9);
+
 }  // namespace mris

@@ -60,9 +60,11 @@ EvalResult evaluate_impl(const Instance& inst, const SchedulerSpec& spec,
                                spec.display_name() + ": " + valid.message);
     }
     r = metrics_from_attempts(inst, run.attempts);
-    const FaultMetrics fm = summarize_attempts(inst, run.attempts);
+    const FaultMetrics fm = summarize_attempts(inst, run.attempts, faults);
     for (int k : fm.retries) r.retries += static_cast<std::size_t>(k);
     r.wasted_work = fm.wasted_work;
+    r.checkpoint_overhead = fm.checkpoint_overhead;
+    r.salvaged_work = fm.salvaged_work;
     r.goodput = fm.goodput;
   } else {
     const ValidationResult valid = validate_schedule(inst, run.schedule);
@@ -119,7 +121,7 @@ PointResult replicate(
     const std::function<Instance(std::size_t)>& make_instance,
     const SchedulerSpec& spec, const FaultFactory& make_faults) {
   std::vector<double> awct(reps), cmax(reps), delay(reps), wasted(reps),
-      goodput(reps);
+      overhead(reps), goodput(reps);
   std::vector<char> ok(reps, 0);
   util::global_pool().parallel_for(reps, [&](std::size_t rep) {
     const Instance inst = make_instance(rep);
@@ -133,6 +135,7 @@ PointResult replicate(
     cmax[rep] = r.makespan;
     delay[rep] = r.mean_delay;
     wasted[rep] = r.wasted_work;
+    overhead[rep] = r.checkpoint_overhead;
     goodput[rep] = r.goodput;
   });
   PointResult p;
@@ -140,6 +143,7 @@ PointResult replicate(
   p.makespan = mean_ci_over(cmax, ok);
   p.mean_delay = mean_ci_over(delay, ok);
   p.wasted_work = mean_ci_over(wasted, ok);
+  p.checkpoint_overhead = mean_ci_over(overhead, ok);
   p.goodput = mean_ci_over(goodput, ok);
   p.failed_runs =
       reps - static_cast<std::size_t>(std::count(ok.begin(), ok.end(), 1));
@@ -155,6 +159,7 @@ std::vector<PointResult> replicate_lineup(
   std::vector<std::vector<double>> cmax(S, std::vector<double>(reps));
   std::vector<std::vector<double>> delay(S, std::vector<double>(reps));
   std::vector<std::vector<double>> wasted(S, std::vector<double>(reps));
+  std::vector<std::vector<double>> overhead(S, std::vector<double>(reps));
   std::vector<std::vector<double>> goodput(S, std::vector<double>(reps));
   std::vector<std::vector<char>> ok(S, std::vector<char>(reps, 0));
 
@@ -177,6 +182,7 @@ std::vector<PointResult> replicate_lineup(
     cmax[s][rep] = r.makespan;
     delay[s][rep] = r.mean_delay;
     wasted[s][rep] = r.wasted_work;
+    overhead[s][rep] = r.checkpoint_overhead;
     goodput[s][rep] = r.goodput;
   });
 
@@ -186,6 +192,7 @@ std::vector<PointResult> replicate_lineup(
     out[s].makespan = mean_ci_over(cmax[s], ok[s]);
     out[s].mean_delay = mean_ci_over(delay[s], ok[s]);
     out[s].wasted_work = mean_ci_over(wasted[s], ok[s]);
+    out[s].checkpoint_overhead = mean_ci_over(overhead[s], ok[s]);
     out[s].goodput = mean_ci_over(goodput[s], ok[s]);
     out[s].failed_runs =
         reps -

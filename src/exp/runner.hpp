@@ -32,7 +32,9 @@ struct EvalResult {
   // Fault/recovery metrics (trivial in fault-free runs).
   std::size_t retries = 0;    ///< total failed attempts across all jobs
   double wasted_work = 0.0;   ///< volume burnt by killed/failed attempts
-  double goodput = 1.0;       ///< useful / (useful + wasted) work
+  double checkpoint_overhead = 0.0;  ///< volume spent restoring checkpoints
+  double salvaged_work = 0.0;        ///< volume recovered from checkpoints
+  double goodput = 1.0;  ///< useful / (useful + wasted + overhead) work
 
   /// True when the run threw (scheduler exception or validation failure);
   /// all metric fields are then meaningless and `error` holds the cause.
@@ -62,6 +64,7 @@ struct PointResult {
   util::MeanCi makespan;
   util::MeanCi mean_delay;
   util::MeanCi wasted_work;
+  util::MeanCi checkpoint_overhead;
   util::MeanCi goodput;
   std::size_t failed_runs = 0;
 };

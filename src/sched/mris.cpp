@@ -54,6 +54,11 @@ void MrisScheduler::on_wakeup(EngineContext& ctx) {
 
   // J_k: released, unscheduled jobs with p_j <= gamma_k (Alg. 1 line 3).
   // Everything in pending() already has r_j <= now == gamma_k.
+  // Under checkpoint/partial-restart, ctx.job() is the *effective* view: a
+  // resumed job's processing (and hence volume v_j = p_j * u_j) is its
+  // residual work plus restore overhead, so both the interval
+  // classification and the knapsack sizing below are residual-aware
+  // without any scheduler-side special-casing.
   std::vector<JobId> candidates;
   std::vector<knapsack::Item> items;
   for (JobId id : ctx.pending()) {

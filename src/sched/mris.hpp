@@ -10,6 +10,12 @@
 //
 // With alpha = 2 and the CADP backend this is 8R(1+eps)-competitive for
 // AWCT (Theorem 6.8) and for makespan (Lemma 6.9).
+//
+// Under the fault engine's checkpoint/partial-restart model
+// (docs/FAULTS.md) the p_j observed through EngineContext::job() is the
+// *residual* processing time of a resumed job, so steps 1 and 2 classify
+// and size by the work that actually remains — a long job that salvaged
+// most of its progress re-enters as a short job in an early interval.
 #pragma once
 
 #include <cstddef>

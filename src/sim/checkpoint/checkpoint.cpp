@@ -1,0 +1,146 @@
+#include "sim/checkpoint/checkpoint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+
+namespace {
+
+// Absolute slack for snapping a near-grid progress value onto its mark, and
+// for keeping marks strictly below p_j.  Progress values the engine feeds in
+// are sums/differences of event times, so they carry a few ulps of noise.
+constexpr double kGridTol = 1e-9;
+
+}  // namespace
+
+void CheckpointPolicy::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("CheckpointPolicy: " + what);
+  };
+  switch (kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kPeriodic:
+      if (!(interval > 0.0) || !std::isfinite(interval)) {
+        bad("periodic policy needs a finite interval > 0");
+      }
+      break;
+    case Kind::kFraction:
+      if (!(fraction > 0.0) || !(fraction < 1.0)) {
+        bad("fraction policy needs fraction in (0, 1)");
+      }
+      break;
+  }
+  if (restore_overhead < 0.0 || !std::isfinite(restore_overhead)) {
+    bad("restore_overhead must be finite and >= 0");
+  }
+  if (!(jitter >= 0.0) || jitter >= 1.0) {
+    bad("jitter must lie in [0, 1)");
+  }
+}
+
+Time CheckpointPolicy::grid_step(const Job& job) const {
+  switch (kind) {
+    case Kind::kNone:
+      return 0.0;
+    case Kind::kPeriodic:
+      return interval;
+    case Kind::kFraction:
+      return fraction * job.processing;
+  }
+  return 0.0;
+}
+
+Time CheckpointPolicy::grid_phase(JobId id, Time step) const {
+  if (jitter <= 0.0 || step <= 0.0) return 0.0;
+  // Counter-based draw keyed by (seed, job): the phase of a job never
+  // depends on how many other draws happened before it.
+  std::uint64_t state = seed ^ 0x636b70745f6a6974ULL;
+  util::splitmix64(state);
+  state ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+  const std::uint64_t bits = util::splitmix64(state);
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  const Time phase = jitter * step * u;
+  MRIS_ENSURE(phase >= 0.0 && phase < step,
+              "checkpoint grid phase must fall inside one step");
+  return phase;
+}
+
+Time CheckpointPolicy::salvageable(const Job& job, Time progress) const {
+  if (!enabled() || progress <= 0.0) return 0.0;
+  const Time step = grid_step(job);
+  if (step <= 0.0) return 0.0;
+  const Time phase = grid_phase(job.id, step);
+  // Marks sit at phase + i*step for i >= 1.  Snap `progress` up by a hair so
+  // a kill at exactly a mark (modulo event-time rounding) still salvages it.
+  const double raw = (progress + kGridTol - phase) / step;
+  double i = std::floor(raw);
+  if (i < 1.0) return 0.0;
+  Time mark = phase + i * step;
+  // Marks must stay strictly inside (0, p): the final sliver of a job is
+  // never checkpointable, so a lost attempt always has positive residual.
+  while (i >= 1.0 && mark >= job.processing - kGridTol) {
+    i -= 1.0;
+    mark = phase + i * step;
+  }
+  if (i < 1.0 || mark <= 0.0) return 0.0;
+  MRIS_ENSURE(mark <= progress + kGridTol,
+              "salvaged checkpoint must not exceed achieved progress");
+  MRIS_ENSURE(mark < job.processing,
+              "salvaged checkpoint must leave positive residual work");
+  return mark;
+}
+
+CheckpointPolicy CheckpointPolicy::None() { return CheckpointPolicy{}; }
+
+CheckpointPolicy CheckpointPolicy::Periodic(Time interval,
+                                            Time restore_overhead) {
+  CheckpointPolicy p;
+  p.kind = Kind::kPeriodic;
+  p.interval = interval;
+  p.restore_overhead = restore_overhead;
+  p.validate();
+  return p;
+}
+
+CheckpointPolicy CheckpointPolicy::FractionOfP(double fraction,
+                                               Time restore_overhead) {
+  CheckpointPolicy p;
+  p.kind = Kind::kFraction;
+  p.fraction = fraction;
+  p.restore_overhead = restore_overhead;
+  p.validate();
+  return p;
+}
+
+const char* checkpoint_kind_name(CheckpointPolicy::Kind kind) {
+  switch (kind) {
+    case CheckpointPolicy::Kind::kNone:
+      return "none";
+    case CheckpointPolicy::Kind::kPeriodic:
+      return "periodic";
+    case CheckpointPolicy::Kind::kFraction:
+      return "fraction";
+  }
+  return "?";
+}
+
+CheckpointPolicy::Kind parse_checkpoint_kind(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "none") return CheckpointPolicy::Kind::kNone;
+  if (lower == "periodic") return CheckpointPolicy::Kind::kPeriodic;
+  if (lower == "fraction") return CheckpointPolicy::Kind::kFraction;
+  throw std::invalid_argument("unknown checkpoint policy '" + name +
+                              "' (expected none | periodic | fraction)");
+}
+
+}  // namespace mris

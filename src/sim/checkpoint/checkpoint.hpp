@@ -1,0 +1,99 @@
+// Checkpoint policies for the fault/recovery path (DESIGN.md §7,
+// docs/FAULTS.md).
+//
+// The base fault model is brutally non-preemptive: a job killed by a
+// machine outage (or failed by an injected fault) restarts from scratch and
+// every second it ran is wasted work.  A CheckpointPolicy softens this: the
+// job's *work line* [0, p_j) carries a deterministic grid of checkpoint
+// marks, and when an attempt is lost the engine salvages the largest mark
+// at or below the progress reached so far.  The job then re-enters the
+// queue with residual processing time
+//
+//     p'_j = restore_overhead + (p_j - salvaged)
+//
+// instead of the full p_j, and every scheduler — which only ever sees jobs
+// through EngineContext::job() — packs, classifies (MRIS's p_j <= gamma_k)
+// and knapsacks (v_j = p_j * u_j) by that residual automatically.
+//
+// Policies:
+//   kNone      no checkpoints — the original restart-from-scratch model.
+//   kPeriodic  marks every `interval` units of completed work.
+//   kFraction  marks every `fraction * p_j` units — scale-free, so long
+//              jobs checkpoint as rarely (relatively) as short ones.
+//
+// The grid of job j is { phase_j + i * step : i >= 1 } intersected with
+// (0, p_j): the completion instant itself is never a checkpoint (an
+// injected failure destroys the uncommitted output, so at least the final
+// sliver is always re-executed).  `phase_j` is a seeded per-job jitter in
+// [0, jitter * step) — deterministic in (seed, job id), so a plan replays
+// byte-identically while avoiding cluster-wide synchronized checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/job.hpp"
+
+namespace mris {
+
+struct CheckpointPolicy {
+  enum class Kind {
+    kNone,      ///< restart from scratch (the PR 1 behavior)
+    kPeriodic,  ///< checkpoint every `interval` units of completed work
+    kFraction,  ///< checkpoint every `fraction * p_j` units of work
+  };
+
+  Kind kind = Kind::kNone;
+
+  /// kPeriodic: work units between checkpoint marks (> 0 when used).
+  Time interval = 0.0;
+
+  /// kFraction: share of p_j between marks, in (0, 1) when used.
+  double fraction = 0.0;
+
+  /// Time prepended to every attempt that resumes from a checkpoint
+  /// (salvaged progress > 0).  A from-scratch restart pays nothing.
+  Time restore_overhead = 0.0;
+
+  /// Per-job phase shift of the checkpoint grid, as a fraction of the grid
+  /// step, in [0, 1).  0 disables jitter (marks at exact multiples).
+  double jitter = 0.0;
+
+  /// Seed for the per-job jitter draw (counter-based, interleaving-free).
+  std::uint64_t seed = 0;
+
+  /// True when the policy takes checkpoints at all.
+  bool enabled() const noexcept { return kind != Kind::kNone; }
+
+  /// Throws std::invalid_argument on malformed knobs (non-positive
+  /// interval, fraction outside (0,1), negative overhead, jitter >= 1).
+  void validate() const;
+
+  /// Work units between checkpoint marks of `job`; 0 when disabled.
+  Time grid_step(const Job& job) const;
+
+  /// Seeded phase of `id`'s grid in [0, jitter * step).
+  Time grid_phase(JobId id, Time step) const;
+
+  /// Largest checkpointed cumulative progress <= `progress`, strictly
+  /// inside (0, p_j); 0 when no mark has been reached.  Deterministic and
+  /// monotone in `progress`, so salvaged work never regresses across
+  /// attempts.
+  Time salvageable(const Job& job, Time progress) const;
+
+  // Named constructors for the common configurations.
+  static CheckpointPolicy None();
+  static CheckpointPolicy Periodic(Time interval, Time restore_overhead = 0.0);
+  static CheckpointPolicy FractionOfP(double fraction,
+                                      Time restore_overhead = 0.0);
+};
+
+/// Short name of a policy kind ("none", "periodic", "fraction").
+const char* checkpoint_kind_name(CheckpointPolicy::Kind kind);
+
+/// Parses a policy kind name as accepted by the bench/CLI flags
+/// (case-insensitive "none" / "periodic" / "fraction").  Throws
+/// std::invalid_argument listing the valid names.
+CheckpointPolicy::Kind parse_checkpoint_kind(const std::string& name);
+
+}  // namespace mris

@@ -55,6 +55,7 @@ class Engine final : public EngineContext {
         committed_(inst.num_jobs(), false),
         retries_(inst.num_jobs(), 0),
         injected_(inst.num_jobs(), 0),
+        residual_(inst.num_jobs()),
         gate_(inst.num_jobs(), 0.0),
         epoch_(inst.num_jobs(), 0),
         machine_down_flag_(static_cast<std::size_t>(inst.num_machines()), 0),
@@ -78,7 +79,10 @@ class Engine final : public EngineContext {
           "EngineContext::job: job " + std::to_string(id) +
           " has not been released yet (online model violation)");
     }
-    return inst_.job(id);
+    // Under faults, the effective view: a resumed job's processing is its
+    // residual work plus restore overhead, so schedulers classify, sort,
+    // and pack by what actually remains to run.
+    return faults_ ? effective_[static_cast<std::size_t>(id)] : inst_.job(id);
   }
 
   const std::vector<JobId>& pending() const override { return pending_; }
@@ -142,18 +146,42 @@ class Engine final : public EngineContext {
     return machine_down_flag_.at(static_cast<std::size_t>(m)) == 0;
   }
 
+  Time checkpointed_progress(JobId id) const override {
+    return residual_.at(static_cast<std::size_t>(id)).done;
+  }
+
  private:
   /// One committed reservation currently on a machine's calendar.  Tracked
   /// only in faulty runs (the fault-free path never needs to revisit one).
   struct LiveRes {
     JobId job;
     Time start;
-    Time declared_end;  ///< start + declared p_j (scheduler's view)
+    Time declared_end;  ///< start + declared effective processing
     Time occupied_end;  ///< actual occupancy end (>= declared under stragglers)
     bool extended;      ///< straggler extension already applied
+    Time restore;       ///< restore overhead included in this attempt
+    Time work;          ///< declared residual work (p_j - progress_in)
+    Time progress_in;   ///< checkpointed progress resumed from
   };
 
   void push(Event e) { queue_.push(e); }
+
+  /// Advances job `id`'s checkpointed progress to `done` (a salvaged grid
+  /// mark) and re-sizes its effective view for the next attempt.
+  void set_progress(JobId id, Time done) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const Job& j = inst_.job(id);
+    MRIS_EXPECT(done >= residual_[i].done - 1e-12,
+                "checkpointed progress must be monotone across attempts");
+    MRIS_EXPECT(done < j.processing,
+                "salvaged progress must leave positive residual work");
+    residual_[i].done = done;
+    residual_[i].restore =
+        done > 0.0 ? faults_->checkpoint.restore_overhead : 0.0;
+    effective_[i].processing = residual_[i].effective_processing(j);
+    MRIS_ENSURE(effective_[i].processing > 0.0,
+                "effective processing of a resumed job must stay positive");
+  }
 
   bool commit_impl(JobId id, MachineId m, Time start, bool throwing) {
     if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs() ||
@@ -161,7 +189,10 @@ class Engine final : public EngineContext {
       if (throwing) job(id);  // throws the canonical visibility error
       return false;
     }
-    const Job& j = inst_.job(id);
+    // Effective view: a resumed job reserves and completes by its residual
+    // processing time, not the original p_j.
+    const Job& j =
+        faults_ ? effective_[static_cast<std::size_t>(id)] : inst_.job(id);
     if (committed_[static_cast<std::size_t>(id)]) {
       if (!throwing) return false;
       throw std::logic_error("commit: job " + std::to_string(id) +
@@ -217,8 +248,10 @@ class Engine final : public EngineContext {
       MRIS_INVARIANT(std::none_of(lv.begin(), lv.end(),
                                   [&](const LiveRes& r) { return r.job == id; }),
                      "committed job already has a live reservation");
-      lv.push_back(
-          {id, start, start + j.processing, start + j.processing, false});
+      const ResidualWork& rw = residual_[static_cast<std::size_t>(id)];
+      lv.push_back({id, start, start + j.processing, start + j.processing,
+                    false, rw.restore, rw.remaining(inst_.job(id)),
+                    rw.done});
     }
     push({start + j.processing, EventKind::kCompletion, seq_++, id, m,
           epoch_[static_cast<std::size_t>(id)]});
@@ -279,6 +312,10 @@ class Engine final : public EngineContext {
   std::vector<Attempt> attempts_;
   std::vector<int> retries_;            ///< all losses (kills + injections)
   std::vector<int> injected_;           ///< injected failures only (budget)
+  std::vector<ResidualWork> residual_;  ///< checkpointed progress per job
+  /// Effective job views (processing = restore + residual work), the
+  /// scheduler-visible jobs under faults.  Materialized only then.
+  std::vector<Job> effective_;
   std::vector<Time> gate_;              ///< retry-backoff gates
   std::vector<std::uint64_t> epoch_;    ///< invalidates stale completions
   std::vector<char> machine_down_flag_;
@@ -291,6 +328,9 @@ RunResult Engine::run() {
     options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
     if (!options_.faults->empty()) faults_ = options_.faults;
   }
+  // Materialize the effective-job views only when faults can actually fire;
+  // fault-free runs keep serving inst_ jobs untouched.
+  if (faults_) effective_ = inst_.jobs();
 
   // Seed arrival events.
   for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
@@ -338,8 +378,12 @@ RunResult Engine::run() {
         if (it == lv.end()) continue;  // unreachable unless in count mode
         if (!it->extended) {
           const Job& j = inst_.job(e.job);
+          // Only the residual work stretches; the restore prefix is a fixed
+          // re-load cost.  Anchoring on declared_end keeps stretch == 1
+          // attempts bit-exactly unextended.
+          const double stretch = faults_->actual_processing(e.job, 1.0);
           const Time actual_end =
-              it->start + faults_->actual_processing(e.job, j.processing);
+              it->declared_end + it->work * (stretch - 1.0);
           if (actual_end > it->declared_end + 1e-12) {
             cluster_.force_reserve(e.machine, it->declared_end,
                                    actual_end - it->declared_end, j.demand);
@@ -405,8 +449,21 @@ RunResult Engine::run() {
               failure_draw(faults_->seed, e.job, retries_[ji]) <
                   faults_->failure_prob;
           if (fail) {
+            // The attempt ran to its actual completion, but the injected
+            // failure destroys the uncommitted output: salvage the last
+            // checkpoint mark (strictly below p_j, so residual work stays
+            // positive) and resume from there.
+            const Job& j = inst_.job(e.job);
+            Time salvage = 0.0;
+            if (faults_->checkpoint.enabled()) {
+              salvage = std::max(
+                  res.progress_in,
+                  faults_->checkpoint.salvageable(j, j.processing));
+            }
             attempts_.push_back({e.job, e.machine, res.start, now_,
-                                 Attempt::Outcome::kJobFailure});
+                                 Attempt::Outcome::kJobFailure, res.restore,
+                                 res.progress_in, salvage});
+            set_progress(e.job, salvage);
             ++injected_[ji];
             if (options_.record_events) {
               log_.push_back(
@@ -416,8 +473,14 @@ RunResult Engine::run() {
             if (!gated(e.job)) scheduler_.on_arrival(*this, e.job);
             break;  // the job did not complete
           }
+          // Under the none policy every checkpoint field stays 0 (the
+          // legacy restart-from-scratch attempt format).
           attempts_.push_back({e.job, e.machine, res.start, now_,
-                               Attempt::Outcome::kCompleted});
+                               Attempt::Outcome::kCompleted, res.restore,
+                               res.progress_in,
+                               faults_->checkpoint.enabled()
+                                   ? inst_.job(e.job).processing
+                                   : 0.0});
         }
         --remaining;
         scheduler_.on_completion(*this, e.job, e.machine);
@@ -456,8 +519,22 @@ RunResult Engine::run() {
           // tail the dead job would still hold is freed.
           cluster_.release(e.machine, o.down, r.occupied_end - o.down,
                            inst_.job(r.job).demand);
+          // Progress at the kill: the restore prefix re-executes nothing,
+          // then work advances at rate 1/stretch.  Salvage the last
+          // checkpoint mark at or below that progress.
+          const Job& j = inst_.job(r.job);
+          Time salvage = 0.0;
+          if (faults_->checkpoint.enabled()) {
+            const double stretch = faults_->actual_processing(r.job, 1.0);
+            const Time work_time = std::max(0.0, (o.down - r.start) - r.restore);
+            const Time achieved = r.progress_in + work_time / stretch;
+            salvage = std::max(r.progress_in,
+                               faults_->checkpoint.salvageable(j, achieved));
+          }
           attempts_.push_back({r.job, e.machine, r.start, o.down,
-                               Attempt::Outcome::kMachineFailure});
+                               Attempt::Outcome::kMachineFailure, r.restore,
+                               r.progress_in, salvage});
+          set_progress(r.job, salvage);
           requeue(r.job, e.machine, /*count_retry=*/true);
         }
         for (const LiveRes& r : cancelled) {

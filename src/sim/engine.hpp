@@ -10,12 +10,21 @@
 // observes every job with r_j <= gamma_k, as Algorithm 1 line 3 requires).
 //
 // Fault semantics (RunOptions::faults, see sim/faults.hpp): a machine
-// outage kills every job running on it (the work is lost; the job is
-// re-released to the scheduler and restarts from scratch), cancels every
-// reservation starting inside the window, and blocks the window's capacity.
-// Stragglers extend a job's occupancy at its would-be completion; injected
-// failures turn a completion into a requeue.  With no fault plan the engine
-// byte-identically reproduces the fault-free behavior.
+// outage kills every job running on it (the in-flight attempt is lost; the
+// job is re-released to the scheduler), cancels every reservation starting
+// inside the window, and blocks the window's capacity.  Stragglers extend a
+// job's occupancy at its would-be completion; injected failures turn a
+// completion into a requeue.  With no fault plan the engine byte-identically
+// reproduces the fault-free behavior.
+//
+// Checkpoint/partial-restart (FaultPlan::checkpoint, sim/checkpoint): when
+// the plan carries a checkpoint policy, a lost job salvages its last
+// checkpoint and re-enters the queue with residual processing time
+// restore_overhead + (p_j - salvaged) instead of full p_j.  The engine
+// exposes resumed jobs through EngineContext::job() with
+// Job::processing set to that residual, so every scheduler — MRIS's
+// interval classification p_j <= gamma_k and knapsack volume v_j included —
+// schedules by residual work without scheduler-side changes.
 #pragma once
 
 #include <memory>
@@ -83,7 +92,11 @@ class EngineContext {
   virtual std::size_t num_jobs() const = 0;
 
   /// Parameters of a *released* job; throws std::logic_error if the job has
-  /// not yet arrived (prevents accidental clairvoyance).
+  /// not yet arrived (prevents accidental clairvoyance).  Under a fault
+  /// plan with a checkpoint policy this is the job's *effective* view: a
+  /// resumed job's `processing` is its residual work plus restore overhead,
+  /// so demand-, volume- and processing-based scheduling decisions are
+  /// automatically residual-aware.
   virtual const Job& job(JobId id) const = 0;
 
   /// Released-but-uncommitted jobs, in release order (re-released jobs are
@@ -130,6 +143,11 @@ class EngineContext {
 
   /// False while machine m is inside a revealed outage window.
   virtual bool machine_up(MachineId m) const = 0;
+
+  /// Checkpointed progress of `id` in work units, in [0, p_j): the prefix
+  /// of p_j that survived lost attempts under the plan's checkpoint policy.
+  /// 0 for fresh jobs, fault-free runs, and restart-from-scratch plans.
+  virtual Time checkpointed_progress(JobId /*id*/) const { return 0.0; }
 };
 
 /// One entry of the optional engine event log (observability/debugging).

@@ -27,6 +27,7 @@ void FaultPlan::validate(int num_machines, std::size_t num_jobs) const {
   if (!(failure_prob >= 0.0) || failure_prob >= 1.0) {
     bad("failure_prob must lie in [0, 1)");
   }
+  checkpoint.validate();  // throws its own invalid_argument on bad knobs
   if (max_retries < 0) bad("max_retries must be >= 0");
   if (retry_backoff < 0.0) bad("retry_backoff must be >= 0");
   if (!stretch.empty() && stretch.size() != num_jobs) {
@@ -80,6 +81,8 @@ FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
   plan.max_retries = spec.max_retries;
   plan.retry_backoff = spec.retry_backoff;
   plan.seed = seed;
+  plan.checkpoint = spec.checkpoint;
+  if (plan.checkpoint.seed == 0) plan.checkpoint.seed = seed;
 
   Time horizon = spec.horizon;
   if (horizon <= 0.0) {
@@ -145,7 +148,8 @@ const char* attempt_outcome_name(Attempt::Outcome outcome) {
 }
 
 FaultMetrics summarize_attempts(const Instance& inst,
-                                const std::vector<Attempt>& attempts) {
+                                const std::vector<Attempt>& attempts,
+                                const FaultPlan* plan) {
   FaultMetrics m;
   m.retries.assign(inst.num_jobs(), 0);
   for (const Attempt& a : attempts) {
@@ -153,25 +157,45 @@ FaultMetrics summarize_attempts(const Instance& inst,
                 "summarize_attempts: attempt names a job outside the "
                 "instance");
     ++m.total_attempts;
-    const double work =
-        std::max(0.0, a.end - a.start) * inst.job(a.job).total_demand();
+    const double u = inst.job(a.job).total_demand();
+    const double stretch =
+        plan != nullptr
+            ? plan->actual_processing(a.job, 1.0)  // per-unit stretch factor
+            : 1.0;
+    // Each attempt's occupancy splits into restore overhead (paid first,
+    // possibly truncated by a kill) and execution time.
+    const Time elapsed = std::max(0.0, a.end - a.start);
+    const Time restore_spent = std::min(elapsed, std::max(0.0, a.restore));
+    const Time work_elapsed = elapsed - restore_spent;
+    m.checkpoint_overhead += restore_spent * u;
     switch (a.outcome) {
       case Attempt::Outcome::kCompleted:
-        m.useful_work += work;
+        m.useful_work += work_elapsed * u;
         break;
       case Attempt::Outcome::kMachineFailure:
-        ++m.killed_by_outage;
+      case Attempt::Outcome::kJobFailure: {
+        if (a.outcome == Attempt::Outcome::kMachineFailure) {
+          ++m.killed_by_outage;
+        } else {
+          ++m.injected_failures;
+        }
         ++m.retries[static_cast<std::size_t>(a.job)];
-        m.wasted_work += work;
+        // The slice [progress_in, progress_out) survived as a checkpoint a
+        // later attempt resumes from: that wall-clock share stays useful;
+        // only the execution past the salvaged mark is re-done, i.e. wasted.
+        const Time retained =
+            std::max(0.0, a.progress_out - a.progress_in) * stretch * u;
+        MRIS_EXPECT(retained <= work_elapsed * u + 1e-6,
+                    "summarize_attempts: salvaged work exceeds the "
+                    "attempt's executed work");
+        m.salvaged_work += retained;
+        m.useful_work += retained;
+        m.wasted_work += std::max(0.0, work_elapsed * u - retained);
         break;
-      case Attempt::Outcome::kJobFailure:
-        ++m.injected_failures;
-        ++m.retries[static_cast<std::size_t>(a.job)];
-        m.wasted_work += work;
-        break;
+      }
     }
   }
-  const double total = m.useful_work + m.wasted_work;
+  const double total = m.useful_work + m.wasted_work + m.checkpoint_overhead;
   m.goodput = total > 0.0 ? m.useful_work / total : 1.0;
   return m;
 }
@@ -191,17 +215,11 @@ ValidationResult validate_fault_run(const Instance& inst,
                                     const FaultValidationOptions& options) {
   const double tol = options.tolerance;
 
-  // 1. Final schedule: feasible and clear of outage windows.
-  const ValidationResult base =
-      validate_schedule(inst, schedule, plan.outages, tol);
-  if (!base) return base;
-
-  // 2. Per-attempt consistency.
-  std::vector<int> completed(inst.num_jobs(), 0);
-  std::vector<int> injected(inst.num_jobs(), 0);
-  std::vector<Time> last_end(inst.num_jobs(),
-                             -std::numeric_limits<Time>::infinity());
-  for (const Attempt& a : attempts) {
+  // 0. Group each job's attempts in recorded (chronological) order; basic
+  // range checks happen here so the replay below can index freely.
+  std::vector<std::vector<std::size_t>> by_job(inst.num_jobs());
+  for (std::size_t idx = 0; idx < attempts.size(); ++idx) {
+    const Attempt& a = attempts[idx];
     if (a.job < 0 || static_cast<std::size_t>(a.job) >= inst.num_jobs()) {
       return fail("attempt names unknown job " + std::to_string(a.job));
     }
@@ -210,6 +228,125 @@ ValidationResult validate_fault_run(const Instance& inst,
                   " names machine " + std::to_string(a.machine) +
                   " out of range");
     }
+    by_job[static_cast<std::size_t>(a.job)].push_back(idx);
+  }
+
+  // 1. Replay the checkpoint progression of every job's attempt chain and
+  // derive each attempt's expected declared duration.  Under the none
+  // policy this degenerates to the restart-from-scratch checks (restore
+  // and progress identically zero, every attempt sized at full p_j).
+  std::vector<Time> declared_dur(attempts.size(), 0.0);
+  std::vector<Time> final_duration(inst.num_jobs(), 0.0);
+  for (std::size_t ji = 0; ji < inst.num_jobs(); ++ji) {
+    const Job& j = inst.job(static_cast<JobId>(ji));
+    const double stretch = plan.actual_processing(j.id, 1.0);
+    final_duration[ji] = j.processing;  // overridden by the completed attempt
+    Time done = 0.0;
+    for (const std::size_t idx : by_job[ji]) {
+      const Attempt& a = attempts[idx];
+      const Time restore =
+          done > 0.0 ? plan.checkpoint.restore_overhead : 0.0;
+      if (std::abs(a.restore - restore) > tol) {
+        return fail("attempt of job " + std::to_string(j.id) +
+                    " records restore overhead " + std::to_string(a.restore) +
+                    " where the policy implies " + std::to_string(restore));
+      }
+      if (std::abs(a.progress_in - done) > tol) {
+        return fail("attempt of job " + std::to_string(j.id) +
+                    " resumes from progress " + std::to_string(a.progress_in) +
+                    " but the salvaged checkpoint is " + std::to_string(done));
+      }
+      const Time remaining = j.processing - done;
+      if (!(remaining > 0.0)) {
+        return fail("attempt chain of job " + std::to_string(j.id) +
+                    " continues past full progress");
+      }
+      const Time declared = restore + remaining;
+      const Time actual = restore + remaining * stretch;
+      declared_dur[idx] = declared;
+      switch (a.outcome) {
+        case Attempt::Outcome::kCompleted:
+          if (std::abs(a.end - (a.start + actual)) > tol) {
+            return fail("completed attempt of job " + std::to_string(j.id) +
+                        " has wrong duration for its residual work");
+          }
+          // Under the none policy the legacy attempt format keeps every
+          // checkpoint field at 0, completed attempts included.
+          if (plan.checkpoint.enabled() &&
+              std::abs(a.progress_out - j.processing) > tol) {
+            return fail("completed attempt of job " + std::to_string(j.id) +
+                        " does not end at full progress p_j");
+          }
+          final_duration[ji] = declared;
+          done = j.processing;
+          break;
+        case Attempt::Outcome::kJobFailure: {
+          if (std::abs(a.end - (a.start + actual)) > tol) {
+            return fail("failed attempt of job " + std::to_string(j.id) +
+                        " has wrong duration for its residual work");
+          }
+          // The injected failure fires at the actual completion: all work
+          // ran, but the uncommitted output is lost; the salvage is the
+          // last checkpoint mark, which sits strictly below p_j.
+          const Time expect =
+              plan.checkpoint.enabled()
+                  ? std::max(done, plan.checkpoint.salvageable(j, j.processing))
+                  : 0.0;
+          if (std::abs(a.progress_out - expect) > tol) {
+            return fail("failed attempt of job " + std::to_string(j.id) +
+                        " salvages " + std::to_string(a.progress_out) +
+                        " where the policy implies " + std::to_string(expect));
+          }
+          if (a.progress_out > j.processing - tol) {
+            return fail("failed attempt of job " + std::to_string(j.id) +
+                        " leaves no residual work");
+          }
+          done = a.progress_out;
+          break;
+        }
+        case Attempt::Outcome::kMachineFailure: {
+          const Time elapsed = a.end - a.start;
+          if (elapsed > actual + tol) {
+            return fail("killed attempt of job " + std::to_string(j.id) +
+                        " outlives its actual completion");
+          }
+          // Work advances at rate 1/stretch once the restore finished.
+          const Time work_time = std::max(0.0, elapsed - restore);
+          const Time achieved = done + work_time / stretch;
+          const Time expect =
+              plan.checkpoint.enabled()
+                  ? std::max(done, plan.checkpoint.salvageable(j, achieved))
+                  : 0.0;
+          if (std::abs(a.progress_out - expect) > tol) {
+            return fail("killed attempt of job " + std::to_string(j.id) +
+                        " salvages " + std::to_string(a.progress_out) +
+                        " where the policy implies " + std::to_string(expect));
+          }
+          if (a.progress_out > j.processing - tol) {
+            return fail("killed attempt of job " + std::to_string(j.id) +
+                        " leaves no residual work");
+          }
+          done = a.progress_out;
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Final schedule: feasible and clear of outage windows, sized by each
+  // job's final-attempt duration (residual + restore, not full p_j).
+  const ValidationResult base = validate_schedule(
+      inst, schedule, plan.outages,
+      std::span<const Time>(final_duration.data(), final_duration.size()),
+      tol);
+  if (!base) return base;
+
+  // 3. Per-attempt consistency.
+  std::vector<int> completed(inst.num_jobs(), 0);
+  std::vector<int> injected(inst.num_jobs(), 0);
+  std::vector<Time> last_end(inst.num_jobs(),
+                             -std::numeric_limits<Time>::infinity());
+  for (const Attempt& a : attempts) {
     const Job& j = inst.job(a.job);
     if (a.start + tol < j.release) {
       return fail("attempt of job " + std::to_string(a.job) +
@@ -224,14 +361,9 @@ ValidationResult validate_fault_run(const Instance& inst,
     }
     last_end[static_cast<std::size_t>(a.job)] = a.end;
 
-    const Time actual = plan.actual_processing(a.job, j.processing);
     switch (a.outcome) {
       case Attempt::Outcome::kCompleted: {
         ++completed[static_cast<std::size_t>(a.job)];
-        if (std::abs(a.end - (a.start + actual)) > tol) {
-          return fail("completed attempt of job " + std::to_string(a.job) +
-                      " has wrong duration");
-        }
         const Assignment& asg = schedule.assignment(a.job);
         if (!asg.assigned() || asg.machine != a.machine ||
             std::abs(asg.start - a.start) > tol) {
@@ -261,10 +393,6 @@ ValidationResult validate_fault_run(const Instance& inst,
       }
       case Attempt::Outcome::kJobFailure:
         ++injected[static_cast<std::size_t>(a.job)];
-        if (std::abs(a.end - (a.start + actual)) > tol) {
-          return fail("failed attempt of job " + std::to_string(a.job) +
-                      " has wrong duration");
-        }
         break;
     }
 
@@ -308,10 +436,11 @@ ValidationResult validate_fault_run(const Instance& inst,
       const Attempt* a;
     };
     std::vector<Ev> events;
-    std::vector<const Attempt*> on_machine;
-    for (const Attempt& a : attempts) {
+    std::vector<std::size_t> on_machine;  // attempt indices
+    for (std::size_t idx = 0; idx < attempts.size(); ++idx) {
+      const Attempt& a = attempts[idx];
       if (a.machine != m || a.end <= a.start) continue;
-      on_machine.push_back(&a);
+      on_machine.push_back(idx);
       events.push_back({a.start, 1, &a});
       events.push_back({a.end, 0, &a});
     }
@@ -335,10 +464,14 @@ ValidationResult validate_fault_run(const Instance& inst,
       if (!overloaded) continue;
       if (options.allow_straggler_oversubscription) {
         bool in_overrun = false;
-        for (const Attempt* a : on_machine) {
-          const Time declared_end = a->start + inst.job(a->job).processing;
-          if (a->end > declared_end + tol && e.t > declared_end - tol &&
-              e.t < a->end + tol) {
+        for (const std::size_t idx : on_machine) {
+          const Attempt& a = attempts[idx];
+          // Declared end per the checkpoint replay: the scheduler packed
+          // restore + residual work, so only the stretched tail past that
+          // is an overrun.
+          const Time declared_end = a.start + declared_dur[idx];
+          if (a.end > declared_end + tol && e.t > declared_end - tol &&
+              e.t < a.end + tol) {
             in_overrun = true;
             break;
           }

@@ -5,9 +5,12 @@
 //
 //  * Machine outages — machine m crashes at `down` and repairs at `up`;
 //    every job running on m at `down` is killed (non-preemptive semantics:
-//    the work is lost and the job restarts from scratch), every reservation
-//    that would start inside [down, up) is cancelled, and the window is a
-//    zero-capacity period nothing may overlap.
+//    the in-flight attempt is lost), every reservation that would start
+//    inside [down, up) is cancelled, and the window is a zero-capacity
+//    period nothing may overlap.  Without a checkpoint policy the killed
+//    job restarts from scratch; with one (sim/checkpoint/checkpoint.hpp)
+//    it resumes from its last checkpoint with residual processing time
+//    restore_overhead + (p_j - salvaged).
 //  * Stragglers — a job's actual runtime is `stretch * p_j` (stretch >= 1),
 //    revealed only at the would-be completion: the scheduler packs against
 //    the declared p_j and the engine extends the occupancy when the declared
@@ -27,6 +30,7 @@
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "sim/checkpoint/checkpoint.hpp"
 
 namespace mris {
 
@@ -55,8 +59,13 @@ struct FaultPlan {
   /// Seed for the counter-based per-attempt failure draws.
   std::uint64_t seed = 0;
 
+  /// Checkpoint/partial-restart policy applied to lost attempts.  Defaults
+  /// to CheckpointPolicy::None(), i.e. the restart-from-scratch model; has
+  /// no effect on a run the plan injects no faults into.
+  CheckpointPolicy checkpoint;
+
   /// True when the plan injects nothing (the engine then takes the
-  /// zero-overhead fault-free path).
+  /// zero-overhead fault-free path; a checkpoint policy alone never fires).
   bool empty() const noexcept;
 
   /// Throws std::invalid_argument if the plan is malformed for an instance
@@ -99,6 +108,10 @@ struct FaultSpec {
   double failure_prob = 0.0;  ///< per-attempt failure probability
   int max_retries = 3;
   Time retry_backoff = 0.0;
+
+  /// Checkpoint policy copied into the generated plan (seed is overridden
+  /// with the plan seed when the policy's own seed is 0).
+  CheckpointPolicy checkpoint;
 };
 
 /// Materializes a deterministic plan: same (spec, instance shape, seed) ==
@@ -110,6 +123,14 @@ FaultPlan make_fault_plan(const FaultSpec& spec, const Instance& inst,
 /// One execution attempt of a job, as recorded by the engine.  `end` is the
 /// actual occupancy end: the kill time for kMachineFailure, the actual
 /// (stretched) completion for kCompleted and kJobFailure.
+///
+/// Under a checkpoint policy the attempts of a job form a segment chain:
+/// attempt k starts with `restore` time re-loading checkpointed progress
+/// `progress_in` (the previous attempt's `progress_out`), then executes
+/// work from `progress_in` toward p_j.  For a completed attempt
+/// `progress_out == p_j`; for a lost attempt it is the checkpoint salvaged
+/// for the next attempt (strictly < p_j).  Restart-from-scratch runs keep
+/// all three at 0.
 struct Attempt {
   enum class Outcome {
     kCompleted,       ///< ran to completion
@@ -122,6 +143,9 @@ struct Attempt {
   Time start = 0.0;
   Time end = 0.0;
   Outcome outcome = Outcome::kCompleted;
+  Time restore = 0.0;      ///< restore overhead paid at the attempt's start
+  Time progress_in = 0.0;  ///< checkpointed work resumed from, in [0, p_j)
+  Time progress_out = 0.0; ///< work state after the attempt (p_j if done)
 };
 
 /// Short name of an attempt outcome ("completed", "machine-failure", ...).
@@ -129,19 +153,38 @@ const char* attempt_outcome_name(Attempt::Outcome outcome);
 
 /// Recovery metrics over one faulty run (per-job retry counts, wasted work,
 /// goodput) — the robustness counterparts of core/metrics.hpp.
+///
+/// Work is measured in resource-time: execution time weighted by the job's
+/// total demand u_j.  Each attempt's occupancy decomposes exactly into
+/// useful + wasted + checkpoint_overhead:
+///   * restore time is checkpoint_overhead (it re-executes nothing);
+///   * execution that survives — via completion, or via a checkpoint a
+///     later attempt resumes from — is useful (the salvaged share is also
+///     tallied separately as salvaged_work);
+///   * execution past the last reached checkpoint of a lost attempt is
+///     wasted (it will be re-executed).
+/// Over a whole run every job contributes exactly stretch_j * p_j * u_j of
+/// useful work, regardless of how many attempts it took.
 struct FaultMetrics {
   std::vector<int> retries;        ///< failed attempts per job (by JobId)
   std::size_t total_attempts = 0;
   std::size_t killed_by_outage = 0;
   std::size_t injected_failures = 0;
-  double useful_work = 0.0;  ///< sum over completed attempts of u_j * run
-  double wasted_work = 0.0;  ///< same sum over killed/failed attempts
-  /// useful / (useful + wasted); 1 when no work was performed at all.
+  double useful_work = 0.0;  ///< work executed once and never lost
+  double wasted_work = 0.0;  ///< work lost to kills/failures (re-executed)
+  double checkpoint_overhead = 0.0;  ///< restore time across all attempts
+  double salvaged_work = 0.0;  ///< useful work recovered from checkpoints
+  /// useful / (useful + wasted + overhead); 1 when no work was performed.
   double goodput = 1.0;
 };
 
+/// Summarizes a run's attempts.  `plan` supplies the straggler stretch
+/// table for converting salvaged declared work into wall-clock occupancy;
+/// nullptr treats every stretch as 1 (exact for unstretched runs and for
+/// hand-built attempt lists without checkpoint data).
 FaultMetrics summarize_attempts(const Instance& inst,
-                                const std::vector<Attempt>& attempts);
+                                const std::vector<Attempt>& attempts,
+                                const FaultPlan* plan = nullptr);
 
 struct FaultValidationOptions {
   /// Stragglers overrun reservations the scheduler packed in good faith
@@ -154,12 +197,17 @@ struct FaultValidationOptions {
 
 /// Full feasibility check of a faulty run:
 ///  * the final schedule is feasible and avoids outage windows
-///    (validate_schedule with the plan's outages, i.e. zero-capacity
-///    periods);
+///    (duration-aware validate_schedule: a resumed job's final attempt
+///    occupies only its residual work plus restore overhead);
 ///  * every job has exactly one completed attempt, matching the schedule;
 ///  * failed attempts end consistently (machine kills at an outage start,
 ///    injected failures at the actual completion) and never overlap an
 ///    outage of their machine;
+///  * the attempt chain of every job replays the checkpoint policy
+///    exactly: segments never overlap, progress_in/progress_out/restore
+///    follow the plan's salvage rule, durations match the residual work
+///    (so the segments sum to p_j plus overheads plus wasted re-execution),
+///    and lost attempts always leave positive residual;
 ///  * per-machine capacity holds over *actual* attempt occupancy, modulo
 ///    the straggler oversubscription policy;
 ///  * injected failures respect the per-job retry budget.

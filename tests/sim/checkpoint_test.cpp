@@ -1,0 +1,346 @@
+// Tests of the checkpoint/partial-restart layer: CheckpointPolicy grid
+// math and validation, the engine's residual-restart path (effective-job
+// view, salvage on outage kills and injected failures, straggler
+// interplay), the checkpoint-aware run validator, and the wasted-work /
+// checkpoint-overhead / goodput accounting.
+#include "sim/checkpoint/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+
+namespace mris {
+namespace {
+
+/// Earliest-fit-on-arrival probe that records the effective job view and
+/// checkpointed progress visible at each (re-)arrival.
+class GreedyProbe : public OnlineScheduler {
+ public:
+  std::string name() const override { return "greedy-probe"; }
+  void on_arrival(EngineContext& ctx, JobId job) override {
+    seen_processing.push_back(ctx.job(job).processing);
+    seen_progress.push_back(ctx.checkpointed_progress(job));
+    MachineId m = kInvalidMachine;
+    const Time s = ctx.earliest_fit(job, ctx.earliest_start(job), m);
+    ctx.commit(job, m, s);
+  }
+  std::vector<Time> seen_processing;
+  std::vector<Time> seen_progress;
+};
+
+Job make_job(Time processing) {
+  Job j;
+  j.id = 0;
+  j.processing = processing;
+  j.demand = {1.0};
+  return j;
+}
+
+// --- CheckpointPolicy ----------------------------------------------------
+
+TEST(CheckpointPolicyTest, NoneIsDisabledAndSalvagesNothing) {
+  const CheckpointPolicy p = CheckpointPolicy::None();
+  EXPECT_FALSE(p.enabled());
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(0.0, p.salvageable(make_job(10.0), 7.0));
+}
+
+TEST(CheckpointPolicyTest, ValidateRejectsMalformedKnobs) {
+  const auto reject = [](CheckpointPolicy p) {
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  };
+  {
+    CheckpointPolicy p;
+    p.kind = CheckpointPolicy::Kind::kPeriodic;
+    p.interval = 0.0;
+    reject(p);
+  }
+  {
+    CheckpointPolicy p;
+    p.kind = CheckpointPolicy::Kind::kFraction;
+    p.fraction = 1.0;  // must be strictly inside (0, 1)
+    reject(p);
+  }
+  {
+    CheckpointPolicy p;
+    p.kind = CheckpointPolicy::Kind::kFraction;
+    p.fraction = -0.25;
+    reject(p);
+  }
+  {
+    CheckpointPolicy p = CheckpointPolicy::Periodic(2.0);
+    p.restore_overhead = -1.0;
+    reject(p);
+  }
+  {
+    CheckpointPolicy p = CheckpointPolicy::Periodic(2.0);
+    p.jitter = 1.0;  // must stay below one full step
+    reject(p);
+  }
+  EXPECT_THROW(CheckpointPolicy::Periodic(-3.0), std::invalid_argument);
+  EXPECT_THROW(CheckpointPolicy::FractionOfP(0.0), std::invalid_argument);
+}
+
+TEST(CheckpointPolicyTest, PeriodicSalvagesLargestMarkAtOrBelowProgress) {
+  const CheckpointPolicy p = CheckpointPolicy::Periodic(2.0);
+  const Job j = make_job(10.0);
+  EXPECT_DOUBLE_EQ(0.0, p.salvageable(j, 0.0));
+  EXPECT_DOUBLE_EQ(0.0, p.salvageable(j, 1.9));
+  EXPECT_DOUBLE_EQ(2.0, p.salvageable(j, 2.0));  // exact mark counts
+  EXPECT_DOUBLE_EQ(6.0, p.salvageable(j, 7.0));
+  EXPECT_DOUBLE_EQ(6.0, p.salvageable(j, 7.999));
+  // The completion instant is never a mark: the final sliver always
+  // re-executes, so a lost attempt keeps positive residual work.
+  EXPECT_DOUBLE_EQ(8.0, p.salvageable(j, 10.0));
+}
+
+TEST(CheckpointPolicyTest, MarksStayStrictlyInsideTheJob) {
+  // Grid step 2.5 on p = 10: marks {2.5, 5, 7.5}; 10 itself is excluded.
+  const CheckpointPolicy p = CheckpointPolicy::Periodic(2.5);
+  const Job j = make_job(10.0);
+  EXPECT_DOUBLE_EQ(7.5, p.salvageable(j, 10.0));
+  // A step no smaller than p means no usable mark at all.
+  const CheckpointPolicy coarse = CheckpointPolicy::Periodic(10.0);
+  EXPECT_DOUBLE_EQ(0.0, coarse.salvageable(j, 10.0));
+}
+
+TEST(CheckpointPolicyTest, FractionScalesWithJobLength) {
+  const CheckpointPolicy p = CheckpointPolicy::FractionOfP(0.25);
+  EXPECT_DOUBLE_EQ(5.0, p.salvageable(make_job(10.0), 6.0));
+  EXPECT_DOUBLE_EQ(20.0, p.salvageable(make_job(40.0), 24.0));
+}
+
+TEST(CheckpointPolicyTest, JitterPhaseIsSeededAndBounded) {
+  CheckpointPolicy p = CheckpointPolicy::Periodic(2.0);
+  p.jitter = 0.5;
+  p.seed = 42;
+  const Time phase_a = p.grid_phase(7, 2.0);
+  const Time phase_b = p.grid_phase(7, 2.0);
+  EXPECT_DOUBLE_EQ(phase_a, phase_b);  // deterministic in (seed, job)
+  EXPECT_GE(phase_a, 0.0);
+  EXPECT_LT(phase_a, 1.0);  // jitter * step
+  CheckpointPolicy other = p;
+  other.seed = 43;
+  EXPECT_NE(phase_a, other.grid_phase(7, 2.0));
+  // Salvage with jitter still returns a mark at or below progress.
+  const Job j = make_job(10.0);
+  const Time salvaged = p.salvageable(j, 7.0);
+  EXPECT_LE(salvaged, 7.0);
+  EXPECT_LT(salvaged, j.processing);
+}
+
+TEST(CheckpointPolicyTest, KindNamesRoundTrip) {
+  EXPECT_STREQ("none", checkpoint_kind_name(CheckpointPolicy::Kind::kNone));
+  EXPECT_STREQ("periodic",
+               checkpoint_kind_name(CheckpointPolicy::Kind::kPeriodic));
+  EXPECT_STREQ("fraction",
+               checkpoint_kind_name(CheckpointPolicy::Kind::kFraction));
+  EXPECT_EQ(CheckpointPolicy::Kind::kPeriodic,
+            parse_checkpoint_kind("Periodic"));
+  EXPECT_EQ(CheckpointPolicy::Kind::kNone, parse_checkpoint_kind("none"));
+  EXPECT_EQ(CheckpointPolicy::Kind::kFraction,
+            parse_checkpoint_kind("FRACTION"));
+  EXPECT_THROW(parse_checkpoint_kind("sometimes"), std::invalid_argument);
+}
+
+TEST(CheckpointPolicyTest, FaultPlanValidateCoversCheckpointKnobs) {
+  FaultPlan plan;
+  plan.checkpoint.kind = CheckpointPolicy::Kind::kPeriodic;
+  plan.checkpoint.interval = -1.0;
+  EXPECT_THROW(plan.validate(2, 3), std::invalid_argument);
+}
+
+// --- Engine: the deterministic kill-mid-run scenario ---------------------
+//
+// One machine, one unit-demand job with p = 10 under periodic checkpoints
+// every 2 work units with restore overhead 1.  The machine crashes at t=7:
+//   attempt 1 runs [0, 7), achieves 7 units, salvages the mark at 6;
+//   attempt 2 resumes at the repair (t=8) with residual 1 + (10-6) = 5,
+//   restoring over [8, 9) and completing the work over [9, 13).
+// Work accounting: 10 useful, 1 wasted (the [6, 7) slice re-executed),
+// 1 checkpoint overhead, goodput 10/12.
+
+Instance kill_instance() {
+  return InstanceBuilder(1, 1).add(0.0, 10.0, 1.0, {1.0}).build();
+}
+
+FaultPlan kill_plan() {
+  FaultPlan plan;
+  plan.outages = {{0, 7.0, 8.0}};
+  plan.checkpoint = CheckpointPolicy::Periodic(2.0, /*restore_overhead=*/1.0);
+  return plan;
+}
+
+TEST(CheckpointEngineTest, KilledJobResumesFromLastCheckpoint) {
+  const Instance inst = kill_instance();
+  const FaultPlan plan = kill_plan();
+  GreedyProbe sched;
+  RunOptions options;
+  options.faults = &plan;
+  const RunResult run = run_online(inst, sched, options);
+
+  ASSERT_EQ(2u, run.attempts.size());
+  const Attempt& first = run.attempts[0];
+  EXPECT_EQ(Attempt::Outcome::kMachineFailure, first.outcome);
+  EXPECT_DOUBLE_EQ(0.0, first.start);
+  EXPECT_DOUBLE_EQ(7.0, first.end);
+  EXPECT_DOUBLE_EQ(0.0, first.restore);
+  EXPECT_DOUBLE_EQ(0.0, first.progress_in);
+  EXPECT_DOUBLE_EQ(6.0, first.progress_out);  // marks {2,4,6,8}, kill at 7
+
+  const Attempt& second = run.attempts[1];
+  EXPECT_EQ(Attempt::Outcome::kCompleted, second.outcome);
+  EXPECT_DOUBLE_EQ(8.0, second.start);  // machine repairs at 8
+  EXPECT_DOUBLE_EQ(13.0, second.end);   // 1 restore + 4 residual work
+  EXPECT_DOUBLE_EQ(1.0, second.restore);
+  EXPECT_DOUBLE_EQ(6.0, second.progress_in);
+  EXPECT_DOUBLE_EQ(10.0, second.progress_out);
+
+  // Segments never overlap and the final schedule holds the resumed start.
+  EXPECT_LE(first.end, second.start);
+  EXPECT_DOUBLE_EQ(8.0, run.schedule.start_time(0));
+
+  // The re-arrival saw the effective (residual) job, not the original p.
+  ASSERT_EQ(2u, sched.seen_processing.size());
+  EXPECT_DOUBLE_EQ(10.0, sched.seen_processing[0]);
+  EXPECT_DOUBLE_EQ(5.0, sched.seen_processing[1]);
+  EXPECT_DOUBLE_EQ(0.0, sched.seen_progress[0]);
+  EXPECT_DOUBLE_EQ(6.0, sched.seen_progress[1]);
+
+  EXPECT_TRUE(validate_fault_run(inst, plan, run.attempts, run.schedule).ok);
+
+  const FaultMetrics m = summarize_attempts(inst, run.attempts, &plan);
+  EXPECT_DOUBLE_EQ(10.0, m.useful_work);  // exactly p * u, never more
+  EXPECT_DOUBLE_EQ(1.0, m.wasted_work);   // the [6, 7) slice, re-executed
+  EXPECT_DOUBLE_EQ(1.0, m.checkpoint_overhead);
+  EXPECT_DOUBLE_EQ(6.0, m.salvaged_work);
+  EXPECT_DOUBLE_EQ(10.0 / 12.0, m.goodput);
+  EXPECT_EQ(1u, m.killed_by_outage);
+}
+
+TEST(CheckpointEngineTest, ScratchRestartWastesTheWholeAttempt) {
+  const Instance inst = kill_instance();
+  FaultPlan plan = kill_plan();
+  plan.checkpoint = CheckpointPolicy::None();
+  GreedyProbe sched;
+  RunOptions options;
+  options.faults = &plan;
+  const RunResult run = run_online(inst, sched, options);
+
+  ASSERT_EQ(2u, run.attempts.size());
+  EXPECT_DOUBLE_EQ(18.0, run.attempts[1].end);  // full p again: 8 + 10
+  ASSERT_EQ(2u, sched.seen_processing.size());
+  EXPECT_DOUBLE_EQ(10.0, sched.seen_processing[1]);
+  EXPECT_TRUE(validate_fault_run(inst, plan, run.attempts, run.schedule).ok);
+
+  const FaultMetrics m = summarize_attempts(inst, run.attempts, &plan);
+  EXPECT_DOUBLE_EQ(10.0, m.useful_work);
+  EXPECT_DOUBLE_EQ(7.0, m.wasted_work);  // all of [0, 7) lost
+  EXPECT_DOUBLE_EQ(0.0, m.checkpoint_overhead);
+  EXPECT_DOUBLE_EQ(0.0, m.salvaged_work);
+}
+
+TEST(CheckpointEngineTest, StragglerProgressAdvancesAtStretchedRate) {
+  const Instance inst = kill_instance();
+  FaultPlan plan = kill_plan();
+  plan.stretch = {2.0};  // every work unit takes 2 wall-clock units
+  GreedyProbe sched;
+  RunOptions options;
+  options.faults = &plan;
+  const RunResult run = run_online(inst, sched, options);
+
+  // Kill at t=7 with stretch 2: only 3.5 work units achieved, mark at 2.
+  ASSERT_EQ(2u, run.attempts.size());
+  EXPECT_DOUBLE_EQ(2.0, run.attempts[0].progress_out);
+  // Residual attempt: declared 1 + 8 = 9, actual 1 + 8*2 = 17 from t=8.
+  EXPECT_DOUBLE_EQ(25.0, run.attempts[1].end);
+  ASSERT_EQ(2u, sched.seen_processing.size());
+  EXPECT_DOUBLE_EQ(9.0, sched.seen_processing[1]);
+  EXPECT_TRUE(validate_fault_run(inst, plan, run.attempts, run.schedule).ok);
+
+  const FaultMetrics m = summarize_attempts(inst, run.attempts, &plan);
+  // Useful work is stretch * p * u = 20 exactly, across both attempts.
+  EXPECT_DOUBLE_EQ(20.0, m.useful_work);
+  EXPECT_DOUBLE_EQ(3.0, m.wasted_work);  // (3.5 - 2) * 2 wall-clock units
+  EXPECT_DOUBLE_EQ(1.0, m.checkpoint_overhead);
+}
+
+TEST(CheckpointEngineTest, InjectedFailureSalvagesLastMarkBeforeCompletion) {
+  const Instance inst = kill_instance();
+  FaultPlan plan;
+  plan.failure_prob = 0.999;  // the seeded first draw fails…
+  plan.max_retries = 1;       // …and the retry budget forces success next
+  plan.seed = 7;
+  plan.checkpoint = CheckpointPolicy::Periodic(2.0, /*restore_overhead=*/1.0);
+  GreedyProbe sched;
+  RunOptions options;
+  options.faults = &plan;
+  const RunResult run = run_online(inst, sched, options);
+
+  ASSERT_EQ(2u, run.attempts.size());
+  const Attempt& failed = run.attempts[0];
+  EXPECT_EQ(Attempt::Outcome::kJobFailure, failed.outcome);
+  EXPECT_DOUBLE_EQ(10.0, failed.end);
+  // All work ran, the output was lost; the salvage is the last mark < p.
+  EXPECT_DOUBLE_EQ(8.0, failed.progress_out);
+  const Attempt& done = run.attempts[1];
+  EXPECT_EQ(Attempt::Outcome::kCompleted, done.outcome);
+  EXPECT_DOUBLE_EQ(10.0, done.start);
+  EXPECT_DOUBLE_EQ(13.0, done.end);  // 1 restore + 2 residual work
+  EXPECT_TRUE(validate_fault_run(inst, plan, run.attempts, run.schedule).ok);
+
+  const FaultMetrics m = summarize_attempts(inst, run.attempts, &plan);
+  EXPECT_DOUBLE_EQ(10.0, m.useful_work);
+  EXPECT_DOUBLE_EQ(2.0, m.wasted_work);  // the [8, 10) slice, re-executed
+  EXPECT_DOUBLE_EQ(1.0, m.checkpoint_overhead);
+  EXPECT_DOUBLE_EQ(8.0, m.salvaged_work);
+}
+
+// --- Validator: checkpoint replay tamper detection -----------------------
+
+TEST(CheckpointValidatorTest, RejectsTamperedCheckpointFields) {
+  const Instance inst = kill_instance();
+  const FaultPlan plan = kill_plan();
+  GreedyProbe sched;
+  RunOptions options;
+  options.faults = &plan;
+  const RunResult run = run_online(inst, sched, options);
+  ASSERT_TRUE(validate_fault_run(inst, plan, run.attempts, run.schedule).ok);
+
+  {
+    // Claiming more salvage than the policy grants.
+    std::vector<Attempt> bad = run.attempts;
+    bad[0].progress_out = 7.0;  // not a checkpoint mark
+    EXPECT_FALSE(validate_fault_run(inst, plan, bad, run.schedule).ok);
+  }
+  {
+    // Resuming from a different checkpoint than was salvaged.
+    std::vector<Attempt> bad = run.attempts;
+    bad[1].progress_in = 4.0;
+    EXPECT_FALSE(validate_fault_run(inst, plan, bad, run.schedule).ok);
+  }
+  {
+    // Dropping the restore overhead from the resumed attempt.
+    std::vector<Attempt> bad = run.attempts;
+    bad[1].restore = 0.0;
+    EXPECT_FALSE(validate_fault_run(inst, plan, bad, run.schedule).ok);
+  }
+  {
+    // Resumed attempt sized at the full p instead of the residual.
+    std::vector<Attempt> bad = run.attempts;
+    bad[1].end = bad[1].start + 10.0;
+    EXPECT_FALSE(validate_fault_run(inst, plan, bad, run.schedule).ok);
+  }
+  {
+    // A lost attempt must never salvage full progress (zero residual).
+    std::vector<Attempt> bad = run.attempts;
+    bad[0].progress_out = 10.0;
+    EXPECT_FALSE(validate_fault_run(inst, plan, bad, run.schedule).ok);
+  }
+}
+
+}  // namespace
+}  // namespace mris
