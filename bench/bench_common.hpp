@@ -77,7 +77,73 @@ inline std::string results_csv_path(const std::string& bench_name) {
   return "results/results_" + bench_name + ".csv";
 }
 
-/// Emits the table + plot + CSV for a finished sweep.
+/// Path of the bench's machine-readable summary: results/BENCH_<bench>.json.
+inline std::string results_json_path(const std::string& bench_name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);  // best-effort
+  return "results/BENCH_" + bench_name + ".json";
+}
+
+/// Shortest round-trippable JSON number (matches the CSV convention).
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+inline void json_array(std::FILE* f, const std::vector<double>& xs) {
+  std::fputc('[', f);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) std::fputs(", ", f);
+    std::fputs(json_num(xs[i]).c_str(), f);
+  }
+  std::fputc(']', f);
+}
+
+/// Writes the per-bench JSON summary (schema 1): bench name, seed/reps/
+/// scale config, and the series as parallel x/y/ci arrays.  Deliberately
+/// carries NO wall-clock timings — seeded double runs must produce
+/// byte-identical files (the determinism CI job diffs them).
+inline bool write_series_json(const std::string& path,
+                              const std::string& bench_name,
+                              const std::vector<exp::Series>& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema_version\": 1,\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"config\": {\"seed\": %llu, \"reps\": %zu, "
+               "\"scale\": %s},\n"
+               "  \"series\": [\n",
+               bench_name.c_str(),
+               static_cast<unsigned long long>(util::bench_seed()),
+               util::bench_reps(), json_num(util::bench_scale()).c_str());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const exp::Series& s = series[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"x\": ", s.name.c_str());
+    json_array(f, s.x);
+    std::fputs(", \"y\": ", f);
+    json_array(f, s.y);
+    std::fputs(", \"ci95_half_width\": ", f);
+    json_array(f, s.ci);
+    std::fprintf(f, "}%s\n", i + 1 < series.size() ? "," : "");
+  }
+  std::fputs("  ]\n}\n", f);
+  return std::fclose(f) == 0;
+}
+
+/// Emits the table + plot + CSV + JSON summary for a finished sweep.
 inline void emit(const std::string& bench_name,
                  const std::vector<exp::Series>& series,
                  exp::PlotOptions opts,
@@ -87,6 +153,10 @@ inline void emit(const std::string& bench_name,
   const std::string csv = results_csv_path(bench_name);
   if (exp::write_series_csv(csv, series)) {
     std::printf("raw series written to %s\n", csv.c_str());
+  }
+  const std::string json = results_json_path(bench_name);
+  if (write_series_json(json, bench_name, series)) {
+    std::printf("json summary written to %s\n", json.c_str());
   }
 }
 

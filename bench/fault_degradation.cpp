@@ -344,5 +344,9 @@ int main(int argc, char** argv) {
   if (exp::write_series_csv(csv, all_series)) {
     std::printf("raw series written to %s\n", csv.c_str());
   }
+  const std::string json = bench::results_json_path("fault_degradation");
+  if (bench::write_series_json(json, "fault_degradation", all_series)) {
+    std::printf("json summary written to %s\n", json.c_str());
+  }
   return 0;
 }

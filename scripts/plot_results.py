@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Plot the CSV series emitted by the bench binaries.
+"""Plot the CSV or JSON series emitted by the bench binaries.
 
 Every figure bench writes `results/results_<bench>.csv` (columns
     series,x,y,ci95_half_width
-under the directory it ran in).  This script turns one or more of those
-files into matplotlib figures (PNG next to each CSV), shading the 95%
-confidence band where present.
+under the directory it ran in) plus a machine-readable
+`results/BENCH_<bench>.json` summary (schema_version 1: a `series` array
+of {name, x, y, ci95_half_width} objects; see bench/bench_common.hpp).
+This script turns one or more of either format into matplotlib figures
+(PNG next to each input file), shading the 95% confidence band where
+present.
 
     ./scripts/plot_results.py results/results_fig3_arrival_rate.csv
+    ./scripts/plot_results.py results/BENCH_fig3_arrival_rate.json
     ./scripts/plot_results.py --logx --logy results/results_*.csv
 
-Benches that emit several metric families into one CSV prefix the series
+Benches that emit several metric families into one file prefix the series
 name (`AWCT:...`, `WASTED:...`, `XOVER-AWCT:...`; see
 bench/fault_degradation.cpp).  Use --metric to plot one family at a
 time — series whose name is the prefix or starts with "<prefix>:":
@@ -23,11 +27,12 @@ time — series whose name is the prefix or starts with "<prefix>:":
 import argparse
 import collections
 import csv
+import json
 import os
 import sys
 
 
-def load_series(path):
+def load_series_csv(path):
     """Returns {series name: (xs, ys, cis)} preserving file order."""
     data = collections.OrderedDict()
     with open(path, newline="") as f:
@@ -43,6 +48,31 @@ def load_series(path):
             ci = row.get("ci95_half_width") or ""
             cis.append(float(ci) if ci else 0.0)
     return data
+
+
+def load_series_json(path):
+    """Loads a BENCH_<bench>.json summary (schema_version 1)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        raise SystemExit(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    if "series" not in doc:
+        # e.g. BENCH_profile.json carries per-workload timings, not series.
+        raise SystemExit(f"{path}: no 'series' array to plot "
+                         f"(bench {doc.get('bench')!r})")
+    data = collections.OrderedDict()
+    for s in doc["series"]:
+        cis = s.get("ci95_half_width") or []
+        cis = cis + [0.0] * (len(s["x"]) - len(cis))
+        data[s["name"]] = (list(s["x"]), list(s["y"]), cis)
+    return data
+
+
+def load_series(path):
+    if path.endswith(".json"):
+        return load_series_json(path)
+    return load_series_csv(path)
 
 
 def plot_file(path, args, plt):
@@ -65,7 +95,9 @@ def plot_file(path, args, plt):
         ax.set_xscale("log")
     if args.logy:
         ax.set_yscale("log")
-    title = os.path.basename(path).removeprefix("results_").removesuffix(".csv")
+    title = (os.path.basename(path)
+             .removeprefix("results_").removeprefix("BENCH_")
+             .removesuffix(".csv").removesuffix(".json"))
     ax.set_title(title)
     ax.set_xlabel(args.xlabel)
     ax.set_ylabel(args.ylabel)
@@ -80,7 +112,8 @@ def plot_file(path, args, plt):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("csv_files", nargs="+")
+    parser.add_argument("csv_files", nargs="+", metavar="FILE",
+                        help="results_<bench>.csv or BENCH_<bench>.json")
     parser.add_argument("--logx", action="store_true")
     parser.add_argument("--logy", action="store_true")
     parser.add_argument("--metric", default="",

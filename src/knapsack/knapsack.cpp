@@ -11,13 +11,36 @@ namespace mris::knapsack {
 
 namespace {
 
+/// recover() holds at most two DP tables live at any recursion depth, so a
+/// tiny free-list removes all steady-state allocation from the CADP hot
+/// path: MRIS wakeups reuse the same capacity-sized buffers run after run.
+std::vector<std::vector<double>>& dp_pool() {
+  thread_local std::vector<std::vector<double>> pool;
+  return pool;
+}
+
+std::vector<double> acquire_dp(std::size_t size) {
+  auto& pool = dp_pool();
+  std::vector<double> dp;
+  if (!pool.empty()) {
+    dp = std::move(pool.back());
+    pool.pop_back();
+  }
+  dp.assign(size, 0.0);
+  return dp;
+}
+
+void recycle_dp(std::vector<double>&& dp) {
+  dp_pool().push_back(std::move(dp));
+}
+
 /// Forward DP table for items[lo, hi): dp[c] = max profit with total
 /// (integer) size <= c.  Monotone non-decreasing in c.
 std::vector<double> dp_table(const std::vector<Item>& items,
                              const std::vector<std::int64_t>& sizes,
                              std::size_t lo, std::size_t hi,
                              std::int64_t cap) {
-  std::vector<double> dp(static_cast<std::size_t>(cap) + 1, 0.0);
+  std::vector<double> dp = acquire_dp(static_cast<std::size_t>(cap) + 1);
   for (std::size_t i = lo; i < hi; ++i) {
     const std::int64_t s = sizes[i];
     const double p = items[i].profit;
@@ -34,20 +57,37 @@ std::vector<double> dp_table(const std::vector<Item>& items,
 
 /// Hirschberg-style divide-and-conquer solution recovery: O(n * cap) time,
 /// O(cap) extra memory, no per-item parent bitsets.
+///
+/// `live_prefix[i]` counts items in [0, i) the DP could ever take (positive
+/// profit, size within the top-level capacity).  Ranges with zero live
+/// items return immediately and ranges with one resolve as a leaf — both
+/// provably recover the same selection the plain recursion would, while
+/// skipping the dp_table passes over dead spans.  The split index stays
+/// relative to the ORIGINAL item array: compacting dead items out would
+/// move the midpoints, and with tied profits the first-maximizer best_c
+/// rule then recovers a different (equal-profit) optimum — breaking
+/// byte-identical schedules.
 void recover(const std::vector<Item>& items,
-             const std::vector<std::int64_t>& sizes, std::size_t lo,
+             const std::vector<std::int64_t>& sizes,
+             const std::vector<std::size_t>& live_prefix, std::size_t lo,
              std::size_t hi, std::int64_t cap,
              std::vector<std::size_t>& out) {
   if (lo >= hi || cap < 0) return;
-  if (hi - lo == 1) {
-    if (sizes[lo] <= cap && items[lo].profit > 0.0) out.push_back(lo);
+  const std::size_t live = live_prefix[hi] - live_prefix[lo];
+  if (live == 0) return;
+  if (live == 1) {
+    // A lone live item is selected iff it fits the range's capacity; the
+    // plain recursion funnels exactly cap (or the item's size) to it.
+    std::size_t i = lo;
+    while (live_prefix[i + 1] == live_prefix[lo]) ++i;
+    if (sizes[i] <= cap) out.push_back(i);
     return;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
   std::int64_t best_c = 0;
   {
-    const std::vector<double> left = dp_table(items, sizes, lo, mid, cap);
-    const std::vector<double> right = dp_table(items, sizes, mid, hi, cap);
+    std::vector<double> left = dp_table(items, sizes, lo, mid, cap);
+    std::vector<double> right = dp_table(items, sizes, mid, hi, cap);
     double best = -1.0;
     for (std::int64_t c = 0; c <= cap; ++c) {
       const double v = left[static_cast<std::size_t>(c)] +
@@ -57,9 +97,11 @@ void recover(const std::vector<Item>& items,
         best_c = c;
       }
     }
-  }  // free the tables before recursing
-  recover(items, sizes, lo, mid, best_c, out);
-  recover(items, sizes, mid, hi, cap - best_c, out);
+    recycle_dp(std::move(left));
+    recycle_dp(std::move(right));
+  }  // return the tables to the pool before recursing
+  recover(items, sizes, live_prefix, lo, mid, best_c, out);
+  recover(items, sizes, live_prefix, mid, hi, cap - best_c, out);
 }
 
 Selection finish(const std::vector<Item>& items,
@@ -77,8 +119,17 @@ Selection finish(const std::vector<Item>& items,
 Selection solve_integer_core(const std::vector<Item>& items,
                              const std::vector<std::int64_t>& sizes,
                              std::int64_t cap) {
+  // Census of items the DP could ever take, taken before any table is
+  // sized: an all-dead instance never allocates, and dead spans inside the
+  // recursion are skipped via the prefix counts.
+  std::vector<std::size_t> live_prefix(items.size() + 1, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const bool live = sizes[i] <= cap && items[i].profit > 0.0;
+    live_prefix[i + 1] = live_prefix[i] + (live ? 1 : 0);
+  }
+  if (live_prefix.back() == 0) return {};
   std::vector<std::size_t> chosen;
-  recover(items, sizes, 0, items.size(), cap, chosen);
+  recover(items, sizes, live_prefix, 0, items.size(), cap, chosen);
   return finish(items, chosen);
 }
 
@@ -234,6 +285,11 @@ Selection solve_cadp(const std::vector<Item>& items, double capacity,
     sizes[i] = static_cast<std::int64_t>(std::floor(items[i].size / K));
   }
   const auto cap = static_cast<std::int64_t>(std::floor(capacity / K));
+  // Zero-profit / oversize items are written off before any DP table is
+  // sized (solve_integer_core's live census); they cannot be selected, and
+  // pruning them there — rather than compacting the item array here —
+  // keeps the D&C split points, and hence tie-breaking among equal-profit
+  // optima, identical to the unpruned recursion.
   Selection sel = solve_integer_core(items, sizes, cap);
   // Lemma 6.1: rounding every size down by at most K = eps*zeta/n lets the
   // true total exceed zeta by at most n*K = eps*zeta, never more.

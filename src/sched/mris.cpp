@@ -31,7 +31,14 @@ std::string MrisScheduler::name() const {
 }
 
 double MrisScheduler::gamma(std::size_t k) const {
-  return config_.gamma0 * std::pow(config_.alpha, static_cast<double>(k));
+  // Each gamma_k is cached as the exact gamma0 * alpha^k value (not an
+  // iterated product, which would drift ulps from the uncached formula).
+  while (gammas_.size() <= k) {
+    gammas_.push_back(
+        config_.gamma0 *
+        std::pow(config_.alpha, static_cast<double>(gammas_.size())));
+  }
+  return gammas_[k];
 }
 
 void MrisScheduler::arm(EngineContext& ctx, Time t) {
@@ -59,26 +66,26 @@ void MrisScheduler::on_wakeup(EngineContext& ctx) {
   // residual work plus restore overhead, so both the interval
   // classification and the knapsack sizing below are residual-aware
   // without any scheduler-side special-casing.
-  std::vector<JobId> candidates;
-  std::vector<knapsack::Item> items;
+  candidates_.clear();
+  items_.clear();
   for (JobId id : ctx.pending()) {
     const Job& j = ctx.job(id);
     if (j.processing <= gamma_k) {
-      candidates.push_back(id);
-      items.push_back({j.volume(), j.weight, id});
+      candidates_.push_back(id);
+      items_.push_back({j.volume(), j.weight, id});
     }
   }
 
-  if (!candidates.empty()) {
+  if (!candidates_.empty()) {
     ++stats_.iterations;
-    stats_.knapsack_items += items.size();
+    stats_.knapsack_items += items_.size();
 
     // zeta_k = R * M * gamma_k (Alg. 1 line 4).
     const double zeta =
         static_cast<double>(ctx.num_resources()) *
         static_cast<double>(ctx.num_machines()) * gamma_k;
     const knapsack::Selection sel = knapsack::solve_constraint_approx(
-        config_.backend, items, zeta, config_.eps);
+        config_.backend, items_, zeta, config_.eps);
 
     if (!sel.tags.empty()) {
       stats_.max_interval_volume =
@@ -87,13 +94,13 @@ void MrisScheduler::on_wakeup(EngineContext& ctx) {
 
       const Time not_before =
           config_.backfill ? ctx.now() : std::max(ctx.now(), frontier_);
-      std::vector<JobId> batch(sel.tags.begin(), sel.tags.end());
+      batch_.assign(sel.tags.begin(), sel.tags.end());
       const auto subroutine =
           config_.subroutine == MrisConfig::Subroutine::kEventScan
               ? offline_pq_schedule_eventscan
               : offline_pq_schedule;
       const Time end = subroutine(
-          batch, config_.heuristic, not_before,
+          batch_, config_.heuristic, not_before,
           [&ctx](JobId id) -> const Job& { return ctx.job(id); },
           [&ctx](JobId id, Time t, MachineId& m) {
             // Retry-gated jobs (fault requeues) may not start before their

@@ -80,7 +80,11 @@ class MrisScheduler : public OnlineScheduler {
   const MrisStats& stats() const noexcept { return stats_; }
 
  private:
-  /// gamma_k for the current iteration counter.
+  /// gamma_k, memoized: std::pow is called once per distinct k ever needed
+  /// (the arm() catch-up loop and every wakeup re-query small k values).
+  /// Memoizing the exact std::pow value — rather than iterating
+  /// gamma *= alpha — keeps the boundary times bit-identical to the
+  /// uncached implementation.
   double gamma(std::size_t k) const;
 
   /// Arms the next wakeup at the first gamma_k >= t.
@@ -91,6 +95,13 @@ class MrisScheduler : public OnlineScheduler {
   std::size_t k_ = 0;       ///< next interval index to fire
   bool armed_ = false;      ///< a wakeup is outstanding
   Time frontier_ = 0.0;     ///< end of all committed work (no-backfill mode)
+  mutable std::vector<double> gammas_;  ///< gamma(k) memo, indexed by k
+
+  // Per-wakeup working sets, hoisted out of on_wakeup so steady-state
+  // wakeups allocate nothing.
+  std::vector<JobId> candidates_;
+  std::vector<knapsack::Item> items_;
+  std::vector<JobId> batch_;
 };
 
 }  // namespace mris

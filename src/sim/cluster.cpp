@@ -62,6 +62,15 @@ void Cluster::release(MachineId m, Time start, Time duration,
   machines_[static_cast<std::size_t>(m)].release(start, duration, demand);
 }
 
+void Cluster::release_until(MachineId m, Time start, Time end,
+                            std::span<const double> demand) {
+  if (m < 0 || m >= num_machines()) {
+    throw std::logic_error(
+        "Cluster::release_until: machine index out of range");
+  }
+  machines_[static_cast<std::size_t>(m)].release_until(start, end, demand);
+}
+
 void Cluster::force_reserve(MachineId m, Time start, Time duration,
                             std::span<const double> demand) {
   if (m < 0 || m >= num_machines()) {
@@ -72,14 +81,33 @@ void Cluster::force_reserve(MachineId m, Time start, Time duration,
                                                        demand);
 }
 
+void Cluster::force_reserve_until(MachineId m, Time start, Time end,
+                                  std::span<const double> demand) {
+  if (m < 0 || m >= num_machines()) {
+    throw std::logic_error(
+        "Cluster::force_reserve_until: machine index out of range");
+  }
+  machines_[static_cast<std::size_t>(m)].force_reserve_until(start, end,
+                                                             demand);
+}
+
 void Cluster::block(MachineId m, Time from, Time to) {
   const std::vector<double> full(static_cast<std::size_t>(num_resources_),
                                  1.0);
-  force_reserve(m, from, to - from, full);
+  force_reserve_until(m, from, to, full);
+}
+
+void Cluster::prune_before(Time t) {
+  for (auto& m : machines_) m.prune_before(t);
 }
 
 std::vector<double> Cluster::available(MachineId m, Time t) const {
   return machine(m).available_at(t);
+}
+
+void Cluster::available_into(MachineId m, Time t,
+                             std::span<double> out) const {
+  machine(m).available_at(t, out);
 }
 
 Time Cluster::horizon() const {

@@ -47,6 +47,12 @@ class Cluster {
   void release(MachineId m, Time start, Time duration,
                std::span<const double> demand);
 
+  /// release with an exact interval end: cancelling a tail of an existing
+  /// reservation must pass the end breakpoint it was reserved with, not a
+  /// recomputed start + duration (see ResourceProfile header).
+  void release_until(MachineId m, Time start, Time end,
+                     std::span<const double> demand);
+
   /// Adds `demand` over [start, start + duration) WITHOUT a feasibility
   /// check.  Used for outage capacity blocks and straggler overruns, which
   /// may legitimately exceed capacity 1 (the fault validator applies the
@@ -54,12 +60,26 @@ class Cluster {
   void force_reserve(MachineId m, Time start, Time duration,
                      std::span<const double> demand);
 
+  /// force_reserve with an exact interval end (straggler extensions are
+  /// later released by the same endpoints).
+  void force_reserve_until(MachineId m, Time start, Time end,
+                           std::span<const double> demand);
+
   /// Blocks the full capacity of machine `m` over [from, to) — an outage
   /// window: nothing with non-zero demand fits inside it afterwards.
   void block(MachineId m, Time from, Time to);
 
+  /// Compacts every machine's committed past before t (jobs never start in
+  /// the past, so the engine advances this with its event clock).  Queries
+  /// at or after t are unaffected; queries before t become invalid.
+  void prune_before(Time t);
+
   /// Remaining capacity vector of machine `m` at time t.
   std::vector<double> available(MachineId m, Time t) const;
+
+  /// Allocation-free variant of available(): writes into `out`
+  /// (size == num_resources()).
+  void available_into(MachineId m, Time t, std::span<double> out) const;
 
   /// Latest reservation end across machines (0 when empty) — the frontier
   /// used by the no-backfilling MRIS ablation.

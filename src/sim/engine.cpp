@@ -298,6 +298,12 @@ class Engine final : public EngineContext {
   Cluster cluster_;
   Schedule schedule_;
 
+  /// Completions between committed-horizon prunes: each prune pays one
+  /// O(B) compaction per machine, so batching keeps it amortized O(1) per
+  /// breakpoint while still bounding B by the live reservations.
+  static constexpr int kPruneEvery = 32;
+  int completions_since_prune_ = 0;
+
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
@@ -385,8 +391,11 @@ RunResult Engine::run() {
           const Time actual_end =
               it->declared_end + it->work * (stretch - 1.0);
           if (actual_end > it->declared_end + 1e-12) {
-            cluster_.force_reserve(e.machine, it->declared_end,
-                                   actual_end - it->declared_end, j.demand);
+            // Exact-endpoint form: the kill path later releases up to
+            // occupied_end, so the extension must end on that breakpoint
+            // bit-for-bit.
+            cluster_.force_reserve_until(e.machine, it->declared_end,
+                                         actual_end, j.demand);
             it->occupied_end = actual_end;
             it->extended = true;
             push({actual_end, EventKind::kCompletion, seq_++, e.job, e.machine,
@@ -483,6 +492,13 @@ RunResult Engine::run() {
                                    : 0.0});
         }
         --remaining;
+        // Committed-horizon compaction: commits are rejected below
+        // now - 1e-9, so calendar history before that is dead weight for
+        // every future query.  Batched so the memmove cost amortizes.
+        if (++completions_since_prune_ >= kPruneEvery) {
+          completions_since_prune_ = 0;
+          cluster_.prune_before(std::max(0.0, now_ - 1e-9));
+        }
         scheduler_.on_completion(*this, e.job, e.machine);
         break;
       }
@@ -516,9 +532,12 @@ RunResult Engine::run() {
         }
         for (const LiveRes& r : killed) {
           // [r.start, down) was real usage and stays on the calendar; the
-          // tail the dead job would still hold is freed.
-          cluster_.release(e.machine, o.down, r.occupied_end - o.down,
-                           inst_.job(r.job).demand);
+          // tail the dead job would still hold is freed.  release_until:
+          // recomputing the duration as occupied_end - down rounds the end
+          // one ulp past the reserved breakpoint and used to trip the
+          // "usage went negative" invariant (ROADMAP open item).
+          cluster_.release_until(e.machine, o.down, r.occupied_end,
+                                 inst_.job(r.job).demand);
           // Progress at the kill: the restore prefix re-executes nothing,
           // then work advances at rate 1/stretch.  Salvage the last
           // checkpoint mark at or below that progress.
@@ -538,8 +557,8 @@ RunResult Engine::run() {
           requeue(r.job, e.machine, /*count_retry=*/true);
         }
         for (const LiveRes& r : cancelled) {
-          cluster_.release(e.machine, r.start, r.declared_end - r.start,
-                           inst_.job(r.job).demand);
+          cluster_.release_until(e.machine, r.start, r.declared_end,
+                                 inst_.job(r.job).demand);
           requeue(r.job, e.machine, /*count_retry=*/false);
         }
         scheduler_.on_machine_down(*this, e.machine);

@@ -20,27 +20,60 @@ constexpr double kContractSlack = 1e-6;
 ResourceProfile::ResourceProfile(int num_resources)
     : num_resources_(num_resources) {
   times_.push_back(0.0);
-  usage_.emplace_back(static_cast<std::size_t>(num_resources), 0.0);
+  usage_.assign(static_cast<std::size_t>(num_resources), 0.0);
+  headroom_.push_back(1.0);
+  scratch_.assign(static_cast<std::size_t>(num_resources), 0.0);
 }
 
 std::size_t ResourceProfile::segment_of(Time t) const {
   // Last index i with times_[i] <= t.  t < 0 maps to segment 0.
-  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
-  if (it == times_.begin()) return 0;
-  return static_cast<std::size_t>(it - times_.begin()) - 1;
+  const std::size_t n = times_.size();
+  std::size_t i = hint_ < n ? hint_ : n - 1;
+  if (times_[i] <= t) {
+    // Monotone probes land in the hinted segment or the next one.
+    if (i + 1 == n || t < times_[i + 1]) {
+      hint_ = i;
+      return i;
+    }
+    if (i + 2 == n || t < times_[i + 2]) {
+      hint_ = i + 1;
+      return i + 1;
+    }
+    const auto it = std::upper_bound(times_.begin() +
+                                         static_cast<std::ptrdiff_t>(i) + 2,
+                                     times_.end(), t);
+    hint_ = static_cast<std::size_t>(it - times_.begin()) - 1;
+    return hint_;
+  }
+  const auto it = std::upper_bound(
+      times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(i), t);
+  if (it == times_.begin()) {
+    hint_ = 0;
+    return 0;
+  }
+  hint_ = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return hint_;
 }
 
 double ResourceProfile::usage_at(Time t, int resource) const {
-  return usage_[segment_of(t)][static_cast<std::size_t>(resource)];
+  return usage_[segment_of(t) * static_cast<std::size_t>(num_resources_) +
+                static_cast<std::size_t>(resource)];
 }
 
 std::vector<double> ResourceProfile::available_at(Time t) const {
-  const auto& u = usage_[segment_of(t)];
-  std::vector<double> avail(u.size());
-  for (std::size_t l = 0; l < u.size(); ++l) {
-    avail[l] = std::max(0.0, 1.0 - u[l]);
-  }
+  std::vector<double> avail(static_cast<std::size_t>(num_resources_));
+  available_at(t, avail);
   return avail;
+}
+
+void ResourceProfile::available_at(Time t, std::span<double> out) const {
+  MRIS_EXPECT(out.size() == static_cast<std::size_t>(num_resources_),
+              "available_at: output dimension != machine resource dimension");
+  const double* row =
+      usage_.data() + segment_of(t) * static_cast<std::size_t>(num_resources_);
+  for (std::size_t l = 0; l < out.size(); ++l) {
+    out[l] = std::max(0.0, 1.0 - row[l]);
+  }
 }
 
 bool ResourceProfile::fits(Time start, Time duration,
@@ -50,10 +83,18 @@ bool ResourceProfile::fits(Time start, Time duration,
               "fits: demand dimension != machine resource dimension");
   if (duration <= 0.0) return true;
   const Time end = start + duration;
-  for (std::size_t i = segment_of(start); i < times_.size(); ++i) {
+  double dmax = 0.0;
+  for (const double d : demand) dmax = std::max(dmax, d);
+  const std::size_t n = times_.size();
+  const std::size_t R = demand.size();
+  for (std::size_t i = segment_of(start); i < n; ++i) {
     if (times_[i] >= end) break;
-    for (std::size_t l = 0; l < demand.size(); ++l) {
-      if (usage_[i][l] + demand[l] > 1.0 + tolerance) return false;
+    // Headroom fast path: max demand fits under the worst resource, so the
+    // per-resource loop cannot fail in this segment.
+    if (dmax <= headroom_[i]) continue;
+    const double* row = usage_.data() + i * R;
+    for (std::size_t l = 0; l < R; ++l) {
+      if (row[l] + demand[l] > 1.0 + tolerance) return false;
     }
   }
   return true;
@@ -62,56 +103,74 @@ bool ResourceProfile::fits(Time start, Time duration,
 Time ResourceProfile::earliest_fit(Time not_before, Time duration,
                                    std::span<const double> demand,
                                    double tolerance) const {
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "earliest_fit: demand dimension != machine resource dimension");
   Time s = std::max(not_before, 0.0);
   if (duration <= 0.0) return s;
-  for (;;) {
-    // Scan segments intersecting [s, s + duration) for a violation.
-    const Time end = s + duration;
-    Time conflict_next = -1.0;
-    for (std::size_t i = segment_of(s); i < times_.size(); ++i) {
-      if (times_[i] >= end) break;
-      bool violated = false;
-      for (std::size_t l = 0; l < demand.size(); ++l) {
-        if (usage_[i][l] + demand[l] > 1.0 + tolerance) {
-          violated = true;
-          break;
-        }
-      }
-      if (violated) {
-        // The candidate start must move past this segment.
-        conflict_next = (i + 1 < times_.size())
-                            ? times_[i + 1]
-                            : std::numeric_limits<Time>::infinity();
+  double dmax = 0.0;
+  for (const double d : demand) dmax = std::max(dmax, d);
+  const std::size_t n = times_.size();
+  const std::size_t R = demand.size();
+  Time end = s + duration;
+  // One resumable forward pass: a conflict at segment i pushes the
+  // candidate start to times_[i+1], and scanning continues at i+1 — never
+  // re-searching the breakpoint list from scratch.
+  for (std::size_t i = segment_of(s); i < n; ++i) {
+    if (times_[i] >= end) break;
+    if (dmax <= headroom_[i]) continue;
+    const double* row = usage_.data() + i * R;
+    bool violated = false;
+    for (std::size_t l = 0; l < R; ++l) {
+      if (row[l] + demand[l] > 1.0 + tolerance) {
+        violated = true;
         break;
       }
     }
-    if (conflict_next < 0.0) return s;
-    MRIS_INVARIANT(std::isfinite(conflict_next),
-                   "last segment is all-zero, so demand <= 1 always fits "
-                   "there");
-    s = conflict_next;
+    if (violated) {
+      MRIS_INVARIANT(i + 1 < n,
+                     "last segment is all-zero, so demand <= 1 always fits "
+                     "there");
+      s = times_[i + 1];
+      end = s + duration;
+    }
   }
+  return s;
 }
 
 std::size_t ResourceProfile::ensure_breakpoint(Time t) {
   const std::size_t i = segment_of(t);
   if (times_[i] == t) return i;
   // Split segment i at t; the new segment inherits segment i's usage.
+  const std::size_t R = static_cast<std::size_t>(num_resources_);
   times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(i) + 1, t);
-  usage_.insert(usage_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                usage_[i]);
+  // Stage the row in scratch_: inserting a range of usage_ into itself is
+  // undefined once the vector reallocates.
+  std::copy_n(usage_.begin() + static_cast<std::ptrdiff_t>(i * R), R,
+              scratch_.begin());
+  usage_.insert(usage_.begin() + static_cast<std::ptrdiff_t>((i + 1) * R),
+                scratch_.begin(), scratch_.end());
+  headroom_.insert(headroom_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   headroom_[i]);
   return i + 1;
 }
 
+void ResourceProfile::refresh_headroom(std::size_t i) {
+  const std::size_t R = static_cast<std::size_t>(num_resources_);
+  const double* row = usage_.data() + i * R;
+  double max_usage = 0.0;
+  for (std::size_t l = 0; l < R; ++l) max_usage = std::max(max_usage, row[l]);
+  headroom_[i] = 1.0 - max_usage;
+}
+
 std::pair<std::size_t, std::size_t> ResourceProfile::add(
-    Time start, Time duration, std::span<const double> demand) {
-  const Time end = start + duration;
+    Time start, Time end, std::span<const double> demand) {
   const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
   const std::size_t last = ensure_breakpoint(end);  // exclusive segment
+  const std::size_t R = demand.size();
   for (std::size_t i = first; i < last; ++i) {
-    for (std::size_t l = 0; l < demand.size(); ++l) {
-      usage_[i][l] += demand[l];
-    }
+    double* row = usage_.data() + i * R;
+    for (std::size_t l = 0; l < R; ++l) row[l] += demand[l];
+    refresh_headroom(i);
   }
   return {first, last};
 }
@@ -121,10 +180,12 @@ void ResourceProfile::reserve(Time start, Time duration,
   MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
               "reserve: demand dimension != machine resource dimension");
   if (duration <= 0.0) return;
-  const auto [first, last] = add(start, duration, demand);
+  const auto [first, last] = add(start, start + duration, demand);
+  const std::size_t R = demand.size();
   for (std::size_t i = first; i < last; ++i) {
-    for (std::size_t l = 0; l < demand.size(); ++l) {
-      MRIS_ENSURE(usage_[i][l] <= 1.0 + kContractSlack,
+    const double* row = usage_.data() + i * R;
+    for (std::size_t l = 0; l < R; ++l) {
+      MRIS_ENSURE(row[l] <= 1.0 + kContractSlack,
                   "reserve: per-resource usage exceeds capacity 1 "
                   "(double-booked reservation; call fits() first)");
     }
@@ -136,26 +197,85 @@ void ResourceProfile::force_reserve(Time start, Time duration,
   MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
               "force_reserve: demand dimension != machine resource dimension");
   if (duration <= 0.0) return;
-  add(start, duration, demand);
+  add(start, start + duration, demand);
+}
+
+void ResourceProfile::force_reserve_until(Time start, Time end,
+                                          std::span<const double> demand) {
+  MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
+              "force_reserve_until: demand dimension != machine resource "
+              "dimension");
+  if (!(end > start)) return;
+  add(start, end, demand);
 }
 
 void ResourceProfile::release(Time start, Time duration,
                               std::span<const double> demand) {
+  release_until(start, start + duration, demand);
+}
+
+void ResourceProfile::release_until(Time start, Time end,
+                                    std::span<const double> demand) {
   MRIS_EXPECT(demand.size() == static_cast<std::size_t>(num_resources_),
               "release: demand dimension != machine resource dimension");
-  if (duration <= 0.0) return;
-  const Time end = start + duration;
+  if (!(end > start)) return;
   const std::size_t first = ensure_breakpoint(std::max(start, 0.0));
   const std::size_t last = ensure_breakpoint(end);
+  const std::size_t R = demand.size();
   for (std::size_t i = first; i < last; ++i) {
-    for (std::size_t l = 0; l < demand.size(); ++l) {
-      usage_[i][l] -= demand[l];
-      MRIS_INVARIANT(usage_[i][l] >= -kContractSlack,
+    double* row = usage_.data() + i * R;
+    for (std::size_t l = 0; l < R; ++l) {
+      row[l] -= demand[l];
+      MRIS_INVARIANT(row[l] >= -kContractSlack,
                      "release: usage went negative (released a demand that "
                      "was never reserved)");
-      if (usage_[i][l] < 0.0 && usage_[i][l] > -1e-12) usage_[i][l] = 0.0;
+      if (row[l] < 0.0 && row[l] > -1e-12) row[l] = 0.0;
     }
+    refresh_headroom(i);
   }
+  coalesce_range(first, last + 1);
+}
+
+void ResourceProfile::coalesce_range(std::size_t lo, std::size_t hi) {
+  // Merge segment i into i-1 wherever their usage rows are bitwise equal;
+  // the profile as a function of time is unchanged.  Scan high-to-low so
+  // erasures do not shift the indices still to visit.
+  const std::size_t R = static_cast<std::size_t>(num_resources_);
+  lo = std::max<std::size_t>(lo, 1);
+  hi = std::min(hi, times_.size() - 1);
+  for (std::size_t i = hi; i >= lo; --i) {
+    const double* prev = usage_.data() + (i - 1) * R;
+    const double* cur = usage_.data() + i * R;
+    if (!std::equal(cur, cur + R, prev)) continue;
+    times_.erase(times_.begin() + static_cast<std::ptrdiff_t>(i));
+    usage_.erase(usage_.begin() + static_cast<std::ptrdiff_t>(i * R),
+                 usage_.begin() + static_cast<std::ptrdiff_t>((i + 1) * R));
+    headroom_.erase(headroom_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  if (hint_ >= times_.size()) hint_ = 0;
+}
+
+void ResourceProfile::prune_before(Time t) {
+  pruned_before_ = std::max(pruned_before_, t);
+  const std::size_t i = segment_of(t);
+  if (i == 0) return;
+  // Flatten the committed past: the leading segment takes over the usage of
+  // the segment containing t, and every breakpoint in (0, times_[i]] goes
+  // away.  Queries at or after times_[i] are untouched.
+  const std::size_t R = static_cast<std::size_t>(num_resources_);
+  std::copy_n(usage_.begin() + static_cast<std::ptrdiff_t>(i * R), R,
+              usage_.begin());
+  headroom_[0] = headroom_[i];
+  times_.erase(times_.begin() + 1,
+               times_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  usage_.erase(usage_.begin() + static_cast<std::ptrdiff_t>(R),
+               usage_.begin() + static_cast<std::ptrdiff_t>((i + 1) * R));
+  headroom_.erase(headroom_.begin() + 1,
+                  headroom_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  hint_ = 0;
+  // The takeover can leave segments 0 and 1 equal (e.g. the pruned span
+  // ended exactly at a release boundary).
+  coalesce_range(1, 1);
 }
 
 }  // namespace mris

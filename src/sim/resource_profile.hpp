@@ -3,15 +3,45 @@
 // MRIS's backfilling (Section 5.3: start times of one iteration may enter
 // the periods of previous iterations).
 //
-// Representation: sorted breakpoints times_[0..B) with times_[0] == 0 and an
-// R-dimensional usage vector per segment [times_[i], times_[i+1]) (the last
-// segment extends to +infinity).  All reservations are finite, so the final
+// Representation (DESIGN.md §"Timeline data structure"): a flat,
+// R-strided structure-of-arrays.  Sorted breakpoints times_[0..B) with
+// times_[0] == 0; segment i covers [times_[i], times_[i+1]) (the last
+// segment extends to +infinity) and its R usage values live contiguously at
+// usage_[i * R .. (i + 1) * R).  All reservations are finite, so the final
 // segment is always all-zero.
+//
+// Fast-path machinery layered on that layout:
+//  * headroom_[i] caches 1 - max_l usage of segment i, so fits() and
+//    earliest_fit() skip a segment with one comparison (max demand <=
+//    headroom => the R-wide inner loop cannot fail) — the common case when
+//    backfilling probes long stretches of near-empty calendar;
+//  * earliest_fit() resumes its scan from the conflicting segment instead
+//    of re-running segment_of() per candidate start: one forward pass,
+//    O(B) worst case per query instead of O(B log B);
+//  * segment_of() remembers the last segment it returned (scan hint), so
+//    the monotone probe sequences issued by the PQ list subroutine hit in
+//    amortized O(1) — queries are const but update the mutable hint, which
+//    makes a profile NOT safe to share across threads (each simulation owns
+//    its cluster, so this never happens in-tree);
+//  * release() coalesces adjacent equal segments and prune_before()
+//    compacts everything before the engine's committed horizon into the
+//    leading segment (jobs never start in the past), keeping B proportional
+//    to *live* reservations instead of all reservations ever made;
+//  * query and mutation paths are allocation-free: available_at() can write
+//    into a caller span, and reserve/release stage the split segment in a
+//    reused scratch buffer.
+//
+// Interval-exact endpoints: reserve/force_reserve/release compute the
+// half-open interval's end as start + duration exactly once.  Fault paths
+// that cancel a *tail* of an existing reservation must use the *_until
+// forms with the originally computed end — recomputing the end as
+// new_start + (end - new_start) lands one ulp off the reserved breakpoint
+// and releases demand from a sliver segment that never held it (the
+// PQ-WSJF "usage went negative" bug, ROADMAP).
 #pragma once
 
 #include <cstddef>
 #include <span>
-#include <utility>
 #include <vector>
 
 #include "core/job.hpp"
@@ -33,6 +63,10 @@ class ResourceProfile {
 
   /// Remaining capacity per resource at time t (1 - usage, clamped >= 0).
   std::vector<double> available_at(Time t) const;
+
+  /// Allocation-free variant: writes the remaining capacity at time t into
+  /// `out` (size must equal num_resources()).
+  void available_at(Time t, std::span<double> out) const;
 
   /// True if adding `demand` over [start, start + duration) keeps every
   /// resource within capacity 1 + tolerance.
@@ -57,16 +91,42 @@ class ResourceProfile {
   void force_reserve(Time start, Time duration,
                      std::span<const double> demand);
 
+  /// force_reserve with an exact end instead of a duration: extends an
+  /// existing reservation to a precomputed endpoint without re-rounding.
+  void force_reserve_until(Time start, Time end,
+                           std::span<const double> demand);
+
   /// Subtracts a previously reserved `demand` over [start, start +
   /// duration) — the cancel/requeue path of the fault model.  Tiny negative
-  /// residues from floating-point rounding are clamped to zero.
+  /// residues from floating-point rounding are clamped to zero.  Adjacent
+  /// segments left equal by the subtraction are coalesced.
   void release(Time start, Time duration, std::span<const double> demand);
 
-  /// Latest breakpoint (== end of the last reservation), 0 when empty.
+  /// release with an exact end instead of a duration.  Callers cancelling
+  /// part of a reservation MUST pass the end breakpoint they reserved with
+  /// (see header comment on interval-exact endpoints).
+  void release_until(Time start, Time end, std::span<const double> demand);
+
+  /// Compacts every segment strictly before the one containing t into the
+  /// leading segment (which keeps that segment's usage).  The profile as a
+  /// function of time is preserved on [b, +inf) where b <= t is the start
+  /// of t's segment; queries below b return the flattened value and are
+  /// only meaningful to callers that never look into the committed past
+  /// (the engine's event clock guarantees starts >= now).
+  void prune_before(Time t);
+
+  /// Largest t ever passed to prune_before() (0 if never pruned): queries
+  /// at or after this bound are exact.
+  Time pruned_before() const noexcept { return pruned_before_; }
+
+  /// Latest breakpoint (== end of the last live reservation), 0 when empty.
   Time horizon() const noexcept { return times_.back(); }
 
  private:
-  /// Index of the segment whose interval contains t.
+  /// Index of the segment whose interval contains t.  t < 0 maps to
+  /// segment 0.  Starts from the scan hint (last segment returned) and
+  /// falls back to binary search, so monotone probe sequences are
+  /// amortized O(1).
   std::size_t segment_of(Time t) const;
 
   /// Ensures a breakpoint exactly at t (splitting a segment if needed);
@@ -75,12 +135,30 @@ class ResourceProfile {
 
   /// Shared add-demand implementation behind reserve / force_reserve.
   /// Returns the affected segment range [first, last).
-  std::pair<std::size_t, std::size_t> add(Time start, Time duration,
+  std::pair<std::size_t, std::size_t> add(Time start, Time end,
                                           std::span<const double> demand);
+
+  /// Recomputes headroom_[i] from the usage row of segment i.
+  void refresh_headroom(std::size_t i);
+
+  /// Erases breakpoint i (merging segment i into segment i-1) whenever the
+  /// two usage rows are bitwise equal; scans boundaries in [lo, hi].
+  void coalesce_range(std::size_t lo, std::size_t hi);
 
   int num_resources_;
   std::vector<Time> times_;
-  std::vector<std::vector<double>> usage_;  // usage_[i] on [times_[i], times_[i+1])
+  /// R-strided usage: segment i's row is usage_[i * R .. (i + 1) * R).
+  std::vector<double> usage_;
+  /// Per-segment min headroom: 1 - max_l usage (may be negative after
+  /// force_reserve).  A segment with headroom >= max demand always fits.
+  std::vector<double> headroom_;
+  /// Scratch row reused by ensure_breakpoint (self-insertion into usage_
+  /// is UB, and a member buffer keeps splits allocation-free).
+  std::vector<double> scratch_;
+  Time pruned_before_ = 0.0;
+  /// Scan hint: last segment index returned by segment_of().  Purely a
+  /// performance cache — any value < times_.size() is valid.
+  mutable std::size_t hint_ = 0;
 };
 
 }  // namespace mris

@@ -1,0 +1,261 @@
+// Differential and invariant tests for the flat SoA timeline rewrite:
+// mixed reserve/force_reserve/release sequences checked against a
+// brute-force interval-list oracle, coalescing idempotence, and
+// prune_before query preservation.
+//
+// All generated times, durations and demands are multiples of 1/64, so
+// every sum and difference is exact in binary floating point: the oracle
+// (which re-sums intervals from scratch) and the profile (which adds and
+// subtracts incrementally) must agree bit-for-bit, making the comparisons
+// below exact rather than tolerance-based.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/resource_profile.hpp"
+#include "util/rng.hpp"
+
+namespace mris {
+namespace {
+
+constexpr double kGrid = 1.0 / 64.0;
+
+struct Interval {
+  Time start;
+  Time end;
+  std::vector<double> demand;
+};
+
+double grid_time(util::Xoshiro256& rng, double lo, double hi) {
+  const auto steps = static_cast<std::uint64_t>((hi - lo) / kGrid);
+  return lo + kGrid * static_cast<double>(util::uniform_index(rng, steps + 1));
+}
+
+std::vector<double> grid_demand(util::Xoshiro256& rng, int resources,
+                                double hi) {
+  std::vector<double> d(static_cast<std::size_t>(resources));
+  for (auto& x : d) {
+    const auto steps = static_cast<std::uint64_t>(hi / kGrid);
+    x = kGrid * static_cast<double>(util::uniform_index(rng, steps + 1));
+  }
+  return d;
+}
+
+double oracle_usage(const std::vector<Interval>& live, Time t, std::size_t l) {
+  double usage = 0.0;
+  for (const auto& iv : live) {
+    if (iv.start <= t && t < iv.end) usage += iv.demand[l];
+  }
+  return usage;
+}
+
+bool oracle_fits(const std::vector<Interval>& live, Time s, Time dur,
+                 const std::vector<double>& demand, double tolerance) {
+  // Usage is piecewise constant with breakpoints only at interval
+  // endpoints, so checking s plus every start inside the window suffices.
+  std::vector<Time> points = {s};
+  for (const auto& iv : live) {
+    if (iv.start > s && iv.start < s + dur) points.push_back(iv.start);
+  }
+  for (const Time t : points) {
+    for (std::size_t l = 0; l < demand.size(); ++l) {
+      if (oracle_usage(live, t, l) + demand[l] > 1.0 + tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Time oracle_earliest_fit(const std::vector<Interval>& live, Time not_before,
+                         Time dur, const std::vector<double>& demand,
+                         double tolerance) {
+  // Candidate starts: not_before and every interval endpoint after it
+  // (feasibility of the sliding window changes only there).
+  std::vector<Time> candidates = {not_before};
+  for (const auto& iv : live) {
+    if (iv.start > not_before) candidates.push_back(iv.start);
+    if (iv.end > not_before) candidates.push_back(iv.end);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const Time s : candidates) {
+    if (oracle_fits(live, s, dur, demand, tolerance)) return s;
+  }
+  ADD_FAILURE() << "oracle found no feasible start";
+  return -1.0;
+}
+
+/// Runs a random mixed op sequence, returning the live interval list and
+/// leaving `profile` in the matching state.
+std::vector<Interval> run_mixed_ops(ResourceProfile& profile,
+                                    util::Xoshiro256& rng, int resources,
+                                    int ops) {
+  std::vector<Interval> live;
+  for (int op = 0; op < ops; ++op) {
+    const double roll = util::uniform01(rng);
+    if (roll < 0.4) {  // reserve at the earliest feasible start
+      const Time dur = grid_time(rng, kGrid, 6.0);
+      const auto d = grid_demand(rng, resources, 0.75);
+      const Time nb = grid_time(rng, 0.0, 48.0);
+      const Time s = profile.earliest_fit(nb, dur, d);
+      EXPECT_TRUE(profile.fits(s, dur, d));
+      profile.reserve(s, dur, d);
+      live.push_back({s, s + dur, d});
+    } else if (roll < 0.7) {  // force_reserve, may overload capacity
+      const Time s = grid_time(rng, 0.0, 48.0);
+      const Time dur = grid_time(rng, kGrid, 6.0);
+      const auto d = grid_demand(rng, resources, 0.9);
+      if (util::uniform01(rng) < 0.5) {
+        profile.force_reserve(s, dur, d);
+      } else {
+        profile.force_reserve_until(s, s + dur, d);
+      }
+      live.push_back({s, s + dur, d});
+    } else if (!live.empty()) {  // release one active interval exactly
+      const std::size_t i =
+          util::uniform_index(rng, static_cast<std::uint64_t>(live.size()));
+      const Interval iv = live[i];
+      if (util::uniform01(rng) < 0.5) {
+        profile.release_until(iv.start, iv.end, iv.demand);
+      } else {
+        profile.release(iv.start, iv.end - iv.start, iv.demand);
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  return live;
+}
+
+class TimelineDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimelineDifferential, MixedOpsMatchIntervalOracle) {
+  util::Xoshiro256 rng(0xface0000ULL + static_cast<std::uint64_t>(GetParam()));
+  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 3));
+  ResourceProfile profile(resources);
+  const std::vector<Interval> live = run_mixed_ops(profile, rng, resources, 80);
+
+  // usage_at agrees bit-for-bit at random probe times.
+  for (int probe = 0; probe < 200; ++probe) {
+    const Time t = grid_time(rng, 0.0, 60.0);
+    for (int l = 0; l < resources; ++l) {
+      EXPECT_EQ(profile.usage_at(t, l),
+                oracle_usage(live, t, static_cast<std::size_t>(l)))
+          << "t=" << t << " l=" << l;
+    }
+  }
+
+  // fits and earliest_fit agree with the oracle on random queries.
+  for (int probe = 0; probe < 100; ++probe) {
+    const Time dur = grid_time(rng, kGrid, 5.0);
+    const auto d = grid_demand(rng, resources, 0.75);
+    const Time s = grid_time(rng, 0.0, 55.0);
+    EXPECT_EQ(profile.fits(s, dur, d), oracle_fits(live, s, dur, d, 1e-9))
+        << "s=" << s << " dur=" << dur;
+    const Time got = profile.earliest_fit(s, dur, d);
+    EXPECT_EQ(got, oracle_earliest_fit(live, s, dur, d, 1e-9))
+        << "not_before=" << s << " dur=" << dur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferential, ::testing::Range(0, 24));
+
+TEST(TimelineCoalescing, ReleasingEverythingRestoresTheEmptyProfile) {
+  util::Xoshiro256 rng(0xc0a1e5ce);
+  ResourceProfile profile(2);
+  std::vector<Interval> live = run_mixed_ops(profile, rng, 2, 120);
+  // Release the survivors in random order; coalescing must collapse the
+  // timeline back to the single all-zero segment, not leave equal-usage
+  // breakpoint residue behind.
+  while (!live.empty()) {
+    const std::size_t i =
+        util::uniform_index(rng, static_cast<std::uint64_t>(live.size()));
+    profile.release_until(live[i].start, live[i].end, live[i].demand);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  EXPECT_EQ(profile.num_breakpoints(), 1u);
+  EXPECT_EQ(profile.horizon(), 0.0);
+  EXPECT_EQ(profile.usage_at(12.75, 0), 0.0);
+}
+
+TEST(TimelineCoalescing, ZeroDemandReleaseIsIdempotentOnTheSegmentList) {
+  util::Xoshiro256 rng(0x1de11);
+  ResourceProfile profile(2);
+  run_mixed_ops(profile, rng, 2, 60);
+  const Time horizon = profile.horizon();
+  // A zero-demand release over the whole timeline forces breakpoint splits
+  // at its endpoints, subtracts nothing, and coalesces.  The first pass may
+  // compact residue left by reserves (which deliberately skip coalescing);
+  // after that the operation must be idempotent: a coalesced timeline comes
+  // back unchanged.
+  const std::vector<double> zero(2, 0.0);
+  profile.release(0.0, horizon + 16.0, zero);
+  const std::size_t breakpoints = profile.num_breakpoints();
+  const double usage_probe = profile.usage_at(horizon / 2.0, 0);
+  profile.release(0.0, horizon + 16.0, zero);
+  EXPECT_EQ(profile.num_breakpoints(), breakpoints);
+  EXPECT_EQ(profile.horizon(), horizon);
+  EXPECT_EQ(profile.usage_at(horizon / 2.0, 0), usage_probe);
+}
+
+TEST(TimelineCoalescing, ReserveReleaseChurnDoesNotLeakBreakpoints) {
+  ResourceProfile profile(2);
+  const std::vector<double> d = {0.5, 0.25};
+  profile.reserve(1.0, 4.0, d);  // a long-lived background reservation
+  const std::size_t baseline = profile.num_breakpoints();
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    profile.reserve(2.0, 1.5, d);
+    profile.release(2.0, 1.5, d);
+    EXPECT_EQ(profile.num_breakpoints(), baseline) << "cycle " << cycle;
+  }
+}
+
+TEST(TimelinePrune, PreservesQueriesAtOrAfterTheBound) {
+  for (int seed = 0; seed < 8; ++seed) {
+    util::Xoshiro256 rng(0x9e37 + static_cast<std::uint64_t>(seed));
+    const int resources = 1 + static_cast<int>(util::uniform_index(rng, 3));
+    ResourceProfile reference(resources);
+    const std::vector<Interval> live =
+        run_mixed_ops(reference, rng, resources, 80);
+
+    ResourceProfile pruned = reference;  // profiles are value types
+    const Time bound = grid_time(rng, 0.0, 40.0);
+    pruned.prune_before(bound);
+    EXPECT_EQ(pruned.pruned_before(), bound);
+    EXPECT_LE(pruned.num_breakpoints(), reference.num_breakpoints());
+
+    for (int probe = 0; probe < 120; ++probe) {
+      const Time t = bound + grid_time(rng, 0.0, 24.0);
+      for (int l = 0; l < resources; ++l) {
+        EXPECT_EQ(pruned.usage_at(t, l), reference.usage_at(t, l))
+            << "t=" << t << " l=" << l << " bound=" << bound;
+      }
+      const Time dur = grid_time(rng, kGrid, 4.0);
+      const auto d = grid_demand(rng, resources, 0.75);
+      EXPECT_EQ(pruned.fits(t, dur, d), reference.fits(t, dur, d));
+      EXPECT_EQ(pruned.earliest_fit(t, dur, d),
+                reference.earliest_fit(t, dur, d));
+    }
+
+    // Pruning again at the same bound is a no-op.
+    const std::size_t breakpoints = pruned.num_breakpoints();
+    pruned.prune_before(bound);
+    EXPECT_EQ(pruned.num_breakpoints(), breakpoints);
+    // An earlier bound never un-prunes.
+    pruned.prune_before(bound - 1.0);
+    EXPECT_EQ(pruned.pruned_before(), bound);
+  }
+}
+
+TEST(TimelinePrune, PruningPastEverythingCollapsesToOneSegment) {
+  util::Xoshiro256 rng(0xdead0);
+  ResourceProfile profile(2);
+  run_mixed_ops(profile, rng, 2, 60);
+  profile.prune_before(profile.horizon() + 1.0);
+  EXPECT_EQ(profile.num_breakpoints(), 1u);
+  EXPECT_EQ(profile.usage_at(0.0, 0), 0.0);
+  EXPECT_EQ(profile.usage_at(1e9, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace mris
