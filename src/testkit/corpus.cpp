@@ -1,0 +1,201 @@
+#include "testkit/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mris::testkit {
+
+namespace {
+
+constexpr const char* kMagic = "# mris-testkit corpus v1";
+
+/// %.17g — round-trips every finite double bit-exactly through strtod.
+std::string format_double(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", x);
+  return buffer;
+}
+
+double parse_double(const std::string& text, const std::string& origin,
+                    std::size_t line) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || end == nullptr || *end != '\0') {
+    throw std::runtime_error(origin + ":" + std::to_string(line) +
+                             ": not a number: '" + text + "'");
+  }
+  return value;
+}
+
+[[noreturn]] void fail_at(const std::string& origin, std::size_t line,
+                          const std::string& message) {
+  throw std::runtime_error(origin + ":" + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+void write_corpus(std::ostream& out, const CorpusEntry& entry) {
+  out << kMagic << "\n";
+  out << "name: " << entry.name << "\n";
+  out << "oracle: " << entry.oracle << "\n";
+  out << "scheduler: " << entry.scheduler << "\n";
+  out << "expect: " << (entry.expect_failure ? "fail" : "pass") << "\n";
+  out << "machines: " << entry.instance.num_machines() << "\n";
+  out << "resources: " << entry.instance.num_resources() << "\n";
+  for (const auto& [key, value] : entry.params) {
+    out << "param " << key << ": " << value << "\n";
+  }
+  out << "jobs: " << entry.instance.num_jobs() << "\n";
+  for (const Job& j : entry.instance.jobs()) {
+    out << format_double(j.release) << ',' << format_double(j.processing)
+        << ',' << format_double(j.weight) << ',' << j.tenant;
+    for (const double d : j.demand) out << ',' << format_double(d);
+    out << "\n";
+  }
+}
+
+void write_corpus_file(const std::string& path, const CorpusEntry& entry) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write corpus file: " + path);
+  write_corpus(out, entry);
+  if (!out) throw std::runtime_error("corpus write failed: " + path);
+}
+
+CorpusEntry read_corpus(std::istream& in, const std::string& origin) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!std::getline(in, line) || line != kMagic) {
+    fail_at(origin, 1, "missing corpus magic line '" + std::string(kMagic) +
+                           "'");
+  }
+  ++lineno;
+
+  CorpusEntry entry;
+  int machines = 0;
+  int resources = -1;
+  std::size_t num_jobs = 0;
+  bool saw_jobs = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t colon = line.find(": ");
+    if (colon == std::string::npos) {
+      fail_at(origin, lineno, "expected 'key: value', got '" + line + "'");
+    }
+    const std::string key = line.substr(0, colon);
+    const std::string value = line.substr(colon + 2);
+    if (key == "name") {
+      entry.name = value;
+    } else if (key == "oracle") {
+      entry.oracle = value;
+    } else if (key == "scheduler") {
+      entry.scheduler = value;
+    } else if (key == "expect") {
+      if (value != "pass" && value != "fail") {
+        fail_at(origin, lineno, "expect must be 'pass' or 'fail'");
+      }
+      entry.expect_failure = value == "fail";
+    } else if (key == "machines") {
+      machines = static_cast<int>(parse_double(value, origin, lineno));
+    } else if (key == "resources") {
+      resources = static_cast<int>(parse_double(value, origin, lineno));
+    } else if (key.rfind("param ", 0) == 0) {
+      entry.params[key.substr(6)] = value;
+    } else if (key == "jobs") {
+      num_jobs =
+          static_cast<std::size_t>(parse_double(value, origin, lineno));
+      saw_jobs = true;
+      break;  // job rows follow
+    } else {
+      fail_at(origin, lineno, "unknown corpus key '" + key + "'");
+    }
+  }
+  if (!saw_jobs) fail_at(origin, lineno, "missing 'jobs:' line");
+  if (machines < 1) fail_at(origin, lineno, "missing/invalid 'machines:'");
+  if (resources < 1) fail_at(origin, lineno, "missing/invalid 'resources:'");
+  if (entry.oracle.empty()) fail_at(origin, lineno, "missing 'oracle:'");
+
+  std::vector<Job> jobs;
+  jobs.reserve(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    if (!std::getline(in, line)) {
+      fail_at(origin, lineno, "expected " + std::to_string(num_jobs) +
+                                  " job rows, got " + std::to_string(i));
+    }
+    ++lineno;
+    std::vector<std::string> fields;
+    std::stringstream row(line);
+    std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 4 + static_cast<std::size_t>(resources)) {
+      fail_at(origin, lineno,
+              "expected " + std::to_string(4 + resources) + " fields, got " +
+                  std::to_string(fields.size()));
+    }
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.release = parse_double(fields[0], origin, lineno);
+    j.processing = parse_double(fields[1], origin, lineno);
+    j.weight = parse_double(fields[2], origin, lineno);
+    j.tenant =
+        static_cast<TenantId>(parse_double(fields[3], origin, lineno));
+    j.demand.reserve(static_cast<std::size_t>(resources));
+    for (int l = 0; l < resources; ++l) {
+      j.demand.push_back(
+          parse_double(fields[4 + static_cast<std::size_t>(l)], origin,
+                       lineno));
+    }
+    jobs.push_back(std::move(j));
+  }
+  entry.instance = Instance(std::move(jobs), machines, resources);
+  return entry;
+}
+
+CorpusEntry read_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read corpus file: " + path);
+  return read_corpus(in, path);
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& it : std::filesystem::directory_iterator(dir, ec)) {
+    if (it.path().extension() == ".corpus") {
+      files.push_back(it.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+double param_double(const Params& params, const std::string& key,
+                    double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return parse_double(it->second, "param " + key, 0);
+}
+
+std::int64_t param_int(const Params& params, const std::string& key,
+                       std::int64_t fallback) {
+  return static_cast<std::int64_t>(
+      param_double(params, key, static_cast<double>(fallback)));
+}
+
+std::string param_string(const Params& params, const std::string& key,
+                         const std::string& fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace mris::testkit

@@ -1,0 +1,69 @@
+// Regression corpus format: one minimized counterexample (or pinned
+// scenario) per file, self-describing enough to replay without the code
+// that found it.
+//
+//   # mris-testkit corpus v1
+//   name: ulp-release
+//   oracle: validator-clean-faults        <- OracleCatalog entry to run
+//   scheduler: pq-wsjf                    <- parse_scheduler_spec() string
+//   expect: pass                          <- pass | fail
+//   machines: 4
+//   resources: 4
+//   param mtbf: 250                       <- oracle-specific knobs (0+)
+//   jobs: 3
+//   <release>,<processing>,<weight>,<tenant>,<d_0>,...,<d_{R-1}>   (x jobs)
+//
+// Doubles are written with max_digits10 precision so a round trip is
+// bit-exact — corpus entries pinning one-ulp scenarios (the PR 4 bug)
+// survive serialization.  `expect: pass` entries are regression pins: the
+// instance once failed the oracle and must now pass forever.  `expect:
+// fail` entries assert a failure *reproduces* (used by the shrinker demo
+// fixture to prove the replay path end to end).
+//
+// Files live in tests/regressions/ (committed, replayed by the
+// `regression_replay` ctest) and in the testkit artifacts directory
+// (freshly minimized counterexamples, uploaded by CI).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace mris::testkit {
+
+/// Oracle-specific string knobs (fault spec fields, slack factors, ...).
+using Params = std::map<std::string, std::string>;
+
+struct CorpusEntry {
+  std::string name;                ///< short identifier (file stem)
+  std::string oracle;              ///< OracleCatalog name to run
+  std::string scheduler = "mris";  ///< parse_scheduler_spec() string
+  bool expect_failure = false;     ///< false: must pass; true: must fail
+  Params params;                   ///< forwarded to the oracle
+  Instance instance;
+};
+
+void write_corpus(std::ostream& out, const CorpusEntry& entry);
+void write_corpus_file(const std::string& path, const CorpusEntry& entry);
+
+/// Parses a corpus entry; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+CorpusEntry read_corpus(std::istream& in, const std::string& origin = "<stream>");
+CorpusEntry read_corpus_file(const std::string& path);
+
+/// All *.corpus files directly under `dir`, sorted by name (deterministic
+/// replay order).  Returns an empty list when the directory is missing.
+std::vector<std::string> list_corpus_files(const std::string& dir);
+
+// Typed access to Params (fallback when absent; throws on unparsable).
+double param_double(const Params& params, const std::string& key,
+                    double fallback);
+std::int64_t param_int(const Params& params, const std::string& key,
+                       std::int64_t fallback);
+std::string param_string(const Params& params, const std::string& key,
+                         const std::string& fallback);
+
+}  // namespace mris::testkit

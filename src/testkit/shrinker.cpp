@@ -1,0 +1,295 @@
+#include "testkit/shrinker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace mris::testkit {
+
+namespace {
+
+bool still_fails(const InstancePredicate& fails, const Instance& inst,
+                 ShrinkStats& stats) {
+  ++stats.predicate_calls;
+  try {
+    return fails(inst);
+  } catch (...) {
+    return true;  // crashing reproduces the failure just fine
+  }
+}
+
+Instance rebuild(std::vector<Job> jobs, int machines, int resources) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+  }
+  return Instance(std::move(jobs), machines, resources);
+}
+
+/// Largest power of two <= x (x > 0).
+double pow2_at_or_below(double x) {
+  return std::ldexp(1.0, static_cast<int>(std::floor(std::log2(x))));
+}
+
+/// ddmin over the job list: chunks of n/2, n/4, ..., 1.
+bool drop_jobs_pass(Instance& current, const InstancePredicate& fails,
+                    ShrinkStats& stats) {
+  bool changed = false;
+  std::size_t chunk = std::max<std::size_t>(current.num_jobs() / 2, 1);
+  for (;;) {
+    std::size_t start = 0;
+    while (start < current.num_jobs()) {
+      const std::size_t end = std::min(start + chunk, current.num_jobs());
+      std::vector<Job> kept;
+      kept.reserve(current.num_jobs() - (end - start));
+      for (std::size_t i = 0; i < current.num_jobs(); ++i) {
+        if (i < start || i >= end) kept.push_back(current.jobs()[i]);
+      }
+      Instance candidate = rebuild(std::move(kept), current.num_machines(),
+                                   current.num_resources());
+      if (still_fails(fails, candidate, stats)) {
+        stats.jobs_removed += end - start;
+        current = std::move(candidate);
+        changed = true;
+        // Do not advance: the next chunk now occupies `start`.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+  return changed;
+}
+
+bool reduce_machines_pass(Instance& current, const InstancePredicate& fails,
+                          ShrinkStats& stats) {
+  bool changed = false;
+  for (;;) {
+    const int m = current.num_machines();
+    bool reduced = false;
+    for (const int target : {1, m / 2, m - 1}) {
+      if (target < 1 || target >= m) continue;
+      Instance candidate =
+          rebuild(current.jobs(), target, current.num_resources());
+      if (still_fails(fails, candidate, stats)) {
+        current = std::move(candidate);
+        changed = reduced = true;
+        break;
+      }
+    }
+    if (!reduced) return changed;
+  }
+}
+
+bool reduce_resources_pass(Instance& current, const InstancePredicate& fails,
+                           ShrinkStats& stats) {
+  bool changed = false;
+  // High to low so an accepted removal never shifts the indices still to
+  // be tried.
+  for (int l = current.num_resources() - 1; l >= 0; --l) {
+    if (current.num_resources() <= 1) break;
+    std::vector<Job> jobs = current.jobs();
+    bool valid = true;
+    for (Job& j : jobs) {
+      j.demand.erase(j.demand.begin() + l);
+      if (j.total_demand() <= 0.0) {
+        valid = false;  // the dropped dimension carried all of j's demand
+        break;
+      }
+    }
+    if (!valid) continue;
+    Instance candidate =
+        rebuild(std::move(jobs), current.num_machines(),
+                current.num_resources() - 1);
+    if (still_fails(fails, candidate, stats)) {
+      current = std::move(candidate);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Tries one mutated copy of `current`; commits it when it still fails.
+bool try_mutation(Instance& current, const InstancePredicate& fails,
+                  ShrinkStats& stats, std::size_t job,
+                  const std::function<bool(Job&)>& mutate) {
+  std::vector<Job> jobs = current.jobs();
+  if (!mutate(jobs[job])) return false;  // mutation not applicable
+  Instance candidate = rebuild(std::move(jobs), current.num_machines(),
+                               current.num_resources());
+  if (!still_fails(fails, candidate, stats)) return false;
+  current = std::move(candidate);
+  return true;
+}
+
+bool simplify_values_pass(Instance& current, const InstancePredicate& fails,
+                          ShrinkStats& stats) {
+  bool changed = false;
+  for (std::size_t i = 0; i < current.num_jobs(); ++i) {
+    changed |= try_mutation(current, fails, stats, i, [](Job& j) {
+      if (j.release == 0.0) return false;
+      j.release = 0.0;
+      return true;
+    });
+    changed |= try_mutation(current, fails, stats, i, [](Job& j) {
+      if (j.weight == 1.0) return false;
+      j.weight = 1.0;
+      return true;
+    });
+    changed |= try_mutation(current, fails, stats, i, [](Job& j) {
+      if (j.processing == 1.0) return false;
+      j.processing = 1.0;
+      return true;
+    });
+    changed |= try_mutation(current, fails, stats, i, [](Job& j) {
+      const double rounded = pow2_at_or_below(j.processing);
+      if (rounded == j.processing) return false;
+      j.processing = rounded;
+      return true;
+    });
+    const std::size_t resources = current.jobs()[i].demand.size();
+    for (std::size_t l = 0; l < resources; ++l) {
+      changed |= try_mutation(current, fails, stats, i, [l](Job& j) {
+        const double d = j.demand[l];
+        if (d == 0.0 || j.total_demand() - d <= 0.0) return false;
+        j.demand[l] = 0.0;
+        return true;
+      });
+      changed |= try_mutation(current, fails, stats, i, [l](Job& j) {
+        // Snap up to the nearest of {1/8, 1/4, 1/2, 1} — rounding toward a
+        // representable boundary, never below (shrinking demand could mask
+        // a capacity-edge failure by making the packing easier).
+        const double d = j.demand[l];
+        if (d == 0.0) return false;
+        for (const double edge : {0.125, 0.25, 0.5, 1.0}) {
+          if (d <= edge) {
+            if (d == edge) return false;
+            j.demand[l] = edge;
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Instance shrink_instance(const Instance& start, const InstancePredicate& fails,
+                         const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  s = ShrinkStats{};
+  if (!still_fails(fails, start, s)) {
+    throw std::invalid_argument(
+        "shrink_instance: the starting instance does not fail the predicate");
+  }
+  Instance current = start;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++s.passes;
+    bool changed = drop_jobs_pass(current, fails, s);
+    changed |= reduce_machines_pass(current, fails, s);
+    changed |= reduce_resources_pass(current, fails, s);
+    if (options.simplify_values) {
+      changed |= simplify_values_pass(current, fails, s);
+    }
+    if (!changed) break;
+  }
+  MRIS_ENSURE(still_fails(fails, current, s),
+              "shrink result must still fail the predicate");
+  return current;
+}
+
+namespace {
+
+bool items_still_fail(const ItemsPredicate& fails,
+                      const std::vector<knapsack::Item>& items,
+                      ShrinkStats& stats) {
+  ++stats.predicate_calls;
+  try {
+    return fails(items);
+  } catch (...) {
+    return true;
+  }
+}
+
+void renumber(std::vector<knapsack::Item>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].tag = static_cast<std::int32_t>(i);
+  }
+}
+
+}  // namespace
+
+std::vector<knapsack::Item> shrink_items(
+    const std::vector<knapsack::Item>& start, const ItemsPredicate& fails,
+    const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  s = ShrinkStats{};
+  if (!items_still_fail(fails, start, s)) {
+    throw std::invalid_argument(
+        "shrink_items: the starting items do not fail the predicate");
+  }
+  std::vector<knapsack::Item> current = start;
+  renumber(current);
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++s.passes;
+    bool changed = false;
+    // ddmin item removal.
+    std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1);
+    for (;;) {
+      std::size_t at = 0;
+      while (at < current.size()) {
+        const std::size_t end = std::min(at + chunk, current.size());
+        std::vector<knapsack::Item> kept;
+        kept.reserve(current.size() - (end - at));
+        for (std::size_t i = 0; i < current.size(); ++i) {
+          if (i < at || i >= end) kept.push_back(current[i]);
+        }
+        renumber(kept);
+        if (items_still_fail(fails, kept, s)) {
+          s.jobs_removed += end - at;
+          current = std::move(kept);
+          changed = true;
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+    // Value rounding: size and profit toward 1, else the power of two at
+    // or below.
+    if (options.simplify_values) {
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        for (const bool size_field : {true, false}) {
+          const double value =
+              size_field ? current[i].size : current[i].profit;
+          const double targets[] = {
+              1.0, value > 0.0 ? pow2_at_or_below(value) : 1.0};
+          for (const double target : targets) {
+            if (value == target || target <= 0.0) continue;
+            std::vector<knapsack::Item> candidate = current;
+            (size_field ? candidate[i].size : candidate[i].profit) = target;
+            if (items_still_fail(fails, candidate, s)) {
+              current = std::move(candidate);
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  MRIS_ENSURE(items_still_fail(fails, current, s),
+              "shrink result must still fail the predicate");
+  return current;
+}
+
+}  // namespace mris::testkit

@@ -1,0 +1,75 @@
+// Greedy minimizing shrinker: given a failing instance and a predicate
+// that reproduces the failure, deterministically reduce the instance while
+// the predicate keeps failing, so bug reports land as 4-job counterexamples
+// instead of 300-job seed dumps.
+//
+// The algorithm is delta-debugging-flavored greedy descent, repeated to a
+// fixpoint:
+//
+//   1. job removal — ddmin over the job list: try dropping chunks of
+//      N/2, N/4, ..., 1 jobs (front to back), keeping any drop that still
+//      fails;
+//   2. machine reduction — try M -> 1, M -> M/2, M -> M - 1;
+//   3. resource reduction — try dropping each resource dimension (skipped
+//      when a job would be left with zero total demand);
+//   4. value simplification — per job, try release -> 0, weight -> 1,
+//      processing -> 1 then -> the nearest power of two at or below, and
+//      each demand -> 0 then -> the nearest of {1, 1/2, 1/4, 1/8} at or
+//      above (rounding toward representable boundaries keeps ulp-flavored
+//      failures alive while shedding incidental digits).
+//
+// Every candidate is accepted iff the predicate still fails, so the result
+// is a local minimum: removing any single job or simplifying any single
+// value makes the failure disappear.  The procedure is a pure function of
+// (instance, predicate) — no randomness — hence byte-deterministic.
+//
+// A predicate that *throws* counts as failing: crashing is how many of the
+// best bugs reproduce.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "knapsack/knapsack.hpp"
+
+namespace mris::testkit {
+
+/// Returns true when the instance still reproduces the failure under test.
+/// Exceptions propagated by the callable are treated as `true` (failing).
+using InstancePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on full passes (each pass runs all four reductions); the
+  /// shrink stops earlier at the first pass that changes nothing.
+  std::size_t max_passes = 16;
+
+  /// Enables step 4 (value simplification).  Off leaves every surviving
+  /// job's parameters exactly as generated.
+  bool simplify_values = true;
+};
+
+struct ShrinkStats {
+  std::size_t predicate_calls = 0;
+  std::size_t passes = 0;
+  std::size_t jobs_removed = 0;
+};
+
+/// Minimizes `start` (which must fail `fails`) and returns the reduced
+/// instance.  Throws std::invalid_argument if `start` does not fail.
+Instance shrink_instance(const Instance& start, const InstancePredicate& fails,
+                         const ShrinkOptions& options = {},
+                         ShrinkStats* stats = nullptr);
+
+/// Knapsack-item analogue (for the knapsack property suites): ddmin item
+/// removal plus size/profit rounding toward powers of two.  Tags are
+/// re-numbered 0..n-1 after shrinking.
+using ItemsPredicate =
+    std::function<bool(const std::vector<knapsack::Item>&)>;
+
+std::vector<knapsack::Item> shrink_items(
+    const std::vector<knapsack::Item>& start, const ItemsPredicate& fails,
+    const ShrinkOptions& options = {}, ShrinkStats* stats = nullptr);
+
+}  // namespace mris::testkit

@@ -1,0 +1,18 @@
+#include "testkit/streams.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.hpp"
+
+namespace mris::testkit {
+
+std::size_t fuzz_iters(std::size_t base) {
+  const double scale = util::env_double("MRIS_FUZZ_ITERS", 1.0);
+  // A non-positive multiplier asks for the fastest possible sweep.
+  if (!(scale > 0.0)) return 1;
+  const double scaled = std::floor(static_cast<double>(base) * scale);
+  return std::max<std::size_t>(static_cast<std::size_t>(scaled), 1);
+}
+
+}  // namespace mris::testkit

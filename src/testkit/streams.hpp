@@ -1,0 +1,57 @@
+// Independent, label-derived RNG streams for the property-testing kit.
+//
+// Every oracle, generator family and fuzz suite draws from its own stream,
+// derived from (master seed, textual label) by hashing the label and mixing
+// it through splitmix64.  Two properties matter:
+//
+//  * independence — streams with different labels are statistically
+//    unrelated, so adding a new oracle (a new label) never perturbs the
+//    draws an existing seeded expectation depends on;
+//  * stability — the derivation is a pure function of (seed, label) pinned
+//    by regression tests, so seeded corpora and CI expectations survive
+//    refactors of the suites that use them.
+//
+// Also home of the MRIS_FUZZ_ITERS budget knob honored by all testkit
+// suites: a sweep declared as `fuzz_iters(40)` runs 40 seeds by default,
+// 40 * MRIS_FUZZ_ITERS under the nightly long-fuzz job.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace mris::testkit {
+
+/// FNV-1a 64-bit hash of a label (stable across platforms).
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Seed of the (master, label) stream: label hash and master seed mixed
+/// through two splitmix64 steps.  Pure and pinned — see streams_test.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t master,
+                                           std::string_view label) noexcept {
+  std::uint64_t state = master ^ fnv1a64(label);
+  (void)util::splitmix64(state);  // decorrelate nearby masters
+  std::uint64_t mixed = util::splitmix64(state);
+  return mixed;
+}
+
+/// A ready-to-use xoshiro stream for (master, label).
+inline util::Xoshiro256 make_stream(std::uint64_t master,
+                                    std::string_view label) noexcept {
+  return util::Xoshiro256(derive_stream_seed(master, label));
+}
+
+/// Iteration budget of a fuzz sweep: `base` iterations scaled by the
+/// MRIS_FUZZ_ITERS environment multiplier (default 1; the nightly job sets
+/// it large, a smoke run may set it below 1).  Never returns 0.
+std::size_t fuzz_iters(std::size_t base);
+
+}  // namespace mris::testkit

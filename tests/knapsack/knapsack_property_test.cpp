@@ -1,15 +1,24 @@
 // Property-based sweeps of the constraint-approximation guarantees
-// (Lemma 6.1 and Remark 1) against the brute-force oracle on random
-// instances.
+// (Lemma 6.1 and Remark 1) against the brute-force oracle, driven by the
+// testkit: items come from label-derived streams (adding a sweep never
+// perturbs another sweep's draws), adversarial equal-profit/equal-size tie
+// groups ride along, and a violated property is handed to shrink_items()
+// so the failure report is a minimal item list, not a 18-item haystack.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <tuple>
 
 #include "knapsack/knapsack.hpp"
-#include "util/rng.hpp"
+#include "testkit/shrinker.hpp"
+#include "testkit/streams.hpp"
 
 namespace mris::knapsack {
 namespace {
+
+using testkit::ItemsPredicate;
+using testkit::make_stream;
+using testkit::shrink_items;
 
 std::vector<Item> random_items(util::Xoshiro256& rng, std::size_t n,
                                double max_size) {
@@ -23,23 +32,71 @@ std::vector<Item> random_items(util::Xoshiro256& rng, std::size_t n,
   return items;
 }
 
+/// Tie-heavy variant: groups of items with bit-identical (size, profit),
+/// the degenerate inputs where only deterministic tie-breaking separates
+/// solutions (testkit's knapsack-ties family, at the item level).
+std::vector<Item> tied_items(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<Item> items;
+  while (items.size() < n) {
+    const std::size_t group =
+        std::min(n - items.size(), 2 + util::uniform_index(rng, 4));
+    const double size = static_cast<double>(util::uniform_int(rng, 1, 12)) / 2.0;
+    const double profit = static_cast<double>(util::uniform_int(rng, 1, 8));
+    for (std::size_t g = 0; g < group; ++g) {
+      items.push_back({size, profit, static_cast<std::int32_t>(items.size())});
+    }
+  }
+  return items;
+}
+
+std::string describe(const std::vector<Item>& items) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const Item& item : items) {
+    out << "  {size=" << item.size << ", profit=" << item.profit << "}\n";
+  }
+  return out.str();
+}
+
+/// Asserts `holds` on `items`; on violation, shrinks to a minimal failing
+/// item list and reports that instead.
+void expect_property(const std::vector<Item>& items,
+                     const std::function<bool(const std::vector<Item>&)>& holds,
+                     const std::string& what) {
+  if (holds(items)) return;
+  const ItemsPredicate fails = [&](const std::vector<Item>& v) {
+    return !holds(v);
+  };
+  testkit::ShrinkStats stats;
+  const std::vector<Item> minimal = shrink_items(items, fails, {}, &stats);
+  FAIL() << what << " violated; minimized from " << items.size() << " to "
+         << minimal.size() << " items (" << stats.predicate_calls
+         << " predicate calls):\n"
+         << describe(minimal);
+}
+
 // Parameter: (seed, num_items, eps).
 class CadpProperty
     : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
 
 TEST_P(CadpProperty, DominatesOptimalProfitWithinCapacitySlack) {
   const auto [seed, n, eps] = GetParam();
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7919);
+  util::Xoshiro256 rng =
+      make_stream(static_cast<std::uint64_t>(seed), "knapsack-cadp");
   const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
   const double capacity = util::uniform(rng, 4.0, 20.0);
 
-  const Selection opt = solve_bruteforce(items, capacity);
-  const Selection cadp = solve_cadp(items, capacity, eps);
-
   // Lemma 6.1: profit >= OPT and size <= (1 + eps) * capacity.
-  EXPECT_GE(cadp.total_profit + 1e-9, opt.total_profit)
-      << "n=" << n << " eps=" << eps << " cap=" << capacity;
-  EXPECT_LE(cadp.total_size, (1.0 + eps) * capacity + 1e-9);
+  const double e = eps;
+  expect_property(
+      items,
+      [capacity, e](const std::vector<Item>& v) {
+        const Selection opt = solve_bruteforce(v, capacity);
+        const Selection cadp = solve_cadp(v, capacity, e);
+        return cadp.total_profit + 1e-9 >= opt.total_profit &&
+               cadp.total_size <= (1.0 + e) * capacity + 1e-9;
+      },
+      "Lemma 6.1 (CADP)");
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -47,21 +104,49 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(1, 9), ::testing::Values(5, 10, 14),
                        ::testing::Values(0.1, 0.5, 0.9)));
 
+class CadpTieProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CadpTieProperty, StableOnEqualProfitTieGroups) {
+  util::Xoshiro256 rng = make_stream(
+      static_cast<std::uint64_t>(GetParam()), "knapsack-cadp-ties");
+  const auto items = tied_items(rng, 12);
+  const double capacity = util::uniform(rng, 4.0, 16.0);
+  expect_property(
+      items,
+      [capacity](const std::vector<Item>& v) {
+        const Selection opt = solve_bruteforce(v, capacity);
+        const Selection a = solve_cadp(v, capacity, 0.5);
+        const Selection b = solve_cadp(v, capacity, 0.5);
+        // Guarantee *and* determinism on fully degenerate inputs.
+        return a.total_profit + 1e-9 >= opt.total_profit &&
+               a.total_size <= 1.5 * capacity + 1e-9 && a.tags == b.tags;
+      },
+      "CADP on tie groups");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CadpTieProperty,
+                         ::testing::Range(1, 9));
+
 class GreedyProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
 };
 
 TEST_P(GreedyProperty, DominatesOptimalProfitWithinDoubleCapacity) {
   const auto [seed, n] = GetParam();
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 104729);
+  util::Xoshiro256 rng =
+      make_stream(static_cast<std::uint64_t>(seed), "knapsack-greedy");
   const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
   const double capacity = util::uniform(rng, 4.0, 20.0);
 
-  const Selection opt = solve_bruteforce(items, capacity);
-  const Selection greedy = solve_greedy_constraint(items, capacity);
-
   // Remark 1: profit >= OPT and size <= 2 * capacity.
-  EXPECT_GE(greedy.total_profit + 1e-9, opt.total_profit);
-  EXPECT_LE(greedy.total_size, 2.0 * capacity + 1e-9);
+  expect_property(
+      items,
+      [capacity](const std::vector<Item>& v) {
+        const Selection opt = solve_bruteforce(v, capacity);
+        const Selection greedy = solve_greedy_constraint(v, capacity);
+        return greedy.total_profit + 1e-9 >= opt.total_profit &&
+               greedy.total_size <= 2.0 * capacity + 1e-9;
+      },
+      "Remark 1 (greedy)");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyProperty,
@@ -73,15 +158,20 @@ class GreedyHalfProperty
 
 TEST_P(GreedyHalfProperty, HalfApproximationWithinCapacity) {
   const auto [seed, n] = GetParam();
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 1299709);
+  util::Xoshiro256 rng =
+      make_stream(static_cast<std::uint64_t>(seed), "knapsack-greedy-half");
   const auto items = random_items(rng, static_cast<std::size_t>(n), 8.0);
   const double capacity = util::uniform(rng, 4.0, 20.0);
 
-  const Selection opt = solve_bruteforce(items, capacity);
-  const Selection half = solve_greedy_half(items, capacity);
-
-  EXPECT_LE(half.total_size, capacity + 1e-9);
-  EXPECT_GE(half.total_profit + 1e-9, 0.5 * opt.total_profit);
+  expect_property(
+      items,
+      [capacity](const std::vector<Item>& v) {
+        const Selection opt = solve_bruteforce(v, capacity);
+        const Selection half = solve_greedy_half(v, capacity);
+        return half.total_size <= capacity + 1e-9 &&
+               half.total_profit + 1e-9 >= 0.5 * opt.total_profit;
+      },
+      "half-approximation");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyHalfProperty,
@@ -91,7 +181,8 @@ INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyHalfProperty,
 class ExactDpProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExactDpProperty, MatchesBruteForceOnIntegerInstances) {
-  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  util::Xoshiro256 rng = make_stream(
+      static_cast<std::uint64_t>(GetParam()), "knapsack-exact-dp");
   std::vector<Item> items;
   const std::size_t n = 4 + util::uniform_index(rng, 10);
   for (std::size_t i = 0; i < n; ++i) {
@@ -100,17 +191,23 @@ TEST_P(ExactDpProperty, MatchesBruteForceOnIntegerInstances) {
                      static_cast<std::int32_t>(i)});
   }
   const std::int64_t capacity = util::uniform_int(rng, 5, 40);
-  const Selection dp = solve_exact_dp(items, capacity);
-  const Selection bf = solve_bruteforce(items, static_cast<double>(capacity));
-  EXPECT_NEAR(dp.total_profit, bf.total_profit, 1e-9);
-  EXPECT_LE(dp.total_size, static_cast<double>(capacity));
+  expect_property(
+      items,
+      [capacity](const std::vector<Item>& v) {
+        const Selection dp = solve_exact_dp(v, capacity);
+        const Selection bf =
+            solve_bruteforce(v, static_cast<double>(capacity));
+        return std::abs(dp.total_profit - bf.total_profit) <= 1e-9 &&
+               dp.total_size <= static_cast<double>(capacity);
+      },
+      "exact DP vs brute force");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, ExactDpProperty,
                          ::testing::Range(1, 25));
 
 TEST(SelectionConsistencyTest, TotalsMatchSelectedTags) {
-  util::Xoshiro256 rng(2024);
+  util::Xoshiro256 rng = make_stream(2024, "knapsack-consistency");
   const auto items = random_items(rng, 12, 6.0);
   const Selection s = solve_cadp(items, 15.0, 0.4);
   double size = 0.0, profit = 0.0;

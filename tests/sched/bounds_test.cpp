@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "core/metrics.hpp"
 #include "exp/runner.hpp"
 #include "sched/optimal.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/streams.hpp"
 #include "trace/generator.hpp"
 #include "util/rng.hpp"
 
@@ -59,6 +63,48 @@ TEST(FluidBoundTest, WsptOrdersByWeightOverSize) {
   EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(inst), 23.0);
 }
 
+TEST(FluidBoundTest, AwctIsTwctOverJobCount) {
+  // 8 full-demand unit jobs on one machine: TWCT bound 36 -> AWCT 4.5.
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 8; ++i) b.add(0.0, 1.0, 1.0, {1.0});
+  const Instance inst = b.build();
+  EXPECT_DOUBLE_EQ(awct_fluid_lower_bound(inst), 4.5);
+  EXPECT_DOUBLE_EQ(awct_fluid_lower_bound(inst),
+                   twct_fluid_lower_bound(inst) / 8.0);
+}
+
+TEST(FluidBoundTest, TrivialTermWinsUnderLateReleases) {
+  // Fluid relaxation drops release dates, so a late heavy job must be
+  // caught by the trivial sum: w (r + p) = 3 * (40 + 2) = 126 dominates
+  // the fluid WSPT value of w * q = 3 * 1 = 3.
+  const Instance inst =
+      InstanceBuilder(1, 1).add(40.0, 2.0, 3.0, {0.5}).build();
+  EXPECT_DOUBLE_EQ(twct_fluid_lower_bound(inst), 126.0);
+}
+
+TEST(MakespanBoundTest, VolumePinOnSaturatedMachine) {
+  // 1 machine, 1 resource: V_I = 3 * 2 * 1 = 6, R*M = 1 -> volume bound 6
+  // dominates the per-job span max(r + p) = 2.
+  InstanceBuilder b(1, 1);
+  for (int i = 0; i < 3; ++i) b.add(0.0, 2.0, 1.0, {1.0});
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(b.build()), 6.0);
+}
+
+TEST(MakespanBoundTest, PerJobSpanWinsForLateRelease) {
+  // A single tiny-demand job released late: volume term 0.25, span 11.
+  const Instance inst =
+      InstanceBuilder(2, 1).add(10.0, 1.0, 1.0, {0.25}).build();
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(inst), 11.0);
+}
+
+TEST(MakespanBoundTest, VolumeAveragesOverResourcesAndMachines) {
+  // 4 jobs, p = 3, u_j = 1.5 -> V_I = 18; R*M = 4 -> volume bound 4.5
+  // beats the span bound of 3.
+  InstanceBuilder b(2, 2);
+  for (int i = 0; i < 4; ++i) b.add(0.0, 3.0, 1.0, {1.0, 0.5});
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(b.build()), 4.5);
+}
+
 class FluidBoundOracle : public ::testing::TestWithParam<int> {};
 
 TEST_P(FluidBoundOracle, NeverExceedsExactOptimum) {
@@ -81,6 +127,45 @@ TEST_P(FluidBoundOracle, NeverExceedsExactOptimum) {
 
 INSTANTIATE_TEST_SUITE_P(TinyInstances, FluidBoundOracle,
                          ::testing::Range(1, 30));
+
+// The random oracle above samples the comfortable interior of the instance
+// space; the testkit families concentrate on its edges (ulp-boundary
+// durations, near-capacity demands, tie storms).  N <= 8 keeps the
+// exhaustive optimal-schedule search tractable.
+class AdversarialBoundOracle
+    : public ::testing::TestWithParam<testkit::Family> {};
+
+TEST_P(AdversarialBoundOracle, BoundsNeverExceedExhaustiveOptimum) {
+  testkit::GenConfig config;
+  config.num_jobs = 6;
+  config.machines = 2;
+  for (std::uint64_t seed = 0; seed < testkit::fuzz_iters(3); ++seed) {
+    const Instance inst =
+        testkit::make_family_instance(GetParam(), config, seed);
+    ASSERT_LE(inst.num_jobs(), 8u);
+    const Schedule wct_opt = optimal_weighted_completion_schedule(inst);
+    const double opt_twct = total_weighted_completion_time(inst, wct_opt);
+    EXPECT_LE(twct_fluid_lower_bound(inst), opt_twct + 1e-9)
+        << testkit::family_name(GetParam()) << " seed " << seed;
+    EXPECT_LE(awct_fluid_lower_bound(inst),
+              opt_twct / static_cast<double>(inst.num_jobs()) + 1e-9)
+        << testkit::family_name(GetParam()) << " seed " << seed;
+    const Schedule mk_opt = optimal_makespan_schedule(inst);
+    EXPECT_LE(makespan_lower_bound(inst), makespan(inst, mk_opt) + 1e-9)
+        << testkit::family_name(GetParam()) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AdversarialBoundOracle,
+    ::testing::ValuesIn(testkit::all_families()),
+    [](const auto& info) {
+      std::string name = testkit::family_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 TEST(FluidBoundTest, BelowEverySchedulerAtTraceScale) {
   trace::GeneratorConfig cfg;

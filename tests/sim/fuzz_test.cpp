@@ -1,152 +1,77 @@
-// Randomized end-to-end invariants: a scheduler making arbitrary (but
-// API-legal) choices — random machines, random future starts, random
-// deferrals — must always yield schedules the validator accepts, and the
-// engine must enforce the online rules regardless of scheduler behavior.
+// Randomized end-to-end invariants, driven by the testkit: adversarial
+// family instances (not just comfortable random ones) are run through the
+// engine-chaos, validator and fault-replay oracles, and any failure is
+// shrunk to a minimized, ready-to-commit corpus file in the testkit
+// artifacts directory (see src/testkit/oracles.hpp).
 #include <gtest/gtest.h>
 
-#include "core/metrics.hpp"
-#include "sched/pq.hpp"
-#include "sim/engine.hpp"
-#include "util/rng.hpp"
+#include <string>
 
-namespace mris {
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/streams.hpp"
+
+namespace mris::testkit {
 namespace {
 
-/// Commits jobs at random feasible placements; defers some to wakeups.
-class ChaoticScheduler : public OnlineScheduler {
- public:
-  explicit ChaoticScheduler(std::uint64_t seed) : rng_(seed) {}
-
-  std::string name() const override { return "chaotic"; }
-
-  void on_arrival(EngineContext& ctx, JobId job) override {
-    if (util::uniform01(rng_) < 0.5) {
-      commit_randomly(ctx, job);
-    } else {
-      ctx.schedule_wakeup(ctx.now() + util::uniform(rng_, 0.1, 3.0));
+/// Runs one oracle over every adversarial family, shrinking and archiving
+/// the first counterexample instead of just printing coordinates.
+void fuzz_oracle(const std::string& oracle, const std::string& scheduler,
+                 std::size_t seeds, const Params& params = {}) {
+  const OracleCatalog catalog = OracleCatalog::standard();
+  for (Family family : all_families()) {
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      GenConfig config;
+      config.num_jobs = 24;
+      const Instance inst = make_family_instance(family, config, seed);
+      const CheckReport report =
+          check_and_minimize(catalog, oracle, inst, scheduler, params);
+      EXPECT_TRUE(report.ok)
+          << family_name(family) << " seed " << seed << ": " << report.message;
     }
   }
-
-  void on_wakeup(EngineContext& ctx) override {
-    // Guarantee progress: place everything still pending.
-    const std::vector<JobId> pending = ctx.pending();
-    for (JobId id : pending) commit_randomly(ctx, id);
-  }
-
- private:
-  void commit_randomly(EngineContext& ctx, JobId id) {
-    // Random machine, random delay before the earliest feasible start.
-    const auto machine = static_cast<MachineId>(
-        util::uniform_index(rng_, static_cast<std::uint64_t>(ctx.num_machines())));
-    const Time not_before = ctx.now() + util::uniform(rng_, 0.0, 4.0);
-    const Time start = ctx.earliest_fit_on(id, machine, not_before);
-    ctx.commit(id, machine, start);
-  }
-
-  util::Xoshiro256 rng_;
-};
-
-Instance random_instance(std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  const int machines = 1 + static_cast<int>(util::uniform_index(rng, 4));
-  const int resources = 1 + static_cast<int>(util::uniform_index(rng, 5));
-  InstanceBuilder b(machines, resources);
-  const std::size_t n = 5 + util::uniform_index(rng, 60);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<double> d(static_cast<std::size_t>(resources), 0.0);
-    // Mix of narrow and near-full jobs, some zero in several dimensions.
-    for (double& x : d) {
-      x = util::uniform01(rng) < 0.3 ? 0.0 : util::uniform(rng, 0.01, 1.0);
-    }
-    if (std::all_of(d.begin(), d.end(), [](double x) { return x == 0.0; })) {
-      d[0] = 0.5;
-    }
-    b.add(util::uniform(rng, 0.0, 25.0), util::uniform(rng, 1.0, 9.0),
-          util::uniform(rng, 0.25, 4.0), std::move(d));
-  }
-  return b.build();
 }
 
-/// Trivial objective lower bound (kept local to avoid a sched dependency).
-double trivial_twct_bound(const Instance& inst) {
-  double bound = 0.0;
-  for (const Job& j : inst.jobs()) {
-    bound += j.weight * (j.release + j.processing);
+TEST(EngineFuzz, ChaoticSchedulerAlwaysYieldsFeasibleSchedules) {
+  // The engine must enforce the online rules no matter what an API-legal
+  // scheduler does; every family gets its own chaos seeds.
+  Params params;
+  for (std::uint64_t chaos = 0; chaos < fuzz_iters(4); ++chaos) {
+    params["chaos_seed"] = std::to_string(16807 + chaos);
+    fuzz_oracle("engine-chaos", "mris", fuzz_iters(3), params);
   }
-  return bound;
 }
 
-class EngineFuzz : public ::testing::TestWithParam<int> {};
-
-TEST_P(EngineFuzz, ChaoticSchedulerAlwaysYieldsFeasibleSchedules) {
-  const auto seed = static_cast<std::uint64_t>(GetParam());
-  const Instance inst = random_instance(seed * 48271);
-  ChaoticScheduler sched(seed * 16807);
-  const RunResult r = run_online(inst, sched);
-
-  const ValidationResult valid = validate_schedule(inst, r.schedule);
-  EXPECT_TRUE(valid.ok) << valid.message;
-
-  // Engine invariants, independent of scheduler behavior.
-  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
-    const auto id = static_cast<JobId>(i);
-    EXPECT_GE(r.schedule.start_time(id), inst.job(id).release);
-  }
-  EXPECT_GE(makespan(inst, r.schedule),
-            inst.max_processing());  // someone must run that long
-  EXPECT_GE(total_weighted_completion_time(inst, r.schedule),
-            trivial_twct_bound(inst) - 1e-9);
+TEST(FaultFuzz, SameSeedReplaysByteIdentically) {
+  // A seeded faulty run must replay byte-identically: the plan is
+  // materialized up front and failure draws are counter-based, so nothing
+  // may depend on wall clock or iteration order.
+  Params params;
+  params["mtbf"] = "15";
+  params["mttr"] = "2";
+  params["straggler_prob"] = "0.2";
+  params["stretch_hi"] = "2.5";
+  params["failure_prob"] = "0.1";
+  params["retry_backoff"] = "0.5";
+  fuzz_oracle("fault-replay-determinism", "pq-wsjf", fuzz_iters(3), params);
 }
 
-INSTANTIATE_TEST_SUITE_P(ManySeeds, EngineFuzz, ::testing::Range(1, 40));
-
-// A fixed seed must replay a faulty run byte-identically: same schedule,
-// same attempt history, same event count — the fault plan is materialized
-// up front and failure draws are counter-based, so nothing depends on
-// wall-clock or iteration order.
-class FaultFuzz : public ::testing::TestWithParam<int> {};
-
-TEST_P(FaultFuzz, SameSeedReplaysByteIdentically) {
-  const auto seed = static_cast<std::uint64_t>(GetParam());
-  const Instance inst = random_instance(seed * 48271);
-
-  FaultSpec spec;
-  spec.mtbf = 15.0;
-  spec.mttr = 2.0;
-  spec.straggler_prob = 0.2;
-  spec.stretch_hi = 2.5;
-  spec.failure_prob = 0.1;
-  spec.retry_backoff = 0.5;
-  const FaultPlan plan = make_fault_plan(spec, inst, seed * 977);
-
-  RunOptions opts;
-  opts.faults = &plan;
-  PriorityQueueScheduler s1, s2;
-  const RunResult a = run_online(inst, s1, opts);
-  const RunResult b = run_online(inst, s2, opts);
-
-  EXPECT_EQ(a.num_events, b.num_events);
-  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
-    const auto id = static_cast<JobId>(i);
-    EXPECT_EQ(a.schedule.assignment(id).machine,
-              b.schedule.assignment(id).machine);
-    EXPECT_EQ(a.schedule.start_time(id), b.schedule.start_time(id));
+TEST(FaultFuzz, FaultyRunsValidateAcrossTheLineup) {
+  for (const char* scheduler : {"pq-wsjf", "mris", "tetris"}) {
+    fuzz_oracle("validator-clean-faults", scheduler, fuzz_iters(2));
   }
-  ASSERT_EQ(a.attempts.size(), b.attempts.size());
-  for (std::size_t i = 0; i < a.attempts.size(); ++i) {
-    EXPECT_EQ(a.attempts[i].job, b.attempts[i].job);
-    EXPECT_EQ(a.attempts[i].machine, b.attempts[i].machine);
-    EXPECT_EQ(a.attempts[i].start, b.attempts[i].start);
-    EXPECT_EQ(a.attempts[i].end, b.attempts[i].end);
-    EXPECT_EQ(a.attempts[i].outcome, b.attempts[i].outcome);
-  }
-
-  const ValidationResult valid =
-      validate_fault_run(inst, plan, a.attempts, a.schedule);
-  EXPECT_TRUE(valid.ok) << valid.message;
 }
 
-INSTANTIATE_TEST_SUITE_P(ManySeeds, FaultFuzz, ::testing::Range(1, 12));
+TEST(FaultFuzz, CheckpointedFaultyRunsValidate) {
+  Params params;
+  params["mtbf"] = "20";
+  params["mttr"] = "4";
+  params["failure_prob"] = "0.08";
+  params["checkpoint"] = "periodic:3:0.5";
+  fuzz_oracle("validator-clean-faults", "pq-wsjf", fuzz_iters(2), params);
+  params["checkpoint"] = "fraction:0.25:0.5";
+  fuzz_oracle("validator-clean-faults", "mris", fuzz_iters(2), params);
+}
 
 }  // namespace
-}  // namespace mris
+}  // namespace mris::testkit

@@ -1,0 +1,147 @@
+// The corpus format: bit-exact double round-trips (ulp pins must survive
+// serialization), line-numbered parse errors, deterministic listing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "testkit/corpus.hpp"
+
+namespace mris::testkit {
+namespace {
+
+CorpusEntry sample_entry() {
+  CorpusEntry entry;
+  entry.name = "sample";
+  entry.oracle = "validator-clean";
+  entry.scheduler = "pq-wsjf";
+  entry.expect_failure = false;
+  entry.params["mtbf"] = "250";
+  entry.params["slack"] = "2.5";
+  InstanceBuilder b(2, 3);
+  // Deliberately awkward doubles: full-mantissa values and one-ulp
+  // neighbors, the corpus's whole reason for %.17g.
+  b.add(260.16845444111948, 919.08771272130377 - 260.16845444111948,
+        1.0 / 3.0, {std::nextafter(0.5, 1.0), 0.0, 1.0 / 7.0});
+  b.add(0.0, std::nextafter(1.0, 2.0), 3.0, {0.25, 0.125, 0.0});
+  entry.instance = b.build();
+  return entry;
+}
+
+TEST(CorpusTest, RoundTripIsBitExact) {
+  const CorpusEntry entry = sample_entry();
+  std::stringstream buffer;
+  write_corpus(buffer, entry);
+  const CorpusEntry back = read_corpus(buffer, "<test>");
+
+  EXPECT_EQ(back.name, entry.name);
+  EXPECT_EQ(back.oracle, entry.oracle);
+  EXPECT_EQ(back.scheduler, entry.scheduler);
+  EXPECT_EQ(back.expect_failure, entry.expect_failure);
+  EXPECT_EQ(back.params, entry.params);
+  ASSERT_EQ(back.instance.num_jobs(), entry.instance.num_jobs());
+  EXPECT_EQ(back.instance.num_machines(), entry.instance.num_machines());
+  EXPECT_EQ(back.instance.num_resources(), entry.instance.num_resources());
+  for (std::size_t i = 0; i < entry.instance.num_jobs(); ++i) {
+    const Job& a = entry.instance.jobs()[i];
+    const Job& b2 = back.instance.jobs()[i];
+    // Bit-exact, not approximately equal: one ulp of drift would defang
+    // every ulp-boundary regression pin.
+    EXPECT_EQ(a.release, b2.release);
+    EXPECT_EQ(a.processing, b2.processing);
+    EXPECT_EQ(a.weight, b2.weight);
+    EXPECT_EQ(a.demand, b2.demand);
+  }
+}
+
+TEST(CorpusTest, FileRoundTripAndListing) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mris_corpus_test").string();
+  std::filesystem::remove_all(dir);
+  CorpusEntry entry = sample_entry();
+  write_corpus_file(dir + "/b_second.corpus", entry);
+  write_corpus_file(dir + "/a_first.corpus", entry);
+  std::ofstream(dir + "/notes.txt") << "ignored\n";
+
+  const auto files = list_corpus_files(dir);
+  ASSERT_EQ(files.size(), 2u);  // .txt filtered out
+  EXPECT_NE(files[0].find("a_first"), std::string::npos);
+  EXPECT_NE(files[1].find("b_second"), std::string::npos);
+
+  const CorpusEntry back = read_corpus_file(files[0]);
+  EXPECT_EQ(back.oracle, "validator-clean");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusTest, MissingDirectoryListsEmpty) {
+  EXPECT_TRUE(list_corpus_files("/no/such/dir/anywhere").empty());
+}
+
+TEST(CorpusTest, ParseErrorsCarryFileAndLine) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    std::stringstream in(text);
+    try {
+      read_corpus(in, "bad.corpus");
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("bad.corpus:"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("not the magic\n", "magic");
+  expect_error("# mris-testkit corpus v1\noracle: x\nmachines: 1\n"
+               "resources: 1\nexpect: maybe\njobs: 0\n",
+               "expect");
+  expect_error("# mris-testkit corpus v1\noracle: x\nmachines: 1\n"
+               "resources: 1\njobs: 1\n0,oops,1,0,0.5\n",
+               "not a number");
+  expect_error("# mris-testkit corpus v1\noracle: x\nmachines: 1\n"
+               "resources: 1\njobs: 2\n0,1,1,0,0.5\n",
+               "job rows");
+  expect_error("# mris-testkit corpus v1\noracle: x\nmachines: 1\n"
+               "resources: 2\njobs: 1\n0,1,1,0,0.5\n",
+               "fields");
+  expect_error("# mris-testkit corpus v1\nmystery: x\n", "unknown");
+  expect_error("# mris-testkit corpus v1\noracle: x\n", "jobs");
+}
+
+TEST(CorpusTest, CommentsAndBlankLinesAreSkipped) {
+  std::stringstream in(
+      "# mris-testkit corpus v1\n"
+      "# a comment\n"
+      "\n"
+      "name: commented\n"
+      "oracle: validator-clean\n"
+      "machines: 1\n"
+      "resources: 1\n"
+      "jobs: 1\n"
+      "0,1,1,0,0.5\n");
+  const CorpusEntry entry = read_corpus(in, "<test>");
+  EXPECT_EQ(entry.name, "commented");
+  EXPECT_EQ(entry.instance.num_jobs(), 1u);
+  // Defaults when keys are omitted.
+  EXPECT_EQ(entry.scheduler, "mris");
+  EXPECT_FALSE(entry.expect_failure);
+}
+
+TEST(CorpusTest, ParamAccessors) {
+  Params params;
+  params["mtbf"] = "250";
+  params["slack"] = "2.5";
+  params["mode"] = "periodic:50:2";
+  EXPECT_EQ(param_double(params, "slack", 0.0), 2.5);
+  EXPECT_EQ(param_double(params, "absent", 7.0), 7.0);
+  EXPECT_EQ(param_int(params, "mtbf", 0), 250);
+  EXPECT_EQ(param_string(params, "mode", ""), "periodic:50:2");
+  EXPECT_EQ(param_string(params, "absent", "x"), "x");
+  EXPECT_THROW(param_double(params, "mode", 0.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mris::testkit

@@ -1,0 +1,115 @@
+// Tier-1 regression replay: every committed corpus entry under
+// tests/regressions/ is run through its recorded oracle and must meet its
+// recorded expectation.  `expect: pass` entries are pinned fixes (the PR 4
+// ulp-release tail, the faulty PQ-WSJF repro seed); `expect: fail` entries
+// prove the failure-capture pipeline itself still reproduces.
+//
+// Also closes the loop on the shrinker demo: check_and_minimize() on the
+// 50-job broken-fixture instance must regenerate, bit for bit, the
+// instance committed in shrinker_demo_triple_heavy.corpus.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+
+namespace mris::testkit {
+namespace {
+
+std::string regressions_dir() { return MRIS_REGRESSIONS_DIR; }
+
+TEST(RegressionReplayTest, EveryCommittedEntryMeetsItsExpectation) {
+  const std::vector<std::string> files = list_corpus_files(regressions_dir());
+  ASSERT_GE(files.size(), 4u) << "regression corpus went missing from "
+                              << regressions_dir();
+  const OracleCatalog catalog = OracleCatalog::with_fixtures();
+  for (const std::string& file : files) {
+    SCOPED_TRACE(file);
+    const CorpusEntry entry = read_corpus_file(file);
+    EXPECT_FALSE(entry.name.empty());
+    const OracleResult r = replay_corpus_entry(catalog, entry);
+    EXPECT_TRUE(r.ok) << r.message;
+  }
+}
+
+TEST(RegressionReplayTest, UlpReleaseTailEntryStillHasItsBite) {
+  // The pin only protects against the PR 4 bug class while the duration
+  // arithmetic actually misses the reservation breakpoint for its values.
+  const CorpusEntry entry =
+      read_corpus_file(regressions_dir() + "/ulp_release_tail.corpus");
+  ASSERT_EQ(entry.instance.num_jobs(), 1u);
+  const Job& job = entry.instance.jobs()[0];
+  const double end = job.release + job.processing;
+  const double kill = param_double(entry.params, "kill_time", 0.0);
+  ASSERT_GT(kill, job.release);
+  ASSERT_LT(kill, end);
+  EXPECT_NE(kill + (end - kill), end)
+      << "toolchain rounds the repro differently; regenerate the pin";
+}
+
+TEST(RegressionReplayTest, ShrinkerDemoIsReproducedByTheHarness) {
+  const CorpusEntry committed = read_corpus_file(
+      regressions_dir() + "/shrinker_demo_triple_heavy.corpus");
+  EXPECT_TRUE(committed.expect_failure);
+  ASSERT_LE(committed.instance.num_jobs(), 6u);
+
+  // Re-run the full capture pipeline from the original 50-job instance.
+  const OracleCatalog catalog = OracleCatalog::with_fixtures();
+  GenConfig config;
+  config.num_jobs = 50;
+  const Instance big =
+      make_family_instance(Family::kDominantResource, config, 0);
+  const CheckReport report =
+      check_and_minimize(catalog, "fixture-triple-heavy", big, "mris");
+  ASSERT_FALSE(report.ok);
+  ASSERT_FALSE(report.corpus_path.empty());
+  const CorpusEntry minimized = read_corpus_file(report.corpus_path);
+
+  ASSERT_EQ(minimized.instance.num_jobs(), committed.instance.num_jobs());
+  EXPECT_EQ(minimized.instance.num_machines(),
+            committed.instance.num_machines());
+  EXPECT_EQ(minimized.instance.num_resources(),
+            committed.instance.num_resources());
+  for (std::size_t i = 0; i < committed.instance.num_jobs(); ++i) {
+    const Job& a = committed.instance.jobs()[i];
+    const Job& b = minimized.instance.jobs()[i];
+    EXPECT_EQ(a.release, b.release);
+    EXPECT_EQ(a.processing, b.processing);
+    EXPECT_EQ(a.weight, b.weight);
+    EXPECT_EQ(a.demand, b.demand);
+  }
+}
+
+TEST(RegressionReplayTest, FreshFailureProducesAReadyToCommitArtifact) {
+  // End to end: a failing check emits a corpus file that replays as
+  // expect-fail without any hand editing.
+  const OracleCatalog catalog = OracleCatalog::with_fixtures();
+  GenConfig config;
+  config.num_jobs = 30;
+  const Instance big =
+      make_family_instance(Family::kDominantResource, config, 5);
+  const CheckReport report =
+      check_and_minimize(catalog, "fixture-triple-heavy", big, "mris");
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("minimized to"), std::string::npos);
+  const CorpusEntry entry = read_corpus_file(report.corpus_path);
+  EXPECT_TRUE(entry.expect_failure);
+  const OracleResult replay = replay_corpus_entry(catalog, entry);
+  EXPECT_TRUE(replay.ok) << replay.message;
+}
+
+TEST(RegressionReplayTest, PassingCheckEmitsNothing) {
+  const OracleCatalog catalog = OracleCatalog::standard();
+  GenConfig config;
+  config.num_jobs = 12;
+  const Instance inst = make_family_instance(Family::kMixed, config, 0);
+  const CheckReport report =
+      check_and_minimize(catalog, "validator-clean", inst, "mris");
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.corpus_path.empty());
+}
+
+}  // namespace
+}  // namespace mris::testkit

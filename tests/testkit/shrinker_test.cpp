@@ -1,0 +1,159 @@
+// The minimizing shrinker: greedy ddmin to a local minimum, deterministic
+// (pure function of instance + predicate), result always still failing.
+// Includes the PR's acceptance demo: a 50-job instance failing the
+// deliberately broken fixture oracle shrinks to <= 6 jobs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "knapsack/knapsack.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/shrinker.hpp"
+
+namespace mris::testkit {
+namespace {
+
+bool identical(const Instance& a, const Instance& b) {
+  if (a.num_jobs() != b.num_jobs() || a.num_machines() != b.num_machines() ||
+      a.num_resources() != b.num_resources()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.num_jobs(); ++i) {
+    const Job& x = a.jobs()[i];
+    const Job& y = b.jobs()[i];
+    if (x.release != y.release || x.processing != y.processing ||
+        x.weight != y.weight || x.demand != y.demand) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShrinkerTest, AcceptanceDemoFiftyJobsToAtMostSix) {
+  const OracleCatalog catalog = OracleCatalog::with_fixtures();
+  GenConfig config;
+  config.num_jobs = 50;
+  const Instance big =
+      make_family_instance(Family::kDominantResource, config, 0);
+  ASSERT_EQ(big.num_jobs(), 50u);
+
+  const InstancePredicate fails = [&](const Instance& inst) {
+    return !run_oracle(catalog, "fixture-triple-heavy", inst, "mris").ok;
+  };
+  ShrinkStats stats;
+  const Instance small = shrink_instance(big, fails, {}, &stats);
+  EXPECT_LE(small.num_jobs(), 6u);
+  EXPECT_EQ(small.num_jobs(), 3u);  // the fixture's exact minimum
+  EXPECT_TRUE(fails(small));
+  EXPECT_GT(stats.predicate_calls, 0u);
+  EXPECT_EQ(stats.jobs_removed, 47u);
+
+  // Deterministic: a second run reproduces the identical minimum.
+  ShrinkStats again_stats;
+  const Instance again = shrink_instance(big, fails, {}, &again_stats);
+  EXPECT_TRUE(identical(small, again));
+  EXPECT_EQ(stats.predicate_calls, again_stats.predicate_calls);
+}
+
+TEST(ShrinkerTest, ValuesSimplifyTowardCanonicalConstants) {
+  // A predicate that only cares about the job count lets every value pass
+  // simplify: releases to 0, weights to 1, processing to 1.
+  GenConfig config;
+  config.num_jobs = 12;
+  const Instance big = make_family_instance(Family::kMixed, config, 3);
+  const InstancePredicate fails = [](const Instance& inst) {
+    return inst.num_jobs() >= 2;
+  };
+  const Instance small = shrink_instance(big, fails, {}, nullptr);
+  ASSERT_EQ(small.num_jobs(), 2u);
+  for (const Job& j : small.jobs()) {
+    EXPECT_EQ(j.release, 0.0);
+    EXPECT_EQ(j.weight, 1.0);
+    EXPECT_EQ(j.processing, 1.0);
+  }
+}
+
+TEST(ShrinkerTest, DemandsSnapUpNeverDown) {
+  // Demands round *up* to {1/8, 1/4, 1/2, 1}: shrinking a demand could
+  // mask a capacity-edge failure, so the shrinker may only tighten.
+  InstanceBuilder b(1, 2);
+  for (int i = 0; i < 4; ++i) b.add(0.0, 1.0, 1.0, {0.3, 0.7});
+  const Instance start = b.build();
+  const InstancePredicate fails = [](const Instance& inst) {
+    return inst.num_jobs() >= 1;
+  };
+  const Instance small = shrink_instance(start, fails, {}, nullptr);
+  for (const Job& j : small.jobs()) {
+    for (double d : j.demand) {
+      if (d == 0.0) continue;  // fully dropped is allowed
+      EXPECT_TRUE(d == 0.125 || d == 0.25 || d == 0.5 || d == 1.0)
+          << "demand " << d << " not snapped to a canonical edge";
+    }
+  }
+}
+
+TEST(ShrinkerTest, PassingInstanceIsRejected) {
+  GenConfig config;
+  config.num_jobs = 4;
+  const Instance inst = make_family_instance(Family::kMixed, config, 0);
+  const InstancePredicate never = [](const Instance&) { return false; };
+  EXPECT_THROW(shrink_instance(inst, never, {}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ShrinkerTest, CrashingPredicateCountsAsFailing) {
+  GenConfig config;
+  config.num_jobs = 8;
+  const Instance inst = make_family_instance(Family::kMixed, config, 1);
+  // Throws whenever >= 2 jobs remain — the shrinker must treat the throw
+  // as "still failing" and ride it down to 2 jobs.
+  const InstancePredicate crashy = [](const Instance& candidate) -> bool {
+    if (candidate.num_jobs() >= 2) throw std::runtime_error("crash repro");
+    return false;
+  };
+  const Instance small = shrink_instance(inst, crashy, {}, nullptr);
+  EXPECT_EQ(small.num_jobs(), 2u);
+}
+
+TEST(ShrinkerTest, MachinesAndResourcesReduce) {
+  GenConfig config;
+  config.num_jobs = 20;
+  config.machines = 4;
+  config.resources = 5;
+  const Instance big = make_family_instance(Family::kMixed, config, 2);
+  const InstancePredicate fails = [](const Instance& inst) {
+    return inst.num_jobs() >= 1;
+  };
+  const Instance small = shrink_instance(big, fails, {}, nullptr);
+  EXPECT_EQ(small.num_machines(), 1);
+  EXPECT_EQ(small.num_resources(), 1);
+  EXPECT_EQ(small.num_jobs(), 1u);
+}
+
+TEST(ShrinkerTest, ItemsShrinkerMinimizesKnapsackInputs) {
+  std::vector<knapsack::Item> items;
+  for (int i = 0; i < 24; ++i) {
+    knapsack::Item item;
+    item.size = 1.0 + 0.37 * i;
+    item.profit = 2.0 + 0.11 * i;
+    item.tag = i;
+    items.push_back(item);
+  }
+  const ItemsPredicate fails = [](const std::vector<knapsack::Item>& v) {
+    return v.size() >= 3;
+  };
+  ShrinkStats stats;
+  const auto small = shrink_items(items, fails, {}, &stats);
+  ASSERT_EQ(small.size(), 3u);
+  for (const auto& item : small) {
+    EXPECT_EQ(item.size, 1.0);
+    EXPECT_EQ(item.profit, 1.0);
+  }
+  // Tags were renumbered to the minimized positions.
+  EXPECT_EQ(small[0].tag, 0);
+  EXPECT_EQ(small[2].tag, 2);
+}
+
+}  // namespace
+}  // namespace mris::testkit
