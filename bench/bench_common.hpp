@@ -84,6 +84,43 @@ inline std::string results_json_path(const std::string& bench_name) {
   return "results/BENCH_" + bench_name + ".json";
 }
 
+// Build provenance, baked in by bench/CMakeLists.txt at configure time.
+// Constant for a given build, so seeded double runs of one binary still
+// produce byte-identical JSON (the determinism CI job depends on that).
+#ifndef MRIS_BENCH_GIT_SHA
+#define MRIS_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef MRIS_BENCH_COMPILER
+#define MRIS_BENCH_COMPILER "unknown"
+#endif
+#ifndef MRIS_BENCH_FLAGS
+#define MRIS_BENCH_FLAGS ""
+#endif
+
+/// Escapes a string for embedding in a JSON double-quoted literal
+/// (compiler flags can contain quotes and backslashes).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Shortest round-trippable JSON number (matches the CSV convention).
 inline std::string json_num(double v) {
   char buf[64];
@@ -110,10 +147,11 @@ inline void json_array(std::FILE* f, const std::vector<double>& xs) {
   std::fputc(']', f);
 }
 
-/// Writes the per-bench JSON summary (schema 1): bench name, seed/reps/
-/// scale config, and the series as parallel x/y/ci arrays.  Deliberately
-/// carries NO wall-clock timings — seeded double runs must produce
-/// byte-identical files (the determinism CI job diffs them).
+/// Writes the per-bench JSON summary (schema 2): bench name, seed/reps/
+/// scale config, build provenance (git SHA, compiler, flags — fixed per
+/// build), and the series as parallel x/y/ci arrays.  Deliberately carries
+/// NO wall-clock timings — seeded double runs must produce byte-identical
+/// files (the determinism CI job diffs them).
 inline bool write_series_json(const std::string& path,
                               const std::string& bench_name,
                               const std::vector<exp::Series>& series) {
@@ -121,14 +159,19 @@ inline bool write_series_json(const std::string& path,
   if (f == nullptr) return false;
   std::fprintf(f,
                "{\n"
-               "  \"schema_version\": 1,\n"
+               "  \"schema_version\": 2,\n"
                "  \"bench\": \"%s\",\n"
                "  \"config\": {\"seed\": %llu, \"reps\": %zu, "
                "\"scale\": %s},\n"
+               "  \"provenance\": {\"git_sha\": \"%s\", "
+               "\"compiler\": \"%s\", \"flags\": \"%s\"},\n"
                "  \"series\": [\n",
                bench_name.c_str(),
                static_cast<unsigned long long>(util::bench_seed()),
-               util::bench_reps(), json_num(util::bench_scale()).c_str());
+               util::bench_reps(), json_num(util::bench_scale()).c_str(),
+               json_escape(MRIS_BENCH_GIT_SHA).c_str(),
+               json_escape(MRIS_BENCH_COMPILER).c_str(),
+               json_escape(MRIS_BENCH_FLAGS).c_str());
   for (std::size_t i = 0; i < series.size(); ++i) {
     const exp::Series& s = series[i];
     std::fprintf(f, "    {\"name\": \"%s\", \"x\": ", s.name.c_str());

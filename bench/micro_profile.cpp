@@ -326,12 +326,17 @@ int run() {
   if (f != nullptr) {
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 1,\n"
+                 "  \"schema_version\": 2,\n"
                  "  \"bench\": \"micro_profile\",\n"
                  "  \"config\": {\"seed\": %llu, \"scale\": %s},\n"
+                 "  \"provenance\": {\"git_sha\": \"%s\", "
+                 "\"compiler\": \"%s\", \"flags\": \"%s\"},\n"
                  "  \"workloads\": [\n",
                  static_cast<unsigned long long>(seed),
-                 json_num(util::bench_scale()).c_str());
+                 json_num(util::bench_scale()).c_str(),
+                 json_escape(MRIS_BENCH_GIT_SHA).c_str(),
+                 json_escape(MRIS_BENCH_COMPILER).c_str(),
+                 json_escape(MRIS_BENCH_FLAGS).c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const WorkloadResult& r = results[i];
       std::fprintf(f,

@@ -4,7 +4,7 @@
 Every figure bench writes `results/results_<bench>.csv` (columns
     series,x,y,ci95_half_width
 under the directory it ran in) plus a machine-readable
-`results/BENCH_<bench>.json` summary (schema_version 1: a `series` array
+`results/BENCH_<bench>.json` summary (schema_version 1/2: a `series` array
 of {name, x, y, ci95_half_width} objects; see bench/bench_common.hpp).
 This script turns one or more of either format into matplotlib figures
 (PNG next to each input file), shading the 95% confidence band where
@@ -51,10 +51,10 @@ def load_series_csv(path):
 
 
 def load_series_json(path):
-    """Loads a BENCH_<bench>.json summary (schema_version 1)."""
+    """Loads a BENCH_<bench>.json summary (schema_version 1 or 2)."""
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema_version") != 1:
+    if doc.get("schema_version") not in (1, 2):
         raise SystemExit(f"{path}: unsupported schema_version "
                          f"{doc.get('schema_version')!r}")
     if "series" not in doc:

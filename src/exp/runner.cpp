@@ -43,12 +43,14 @@ EvalResult metrics_from_attempts(const Instance& inst,
 }
 
 EvalResult evaluate_impl(const Instance& inst, const SchedulerSpec& spec,
-                         Schedule& schedule_out, const FaultPlan* faults) {
+                         Schedule& schedule_out, const FaultPlan* faults,
+                         const recovery::RecoveryOptions* recovery) {
   const std::unique_ptr<OnlineScheduler> scheduler =
       make_scheduler(spec, inst);
   RunOptions options;
   const bool faulty = faults != nullptr && !faults->empty();
   if (faulty) options.faults = faults;
+  options.recovery = recovery;
   RunResult run = run_online(inst, *scheduler, options);
 
   EvalResult r;
@@ -79,6 +81,7 @@ EvalResult evaluate_impl(const Instance& inst, const SchedulerSpec& spec,
     r.makespan = mris::makespan(inst, run.schedule);
     r.mean_delay = mean_queuing_delay(inst, run.schedule);
   }
+  r.recovery = run.recovery;
   schedule_out = std::move(run.schedule);
   return r;
 }
@@ -98,9 +101,10 @@ util::MeanCi mean_ci_over(const std::vector<double>& values,
 EvalResult evaluate_with_schedule(const Instance& inst,
                                   const SchedulerSpec& spec,
                                   Schedule& schedule_out,
-                                  const FaultPlan* faults) {
+                                  const FaultPlan* faults,
+                                  const recovery::RecoveryOptions* recovery) {
   try {
-    return evaluate_impl(inst, spec, schedule_out, faults);
+    return evaluate_impl(inst, spec, schedule_out, faults, recovery);
   } catch (const std::exception& e) {
     EvalResult r;
     r.num_jobs = inst.num_jobs();
@@ -111,9 +115,10 @@ EvalResult evaluate_with_schedule(const Instance& inst,
 }
 
 EvalResult evaluate(const Instance& inst, const SchedulerSpec& spec,
-                    const FaultPlan* faults) {
+                    const FaultPlan* faults,
+                    const recovery::RecoveryOptions* recovery) {
   Schedule ignored;
-  return evaluate_with_schedule(inst, spec, ignored, faults);
+  return evaluate_with_schedule(inst, spec, ignored, faults, recovery);
 }
 
 PointResult replicate(

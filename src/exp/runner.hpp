@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "exp/schedulers.hpp"
 #include "sim/faults.hpp"
+#include "sim/recovery/options.hpp"
 #include "util/stats.hpp"
 
 namespace mris::exp {
@@ -36,6 +37,10 @@ struct EvalResult {
   double salvaged_work = 0.0;        ///< volume recovered from checkpoints
   double goodput = 1.0;  ///< useful / (useful + wasted + overhead) work
 
+  /// Durability counters (all zero unless the run carried RecoveryOptions):
+  /// snapshots/journal volume, IO retries, degradation rungs, resume path.
+  recovery::RecoveryStats recovery;
+
   /// True when the run threw (scheduler exception or validation failure);
   /// all metric fields are then meaningless and `error` holds the cause.
   bool failed = false;
@@ -46,16 +51,19 @@ struct EvalResult {
 /// or validation failure is captured in the result (failed/error), never
 /// thrown, so one broken run cannot take down a replication batch.  With a
 /// non-null, non-empty `faults` plan the run goes through the engine's
-/// fault path and is checked with validate_fault_run().
+/// fault path and is checked with validate_fault_run().  A non-null
+/// `recovery` attaches the durability subsystem (snapshots + write-ahead
+/// journal, docs/RECOVERY.md) — including resume when it asks for it.
 EvalResult evaluate(const Instance& inst, const SchedulerSpec& spec,
-                    const FaultPlan* faults = nullptr);
+                    const FaultPlan* faults = nullptr,
+                    const recovery::RecoveryOptions* recovery = nullptr);
 
 /// Like evaluate() but also hands back the schedule (for CDFs / Gantt).
 /// On failure the schedule is left untouched.
-EvalResult evaluate_with_schedule(const Instance& inst,
-                                  const SchedulerSpec& spec,
-                                  Schedule& schedule_out,
-                                  const FaultPlan* faults = nullptr);
+EvalResult evaluate_with_schedule(
+    const Instance& inst, const SchedulerSpec& spec, Schedule& schedule_out,
+    const FaultPlan* faults = nullptr,
+    const recovery::RecoveryOptions* recovery = nullptr);
 
 /// Aggregated metrics of one (scheduler, parameter) data point.  Means are
 /// taken over successful runs only; failed_runs counts the rest.

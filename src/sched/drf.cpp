@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/recovery/state_io.hpp"
+
 #include "sched/pq.hpp"
 
 namespace mris {
@@ -108,6 +110,34 @@ void DrfScheduler::allocate(EngineContext& ctx) {
       alloc[l] += j.demand[l] / m;
       machine_avail[l] = std::max(0.0, machine_avail[l] - j.demand[l]);
     }
+  }
+}
+
+void DrfScheduler::save_state(recovery::StateWriter& w) const {
+  w.u64(allocated_.size());
+  for (const auto& [tenant, alloc] : allocated_) {
+    w.i32(tenant);
+    w.vec_f64(alloc);
+  }
+  w.u64(charged_.size());
+  for (const auto& [job, tenant] : charged_) {
+    w.i32(job);
+    w.i32(tenant);
+  }
+}
+
+void DrfScheduler::restore_state(recovery::StateReader& r) {
+  allocated_.clear();
+  charged_.clear();
+  const std::uint64_t tenants = r.u64();
+  for (std::uint64_t i = 0; i < tenants; ++i) {
+    const TenantId tenant = r.i32();
+    allocated_[tenant] = r.vec_f64();
+  }
+  const std::uint64_t charges = r.u64();
+  for (std::uint64_t i = 0; i < charges; ++i) {
+    const JobId job = r.i32();
+    charged_[job] = r.i32();
   }
 }
 

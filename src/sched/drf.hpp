@@ -30,6 +30,11 @@ class DrfScheduler : public OnlineScheduler {
   /// Dominant share of a tenant right now (0 when nothing allocated).
   double dominant_share(TenantId tenant) const;
 
+  // Durability hooks (docs/RECOVERY.md): per-tenant allocations and the
+  // job->tenant charge map, both std::map so iteration order is stable.
+  void save_state(recovery::StateWriter& w) const override;
+  void restore_state(recovery::StateReader& r) override;
+
  private:
   void allocate(EngineContext& ctx);
 

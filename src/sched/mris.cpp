@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/recovery/state_io.hpp"
+
 #include "sched/pq.hpp"
 
 namespace mris {
@@ -122,6 +124,26 @@ void MrisScheduler::on_wakeup(EngineContext& ctx) {
   } else {
     armed_ = false;
   }
+}
+
+void MrisScheduler::save_state(recovery::StateWriter& w) const {
+  w.u64(stats_.iterations);
+  w.u64(stats_.knapsack_items);
+  w.u64(stats_.jobs_scheduled);
+  w.f64(stats_.max_interval_volume);
+  w.u64(k_);
+  w.u8(armed_ ? 1 : 0);
+  w.f64(frontier_);
+}
+
+void MrisScheduler::restore_state(recovery::StateReader& r) {
+  stats_.iterations = r.u64();
+  stats_.knapsack_items = r.u64();
+  stats_.jobs_scheduled = r.u64();
+  stats_.max_interval_volume = r.f64();
+  k_ = r.u64();
+  armed_ = r.u8() != 0;
+  frontier_ = r.f64();
 }
 
 }  // namespace mris

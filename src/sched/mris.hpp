@@ -79,6 +79,13 @@ class MrisScheduler : public OnlineScheduler {
   const MrisConfig& config() const noexcept { return config_; }
   const MrisStats& stats() const noexcept { return stats_; }
 
+  // Durability hooks (docs/RECOVERY.md).  Serialized: stats_, k_, armed_,
+  // frontier_.  Not serialized: config_ (reconstructed by the factory),
+  // gammas_ (pure std::pow memo), and the per-wakeup scratch vectors
+  // (cleared at the top of every wakeup).  Hybrid inherits these.
+  void save_state(recovery::StateWriter& w) const override;
+  void restore_state(recovery::StateReader& r) override;
+
  private:
   /// gamma_k, memoized: std::pow is called once per distinct k ever needed
   /// (the arm() catch-up loop and every wakeup re-query small k values).

@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "sim/recovery/state_io.hpp"
+
 namespace mris {
 
 bool fits_available(const std::vector<double>& available,
@@ -143,6 +145,14 @@ Time offline_pq_schedule_eventscan(
     t = next;
   }
   return makespan;
+}
+
+void PriorityQueueScheduler::save_state(recovery::StateWriter& w) const {
+  w.vec_i32(queue_);
+}
+
+void PriorityQueueScheduler::restore_state(recovery::StateReader& r) {
+  queue_ = r.vec_i32();
 }
 
 }  // namespace mris

@@ -28,6 +28,11 @@ class PriorityQueueScheduler : public OnlineScheduler {
   void on_completion(EngineContext& ctx, JobId job, MachineId machine) override;
   void on_machine_up(EngineContext& ctx, MachineId machine) override;
 
+  // Durability hooks (docs/RECOVERY.md): the sorted pending queue is the
+  // only mutable state; CA-PQ adds nothing mutable and inherits these.
+  void save_state(recovery::StateWriter& w) const override;
+  void restore_state(recovery::StateReader& r) override;
+
  protected:
   /// Scans the heuristic-ordered queue and greedily starts every job that
   /// fits right now.  Shared with CA-PQ.

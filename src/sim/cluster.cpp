@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/recovery/state_io.hpp"
+
 namespace mris {
 
 Cluster::Cluster(int num_machines, int num_resources)
@@ -116,4 +118,14 @@ Time Cluster::horizon() const {
   return h;
 }
 
+
+void Cluster::save_state(recovery::StateWriter& w) const {
+  for (const ResourceProfile& m : machines_) m.save_state(w);
+}
+
+void Cluster::restore_state(recovery::StateReader& r) {
+  for (ResourceProfile& m : machines_) m.restore_state(r);
+}
+
 }  // namespace mris
+

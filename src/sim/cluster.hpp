@@ -85,6 +85,12 @@ class Cluster {
   /// used by the no-backfilling MRIS ablation.
   Time horizon() const;
 
+  /// Serializes every machine's timeline into an engine snapshot
+  /// (docs/RECOVERY.md).  The machine count and resource count are run
+  /// constants covered by the snapshot fingerprint, not serialized here.
+  void save_state(recovery::StateWriter& w) const;
+  void restore_state(recovery::StateReader& r);
+
  private:
   int num_resources_;
   std::vector<ResourceProfile> machines_;

@@ -1,11 +1,18 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
+#include "sim/faults/crash.hpp"
+#include "sim/recovery/journal.hpp"
+#include "sim/recovery/snapshot.hpp"
+#include "sim/recovery/state_io.hpp"
 #include "util/contracts.hpp"
 
 namespace mris {
@@ -41,6 +48,58 @@ struct EventLater {
     return a.seq > b.seq;
   }
 };
+
+/// Read-only access to a priority_queue's underlying array, in heap (not
+/// sorted) order.  EventLater is a strict total order — (t, kind, seq) with
+/// seq unique — so the pop sequence, the only thing the engine observes, is
+/// the same no matter how the heap happens to be laid out.  Snapshots
+/// serialize the raw array instead of draining a copied queue, which was
+/// O(Q log Q) sift-downs per snapshot and dominated durability overhead.
+struct QueuePeek : std::priority_queue<Event, std::vector<Event>, EventLater> {
+  static const std::vector<Event>& container(
+      const std::priority_queue<Event, std::vector<Event>, EventLater>& q) {
+    return q.*&QueuePeek::c;
+  }
+};
+
+// Little-endian field stores for stack-staged snapshot records (same wire
+// format as StateWriter::u32/u64/f64).
+void put_u32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+void put_u64(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+void put_f64(char* p, double v) { put_u64(p, std::bit_cast<std::uint64_t>(v)); }
+
+/// The EventRecord a popped internal event will be logged/journaled as.
+EventRecord to_record(const Event& e, Time now) {
+  EventRecord rec;
+  rec.t = now;
+  rec.job = e.job;
+  rec.machine = e.machine;
+  switch (e.kind) {
+    case EventKind::kArrival:
+      rec.kind = EventRecord::Kind::kArrival;
+      break;
+    case EventKind::kCompletion:
+      rec.kind = EventRecord::Kind::kCompletion;
+      break;
+    case EventKind::kWakeup:
+      rec.kind = EventRecord::Kind::kWakeup;
+      break;
+    case EventKind::kMachineDown:
+      rec.kind = EventRecord::Kind::kMachineDown;
+      break;
+    case EventKind::kMachineUp:
+      rec.kind = EventRecord::Kind::kMachineUp;
+      break;
+    case EventKind::kRetryReady:
+      rec.kind = EventRecord::Kind::kRetryReady;
+      break;
+  }
+  return rec;
+}
 
 class Engine final : public EngineContext {
  public:
@@ -237,9 +296,7 @@ class Engine final : public EngineContext {
     schedule_.assign(id, m, start);
     MRIS_ENSURE(schedule_.assignment(id).assigned(),
                 "commit must leave the job assigned in the schedule");
-    if (options_.record_events) {
-      log_.push_back({EventRecord::Kind::kCommit, now_, id, m, start});
-    }
+    record({EventRecord::Kind::kCommit, now_, id, m, start});
     committed_[static_cast<std::size_t>(id)] = true;
     pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
                    pending_.end());
@@ -279,9 +336,7 @@ class Engine final : public EngineContext {
     }
     gate_[i] = gate;
     pending_.push_back(id);
-    if (options_.record_events) {
-      log_.push_back({EventRecord::Kind::kRequeue, now_, id, lost_machine, 0.0});
-    }
+    record({EventRecord::Kind::kRequeue, now_, id, lost_machine, 0.0});
     if (gate > now_ + 1e-12) {
       push({gate, EventKind::kRetryReady, seq_++, id, lost_machine});
     }
@@ -289,6 +344,441 @@ class Engine final : public EngineContext {
 
   bool gated(JobId id) const {
     return gate_[static_cast<std::size_t>(id)] > now_ + 1e-12;
+  }
+
+  // Durability subsystem (docs/RECOVERY.md) -----------------------------
+
+  /// Funnels every emitted EventRecord through the durability layer: into
+  /// the event log (when recording), verified against the journal tail
+  /// (while resuming), or appended to the journal (once past the tail).
+  /// The journal is the authoritative record stream — a resumed run that
+  /// re-derives a different record than the journal holds is corrupt or
+  /// nondeterministic, and aborts loudly rather than completing wrong.
+  void record(const EventRecord& rec) {
+    if (options_.record_events) log_.push_back(rec);
+    if (rec_ == nullptr) return;
+    if (verify_pos_ < verify_tail_.size()) {
+      if (recovery::encode_event_record(rec) !=
+          recovery::encode_event_record(verify_tail_[verify_pos_])) {
+        throw std::runtime_error(
+            "recovery: resumed run diverged from the journal at record " +
+            std::to_string(records_emitted_) + " (re-derived " +
+            event_kind_name(rec.kind) + ", journal holds " +
+            event_kind_name(verify_tail_[verify_pos_].kind) +
+            "); the state is corrupt or the run is nondeterministic");
+      }
+      ++verify_pos_;
+    } else if (journal_ != nullptr) {
+      journal_->append(rec);
+    }
+    ++records_emitted_;
+  }
+
+  /// Everything that identifies a run: instance, scheduler, fault plan,
+  /// and the record_events flag (it changes the snapshot payload).  A
+  /// snapshot or journal written under a different fingerprint refuses to
+  /// resume — recovering state into the wrong run would silently corrupt
+  /// results.
+  std::uint64_t compute_fingerprint() const {
+    recovery::Fingerprint fp;
+    fp.mix(std::string_view(scheduler_.name()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_machines()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_resources()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_jobs()));
+    for (const Job& j : inst_.jobs()) {
+      fp.mix(static_cast<std::uint64_t>(j.id));
+      fp.mix(j.release);
+      fp.mix(j.processing);
+      fp.mix(j.weight);
+      fp.mix(static_cast<std::uint64_t>(j.tenant));
+      for (double d : j.demand) fp.mix(d);
+    }
+    fp.mix(static_cast<std::uint64_t>(options_.record_events ? 1 : 0));
+    fp.mix(static_cast<std::uint64_t>(faults_ != nullptr ? 1 : 0));
+    if (faults_ != nullptr) {
+      fp.mix(static_cast<std::uint64_t>(faults_->outages.size()));
+      for (const OutageWindow& o : faults_->outages) {
+        fp.mix(static_cast<std::uint64_t>(o.machine));
+        fp.mix(o.down);
+        fp.mix(o.up);
+      }
+      fp.mix(static_cast<std::uint64_t>(faults_->stretch.size()));
+      for (double s : faults_->stretch) fp.mix(s);
+      fp.mix(faults_->failure_prob);
+      fp.mix(static_cast<std::uint64_t>(faults_->max_retries));
+      fp.mix(faults_->retry_backoff);
+      fp.mix(faults_->seed);
+      const CheckpointPolicy& cp = faults_->checkpoint;
+      fp.mix(static_cast<std::uint64_t>(cp.kind));
+      fp.mix(cp.interval);
+      fp.mix(cp.fraction);
+      fp.mix(cp.restore_overhead);
+      fp.mix(cp.jitter);
+      fp.mix(cp.seed);
+    }
+    return fp.value();
+  }
+
+  /// Serializes the complete engine state at an event boundary: clock,
+  /// event queue, job/scheduling flags, fault-recovery state, machine
+  /// timelines, the schedule, and the scheduler's own state.
+  void save_engine_state(recovery::StateWriter& w) const {
+    w.f64(now_);
+    w.u64(seq_);
+    w.u64(processed_);
+    w.u64(remaining_);
+    w.i32(completions_since_prune_);
+    const std::vector<Event>& heap = QueuePeek::container(queue_);
+    w.u64(heap.size());
+    // The queue is the largest block in a snapshot (a fault plan
+    // pre-schedules every outage event), so each event is staged in a
+    // stack buffer and appended in one call rather than six.
+    w.reserve(heap.size() * 33);
+    for (const Event& e : heap) {
+      char b[33];
+      put_f64(b + 0, e.t);
+      b[8] = static_cast<char>(e.kind);
+      put_u64(b + 9, e.seq);
+      put_u32(b + 17, static_cast<std::uint32_t>(e.job));
+      put_u32(b + 21, static_cast<std::uint32_t>(e.machine));
+      put_u64(b + 25, e.aux);
+      w.raw(b, sizeof b);
+    }
+    w.vec_i32(pending_);
+    w.vec_char(released_);
+    w.vec_char(committed_);
+    w.vec_f64(std::vector<double>(wakeups_.begin(), wakeups_.end()));
+    w.u8(options_.record_events ? 1 : 0);
+    if (options_.record_events) {
+      w.u64(log_.size());
+      for (const EventRecord& rec : log_) {
+        w.u8(static_cast<std::uint8_t>(rec.kind));
+        w.f64(rec.t);
+        w.i32(rec.job);
+        w.i32(rec.machine);
+        w.f64(rec.start);
+      }
+    }
+    w.u8(faults_ != nullptr ? 1 : 0);
+    if (faults_ != nullptr) {
+      w.u64(attempts_.size());
+      w.reserve(attempts_.size() * 49);
+      for (const Attempt& a : attempts_) {
+        char b[49];
+        put_u32(b + 0, static_cast<std::uint32_t>(a.job));
+        put_u32(b + 4, static_cast<std::uint32_t>(a.machine));
+        put_f64(b + 8, a.start);
+        put_f64(b + 16, a.end);
+        b[24] = static_cast<char>(a.outcome);
+        put_f64(b + 25, a.restore);
+        put_f64(b + 33, a.progress_in);
+        put_f64(b + 41, a.progress_out);
+        w.raw(b, sizeof b);
+      }
+      w.vec_i32(retries_);
+      w.vec_i32(injected_);
+      w.u64(residual_.size());
+      for (const ResidualWork& rw : residual_) {
+        w.f64(rw.done);
+        w.f64(rw.restore);
+      }
+      w.vec_f64(gate_);
+      w.vec_u64(epoch_);
+      w.vec_char(machine_down_flag_);
+      w.vec_f64(down_until_);
+      w.u64(live_.size());
+      for (const std::vector<LiveRes>& lv : live_) {
+        w.u64(lv.size());
+        for (const LiveRes& r : lv) {
+          w.i32(r.job);
+          w.f64(r.start);
+          w.f64(r.declared_end);
+          w.f64(r.occupied_end);
+          w.u8(r.extended ? 1 : 0);
+          w.f64(r.restore);
+          w.f64(r.work);
+          w.f64(r.progress_in);
+        }
+      }
+    }
+    cluster_.save_state(w);
+    w.u64(schedule_.num_jobs());
+    for (std::size_t i = 0; i < schedule_.num_jobs(); ++i) {
+      const Assignment& a = schedule_.assignment(static_cast<JobId>(i));
+      w.i32(a.machine);
+      w.f64(a.start);
+    }
+    recovery::StateWriter sw;
+    scheduler_.save_state(sw);
+    w.str(sw.data());
+  }
+
+  void restore_engine_state(recovery::StateReader& r) {
+    now_ = r.f64();
+    seq_ = r.u64();
+    processed_ = r.u64();
+    remaining_ = static_cast<std::size_t>(r.u64());
+    completions_since_prune_ = r.i32();
+    const std::uint64_t qn = r.u64();
+    queue_ = decltype(queue_)();
+    for (std::uint64_t i = 0; i < qn; ++i) {
+      Event e{};
+      e.t = r.f64();
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(EventKind::kRetryReady)) {
+        throw std::runtime_error("recovery: bad event kind in snapshot");
+      }
+      e.kind = static_cast<EventKind>(kind);
+      e.seq = r.u64();
+      e.job = r.i32();
+      e.machine = r.i32();
+      e.aux = r.u64();
+      queue_.push(e);
+    }
+    pending_ = r.vec_i32();
+    released_ = r.vec_char();
+    committed_ = r.vec_char();
+    if (released_.size() != inst_.num_jobs() ||
+        committed_.size() != inst_.num_jobs()) {
+      throw std::runtime_error("recovery: snapshot job count mismatch");
+    }
+    wakeups_.clear();
+    for (double t : r.vec_f64()) wakeups_.insert(t);
+    const bool had_log = r.u8() != 0;
+    if (had_log != options_.record_events) {
+      throw std::runtime_error(
+          "recovery: snapshot was taken with a different record_events "
+          "setting; refusing to resume");
+    }
+    if (had_log) {
+      const std::uint64_t n = r.u64();
+      log_.clear();
+      log_.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EventRecord rec;
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(EventRecord::Kind::kRetryReady)) {
+          throw std::runtime_error("recovery: bad record kind in snapshot");
+        }
+        rec.kind = static_cast<EventRecord::Kind>(kind);
+        rec.t = r.f64();
+        rec.job = r.i32();
+        rec.machine = r.i32();
+        rec.start = r.f64();
+        log_.push_back(rec);
+      }
+    }
+    const bool had_faults = r.u8() != 0;
+    if (had_faults != (faults_ != nullptr)) {
+      throw std::runtime_error(
+          "recovery: snapshot was taken under a different fault plan; "
+          "refusing to resume");
+    }
+    if (faults_ != nullptr) {
+      const std::uint64_t an = r.u64();
+      attempts_.clear();
+      attempts_.reserve(static_cast<std::size_t>(an));
+      for (std::uint64_t i = 0; i < an; ++i) {
+        Attempt a;
+        a.job = r.i32();
+        a.machine = r.i32();
+        a.start = r.f64();
+        a.end = r.f64();
+        const std::uint8_t outcome = r.u8();
+        if (outcome > static_cast<std::uint8_t>(Attempt::Outcome::kJobFailure)) {
+          throw std::runtime_error("recovery: bad attempt outcome in snapshot");
+        }
+        a.outcome = static_cast<Attempt::Outcome>(outcome);
+        a.restore = r.f64();
+        a.progress_in = r.f64();
+        a.progress_out = r.f64();
+        attempts_.push_back(a);
+      }
+      retries_ = r.vec_i32();
+      injected_ = r.vec_i32();
+      const std::uint64_t rn = r.u64();
+      if (rn != inst_.num_jobs() || retries_.size() != inst_.num_jobs() ||
+          injected_.size() != inst_.num_jobs()) {
+        throw std::runtime_error("recovery: snapshot job count mismatch");
+      }
+      residual_.assign(static_cast<std::size_t>(rn), ResidualWork{});
+      for (ResidualWork& rw : residual_) {
+        rw.done = r.f64();
+        rw.restore = r.f64();
+      }
+      gate_ = r.vec_f64();
+      epoch_ = r.vec_u64();
+      machine_down_flag_ = r.vec_char();
+      down_until_ = r.vec_f64();
+      const std::uint64_t mn = r.u64();
+      if (mn != static_cast<std::uint64_t>(inst_.num_machines())) {
+        throw std::runtime_error("recovery: snapshot machine count mismatch");
+      }
+      live_.assign(static_cast<std::size_t>(mn), {});
+      for (std::vector<LiveRes>& lv : live_) {
+        const std::uint64_t ln = r.u64();
+        lv.reserve(static_cast<std::size_t>(ln));
+        for (std::uint64_t i = 0; i < ln; ++i) {
+          LiveRes res{};
+          res.job = r.i32();
+          res.start = r.f64();
+          res.declared_end = r.f64();
+          res.occupied_end = r.f64();
+          res.extended = r.u8() != 0;
+          res.restore = r.f64();
+          res.work = r.f64();
+          res.progress_in = r.f64();
+          lv.push_back(res);
+        }
+      }
+      // The effective views are derived state: recompute them from the
+      // restored residuals exactly as set_progress() maintains them.
+      effective_ = inst_.jobs();
+      for (std::size_t i = 0; i < effective_.size(); ++i) {
+        effective_[i].processing =
+            residual_[i].effective_processing(inst_.jobs()[i]);
+      }
+    }
+    cluster_.restore_state(r);
+    const std::uint64_t sn = r.u64();
+    if (sn != inst_.num_jobs()) {
+      throw std::runtime_error("recovery: snapshot job count mismatch");
+    }
+    schedule_ = Schedule(inst_.num_jobs());
+    for (std::size_t i = 0; i < static_cast<std::size_t>(sn); ++i) {
+      const MachineId machine = r.i32();
+      const Time start = r.f64();
+      if (machine != kInvalidMachine) {
+        schedule_.assign(static_cast<JobId>(i), machine, start);
+      }
+    }
+    const std::string sched_bytes = r.str();
+    recovery::StateReader sr(sched_bytes);
+    scheduler_.restore_state(sr);
+    if (!sr.done()) {
+      throw std::runtime_error(
+          "recovery: scheduler '" + scheduler_.name() +
+          "' did not consume its serialized state (save/restore mismatch)");
+    }
+    if (!r.done()) {
+      throw std::runtime_error("recovery: trailing bytes in snapshot payload");
+    }
+  }
+
+  /// Initializes the durability layer; returns true when engine state was
+  /// restored from a snapshot (the caller then skips fresh-run seeding).
+  bool setup_recovery() {
+    rec_ = options_.recovery;
+    MRIS_EXPECT(!rec_->journal_path.empty() || !rec_->snapshot_path.empty(),
+                "RecoveryOptions needs a journal path or a snapshot path");
+    fingerprint_ = compute_fingerprint();
+    if (!rec_->snapshot_path.empty()) {
+      snapstore_ =
+          std::make_unique<recovery::SnapshotStore>(*rec_, &rec_stats_);
+    }
+    if (!rec_->journal_path.empty()) {
+      journal_ = std::make_unique<recovery::JournalWriter>(*rec_, &rec_stats_);
+    }
+
+    bool restored = false;
+    bool journal_reusable = false;
+    if (rec_->resume) {
+      recovery::JournalContents jr;
+      if (journal_ != nullptr) {
+        jr = recovery::read_journal(rec_->journal_path);
+        if (jr.ok && jr.fingerprint != fingerprint_) {
+          throw std::runtime_error(
+              "recovery: journal belongs to a different (instance, "
+              "scheduler, fault plan); refusing to resume");
+        }
+        if (jr.ok && jr.torn_bytes > 0) {
+          // Torn-record truncation rule: make the cut permanent before
+          // this run appends past it.
+          rec_stats_.journal_torn_bytes = jr.torn_bytes;
+          if (!recovery::truncate_journal(rec_->journal_path,
+                                          jr.valid_bytes)) {
+            throw std::runtime_error(
+                "recovery: cannot truncate torn journal tail");
+          }
+        }
+        journal_reusable = jr.ok;
+      }
+      recovery::SnapshotContents snap;
+      if (snapstore_ != nullptr) {
+        snap = recovery::read_snapshot(rec_->snapshot_path);
+        if (snap.ok && snap.meta.fingerprint != fingerprint_) {
+          throw std::runtime_error(
+              "recovery: snapshot belongs to a different (instance, "
+              "scheduler, fault plan); refusing to resume");
+        }
+      }
+      if (snap.ok) {
+        recovery::StateReader reader(snap.payload);
+        restore_engine_state(reader);
+        records_emitted_ = snap.meta.journal_records;
+        // The journal tail past the snapshot cut is re-derived by forward
+        // execution and cross-checked record by record.  A journal shorter
+        // than the cut (a crash lost an unsynced batch) just means less to
+        // verify — the records are re-derived and re-appended instead.
+        const std::size_t cut = static_cast<std::size_t>(
+            std::min<std::uint64_t>(snap.meta.journal_records,
+                                    jr.records.size()));
+        verify_tail_.assign(jr.records.begin() + static_cast<std::ptrdiff_t>(cut),
+                            jr.records.end());
+        rec_stats_.resumed_from_snapshot = true;
+        restored = true;
+      } else if (jr.ok) {
+        // Journal-only rung: deterministic re-execution from t=0, verified
+        // against the entire surviving journal.
+        verify_tail_ = std::move(jr.records);
+        rec_stats_.resumed_journal_only = true;
+      }
+    }
+    if (journal_ != nullptr) {
+      if (journal_reusable) {
+        journal_->open_append();
+      } else {
+        journal_->open_fresh(fingerprint_);
+      }
+    }
+    if (!rec_->resume && snapstore_ != nullptr) {
+      // Fresh-run hygiene: a stale snapshot from an earlier run must not
+      // survive to confuse a later resume.
+      std::remove(rec_->snapshot_path.c_str());
+    }
+    return restored;
+  }
+
+  /// Takes a snapshot when the cadence says one is due.  The journal is
+  /// synced first so the snapshot's cut is covered by durable records.
+  void maybe_snapshot(bool was_wakeup) {
+    if (snapstore_ == nullptr || snapstore_->dead()) return;
+    const bool due =
+        (rec_->snapshot_at_wakeups && was_wakeup) ||
+        (rec_->snapshot_every > 0 && processed_ % rec_->snapshot_every == 0);
+    if (!due) return;
+    if (journal_ != nullptr) journal_->sync();
+    recovery::SnapshotMeta meta;
+    meta.fingerprint = fingerprint_;
+    meta.events_processed = processed_;
+    meta.journal_records = records_emitted_;
+    meta.now = now_;
+    snap_writer_.clear();
+    save_engine_state(snap_writer_);
+    snapstore_->write(meta, snap_writer_.data());
+  }
+
+  /// Keeps the degradation-ladder flags current: snapshots failing with a
+  /// live journal is journal-only mode; losing the last configured
+  /// mechanism is in-memory mode.  Either way the run keeps scheduling.
+  void note_degradation() {
+    const bool snap_failed = snapstore_ != nullptr && snapstore_->dead();
+    const bool jrnl_alive = journal_ != nullptr && !journal_->dead();
+    const bool jrnl_failed = journal_ != nullptr && !jrnl_alive;
+    if (snap_failed && jrnl_alive) rec_stats_.degraded_journal_only = true;
+    if (jrnl_failed && (snapstore_ == nullptr || snap_failed)) {
+      rec_stats_.degraded_in_memory = true;
+    }
   }
 
   const Instance& inst_;
@@ -312,6 +802,18 @@ class Engine final : public EngineContext {
   std::vector<char> committed_;
   std::set<Time> wakeups_;
   std::size_t processed_ = 0;
+  std::size_t remaining_ = 0;  ///< jobs not yet completed
+
+  // Durability state (inert without RunOptions::recovery).
+  const recovery::RecoveryOptions* rec_ = nullptr;
+  recovery::RecoveryStats rec_stats_;
+  std::unique_ptr<recovery::JournalWriter> journal_;
+  std::unique_ptr<recovery::SnapshotStore> snapstore_;
+  recovery::StateWriter snap_writer_;  ///< reused buffer, capacity persists
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t records_emitted_ = 0;  ///< position in the record stream
+  std::vector<EventRecord> verify_tail_;  ///< journal records to re-derive
+  std::size_t verify_pos_ = 0;
 
   // Fault/recovery state (inert without a plan).
   const FaultPlan* faults_ = nullptr;
@@ -334,28 +836,38 @@ RunResult Engine::run() {
     options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
     if (!options_.faults->empty()) faults_ = options_.faults;
   }
-  // Materialize the effective-job views only when faults can actually fire;
-  // fault-free runs keep serving inst_ jobs untouched.
-  if (faults_) effective_ = inst_.jobs();
 
-  // Seed arrival events.
-  for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
-    const Job& j = inst_.jobs()[i];
-    push({j.release, EventKind::kArrival, seq_++, j.id});
-  }
-  // Seed crash/repair events.  Capacity is blocked only when a crash is
-  // *processed*, so calendars never leak future outages to schedulers.
-  if (faults_) {
-    for (std::size_t i = 0; i < faults_->outages.size(); ++i) {
-      const OutageWindow& o = faults_->outages[i];
-      push({o.down, EventKind::kMachineDown, seq_++, kInvalidJob, o.machine, i});
-      push({o.up, EventKind::kMachineUp, seq_++, kInvalidJob, o.machine, i});
+  // The durability layer may restore the whole engine (and scheduler) at a
+  // snapshot cut, in which case fresh-run seeding must not happen: the
+  // restored queue already holds the unprocessed events, and on_start has
+  // already run in the lost process.
+  bool restored = false;
+  if (options_.recovery != nullptr) restored = setup_recovery();
+
+  if (!restored) {
+    // Materialize the effective-job views only when faults can actually
+    // fire; fault-free runs keep serving inst_ jobs untouched.
+    if (faults_) effective_ = inst_.jobs();
+    remaining_ = inst_.num_jobs();
+
+    // Seed arrival events.
+    for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
+      const Job& j = inst_.jobs()[i];
+      push({j.release, EventKind::kArrival, seq_++, j.id});
     }
+    // Seed crash/repair events.  Capacity is blocked only when a crash is
+    // *processed*, so calendars never leak future outages to schedulers.
+    if (faults_) {
+      for (std::size_t i = 0; i < faults_->outages.size(); ++i) {
+        const OutageWindow& o = faults_->outages[i];
+        push({o.down, EventKind::kMachineDown, seq_++, kInvalidJob, o.machine, i});
+        push({o.up, EventKind::kMachineUp, seq_++, kInvalidJob, o.machine, i});
+      }
+    }
+
+    scheduler_.on_start(*this);
   }
 
-  scheduler_.on_start(*this);
-
-  std::size_t remaining = inst_.num_jobs();
   while (!queue_.empty()) {
     const Event e = queue_.top();
     queue_.pop();
@@ -406,33 +918,25 @@ RunResult Engine::run() {
         }
       }
     }
-    ++processed_;
-    if (options_.record_events) {
-      EventRecord rec;
-      rec.t = now_;
-      rec.job = e.job;
-      rec.machine = e.machine;
-      switch (e.kind) {
-        case EventKind::kArrival:
-          rec.kind = EventRecord::Kind::kArrival;
-          break;
-        case EventKind::kCompletion:
-          rec.kind = EventRecord::Kind::kCompletion;
-          break;
-        case EventKind::kWakeup:
-          rec.kind = EventRecord::Kind::kWakeup;
-          break;
-        case EventKind::kMachineDown:
-          rec.kind = EventRecord::Kind::kMachineDown;
-          break;
-        case EventKind::kMachineUp:
-          rec.kind = EventRecord::Kind::kMachineUp;
-          break;
-        case EventKind::kRetryReady:
-          rec.kind = EventRecord::Kind::kRetryReady;
-          break;
+    // Crash injection (tests only): a lethal event either dies mid-journal-
+    // write before any side effect (torn case), or runs to its boundary and
+    // dies there (below).  Stale-event skips above never count, so a crash
+    // point is the same event in the original and any resumed run.
+    const bool lethal = rec_ != nullptr && rec_->crash != nullptr &&
+                        rec_->crash->kill_after_events == processed_ + 1;
+    if (lethal && rec_->crash->torn_write_bytes > 0) {
+      if (journal_ != nullptr && verify_pos_ >= verify_tail_.size()) {
+        journal_->append_torn(to_record(e, now_),
+                              rec_->crash->torn_write_bytes);
       }
-      log_.push_back(rec);
+      throw EngineKilled(processed_);
+    }
+    ++processed_;
+    if (rec_ != nullptr && verify_pos_ < verify_tail_.size()) {
+      ++rec_stats_.resume_replayed_events;
+    }
+    if (options_.record_events || rec_ != nullptr) {
+      record(to_record(e, now_));
     }
     switch (e.kind) {
       case EventKind::kArrival:
@@ -474,10 +978,7 @@ RunResult Engine::run() {
                                  res.progress_in, salvage});
             set_progress(e.job, salvage);
             ++injected_[ji];
-            if (options_.record_events) {
-              log_.push_back(
-                  {EventRecord::Kind::kJobFailed, now_, e.job, e.machine, 0.0});
-            }
+            record({EventRecord::Kind::kJobFailed, now_, e.job, e.machine, 0.0});
             requeue(e.job, e.machine, /*count_retry=*/true);
             if (!gated(e.job)) scheduler_.on_arrival(*this, e.job);
             break;  // the job did not complete
@@ -491,7 +992,7 @@ RunResult Engine::run() {
                                    ? inst_.job(e.job).processing
                                    : 0.0});
         }
-        --remaining;
+        --remaining_;
         // Committed-horizon compaction: commits are rejected below
         // now - 1e-9, so calendar history before that is dead weight for
         // every future query.  Batched so the memmove cost amortizes.
@@ -582,19 +1083,35 @@ RunResult Engine::run() {
         scheduler_.on_retry_ready(*this, e.job);
         break;
     }
-    if (queue_.empty() && remaining > 0) {
+    if (queue_.empty() && remaining_ > 0) {
       throw std::runtime_error(
           "run_online: scheduler '" + scheduler_.name() + "' deadlocked: " +
-          std::to_string(remaining) +
+          std::to_string(remaining_) +
           " jobs uncompleted with no future events");
+    }
+    if (lethal) {
+      // Boundary kill: the event's side effects happened, but the process
+      // dies before any snapshot — and the journal loses whatever was
+      // appended since its last fsync batch.
+      if (journal_ != nullptr) journal_->kill();
+      throw EngineKilled(processed_);
+    }
+    if (rec_ != nullptr) {
+      maybe_snapshot(e.kind == EventKind::kWakeup);
+      note_degradation();
     }
   }
 
   if (!schedule_.complete()) {
     throw std::runtime_error("run_online: schedule incomplete after run");
   }
-  return RunResult{std::move(schedule_), processed_, std::move(log_),
-                   std::move(attempts_)};
+  if (journal_ != nullptr) {
+    journal_->sync();
+    note_degradation();
+  }
+  RunResult result{std::move(schedule_), processed_, std::move(log_),
+                   std::move(attempts_), rec_stats_};
+  return result;
 }
 
 }  // namespace

@@ -36,10 +36,16 @@
 #include "core/schedule.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
+#include "sim/recovery/options.hpp"
 
 namespace mris {
 
 class EngineContext;
+
+namespace recovery {
+class StateReader;
+class StateWriter;
+}  // namespace recovery
 
 /// Interface implemented by every online scheduler in this library.
 class OnlineScheduler {
@@ -78,6 +84,16 @@ class OnlineScheduler {
   virtual void on_retry_ready(EngineContext& ctx, JobId job) {
     on_arrival(ctx, job);
   }
+
+  // Durability hooks (docs/RECOVERY.md).  Whole-engine snapshots embed the
+  // scheduler's internal state so a resumed run continues with the exact
+  // decision state of the lost process.  A scheduler whose behavior is a
+  // pure function of EngineContext keeps the no-op defaults; one with
+  // internal mutable state (queues, shares, interval counters) must
+  // serialize ALL of it — a partial snapshot resumes into divergence,
+  // which the journal cross-check turns into a loud abort.
+  virtual void save_state(recovery::StateWriter& /*w*/) const {}
+  virtual void restore_state(recovery::StateReader& /*r*/) {}
 };
 
 /// The scheduler-facing API of the running simulation.  Only released jobs
@@ -182,6 +198,9 @@ struct RunResult {
   /// fault plan was supplied (fault-free runs: exactly one successful
   /// attempt per job, so the schedule says it all).
   std::vector<Attempt> attempts;
+
+  /// Durability counters (all-zero without RunOptions::recovery).
+  recovery::RecoveryStats recovery;
 };
 
 struct RunOptions {
@@ -190,6 +209,11 @@ struct RunOptions {
   /// Optional fault plan (not owned; must outlive the run).  nullptr or an
   /// empty plan selects the zero-overhead fault-free path.
   const FaultPlan* faults = nullptr;
+
+  /// Optional durability configuration (not owned; must outlive the run).
+  /// nullptr disables snapshots, journaling, and resume entirely — the
+  /// zero-overhead default path.  See sim/recovery/options.hpp.
+  const recovery::RecoveryOptions* recovery = nullptr;
 };
 
 /// Simulates `scheduler` on `inst` from t=0 until every job is committed

@@ -1,0 +1,205 @@
+#include "sim/faults/crash.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "sim/recovery/journal.hpp"
+#include "sim/recovery/state_io.hpp"
+#include "util/contracts.hpp"
+
+namespace mris::faults {
+
+namespace {
+
+/// Counter-based mixer (splitmix64 finalizer) for deriving deterministic
+/// crash points — interleaving-free, like every other draw in this repo.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Human-readable first difference between two run results, for reports.
+std::string first_difference(const RunResult& a, const RunResult& b) {
+  if (a.num_events != b.num_events) {
+    return "event counts differ: " + std::to_string(a.num_events) + " vs " +
+           std::to_string(b.num_events);
+  }
+  const std::size_t jobs =
+      std::min(a.schedule.num_jobs(), b.schedule.num_jobs());
+  if (a.schedule.num_jobs() != b.schedule.num_jobs()) {
+    return "schedule sizes differ";
+  }
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const Assignment& x = a.schedule.assignment(static_cast<JobId>(i));
+    const Assignment& y = b.schedule.assignment(static_cast<JobId>(i));
+    if (x.machine != y.machine || x.start != y.start) {
+      return "job " + std::to_string(i) + " placed at (m" +
+             std::to_string(x.machine) + ", t=" + std::to_string(x.start) +
+             ") vs (m" + std::to_string(y.machine) +
+             ", t=" + std::to_string(y.start) + ")";
+    }
+  }
+  if (a.log.size() != b.log.size()) {
+    return "event log lengths differ: " + std::to_string(a.log.size()) +
+           " vs " + std::to_string(b.log.size());
+  }
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    if (recovery::encode_event_record(a.log[i]) !=
+        recovery::encode_event_record(b.log[i])) {
+      return "event log diverges at record " + std::to_string(i) + " (" +
+             event_kind_name(a.log[i].kind) + " vs " +
+             event_kind_name(b.log[i].kind) + ")";
+    }
+  }
+  if (a.attempts.size() != b.attempts.size()) {
+    return "attempt counts differ: " + std::to_string(a.attempts.size()) +
+           " vs " + std::to_string(b.attempts.size());
+  }
+  return "results differ (encoded bytes), difference not localized";
+}
+
+}  // namespace
+
+std::string encode_run_result(const RunResult& result) {
+  recovery::StateWriter w;
+  w.u64(result.schedule.num_jobs());
+  for (std::size_t i = 0; i < result.schedule.num_jobs(); ++i) {
+    const Assignment& a = result.schedule.assignment(static_cast<JobId>(i));
+    w.i32(a.machine);
+    w.f64(a.start);
+  }
+  w.u64(result.num_events);
+  w.u64(result.log.size());
+  for (const EventRecord& rec : result.log) {
+    w.str(recovery::encode_event_record(rec));
+  }
+  w.u64(result.attempts.size());
+  for (const Attempt& a : result.attempts) {
+    w.i32(a.job);
+    w.i32(a.machine);
+    w.f64(a.start);
+    w.f64(a.end);
+    w.u8(static_cast<std::uint8_t>(a.outcome));
+    w.f64(a.restore);
+    w.f64(a.progress_in);
+    w.f64(a.progress_out);
+  }
+  return w.take();
+}
+
+CrashReplayReport run_crash_trial(
+    const Instance& inst, const SchedulerFactory& make_scheduler,
+    const RunOptions& base_options,
+    const recovery::RecoveryOptions& recovery_template, const CrashTrial& trial,
+    const std::string& dir) {
+  MRIS_EXPECT(trial.kill_after_events > 0,
+              "crash trial needs a kill point >= 1");
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+
+  recovery::RecoveryOptions durable = recovery_template;
+  durable.snapshot_path = dir + "/engine.mrsn";
+  durable.journal_path = dir + "/engine.mrjl";
+  durable.resume = false;
+  durable.crash = nullptr;
+
+  CrashReplayReport report;
+  report.trial = trial;
+
+  // (1) The pristine reference: an uninterrupted run with no durability
+  // machinery at all — recovery must reproduce THIS, so any bias the
+  // journaling layer introduced would also be caught.
+  RunResult baseline;
+  {
+    RunOptions plain = base_options;
+    plain.recovery = nullptr;
+    auto scheduler = make_scheduler();
+    baseline = run_online(inst, *scheduler, plain);
+  }
+  report.baseline_events = baseline.num_events;
+  if (trial.kill_after_events > baseline.num_events) {
+    report.detail = "kill point " + std::to_string(trial.kill_after_events) +
+                    " past the run's " + std::to_string(baseline.num_events) +
+                    " events; crash would never fire";
+    return report;
+  }
+
+  // (2) The doomed run: journal + snapshots on, killed per the trial.
+  {
+    CrashPlan plan;
+    plan.kill_after_events = trial.kill_after_events;
+    plan.torn_write_bytes = trial.torn_write_bytes;
+    recovery::RecoveryOptions crashed = durable;
+    crashed.crash = &plan;
+    RunOptions options = base_options;
+    options.recovery = &crashed;
+    bool killed = false;
+    try {
+      auto scheduler = make_scheduler();
+      run_online(inst, *scheduler, options);
+    } catch (const EngineKilled&) {
+      killed = true;
+    }
+    if (!killed) {
+      report.detail = "crash plan never fired";
+      return report;
+    }
+  }
+
+  // (3) The survivor: a fresh process resuming from whatever the crash
+  // left on disk.
+  RunResult resumed;
+  {
+    recovery::RecoveryOptions resume = durable;
+    resume.resume = true;
+    RunOptions options = base_options;
+    options.recovery = &resume;
+    auto scheduler = make_scheduler();
+    resumed = run_online(inst, *scheduler, options);
+  }
+  report.resumed = resumed.recovery;
+
+  report.identical =
+      encode_run_result(baseline) == encode_run_result(resumed);
+  if (!report.identical) report.detail = first_difference(baseline, resumed);
+  return report;
+}
+
+std::vector<CrashReplayReport> run_crash_sweep(
+    const Instance& inst, const SchedulerFactory& make_scheduler,
+    const RunOptions& base_options,
+    const recovery::RecoveryOptions& recovery_template, int pairs,
+    std::uint64_t seed, const std::string& dir) {
+  MRIS_EXPECT(pairs > 0, "crash sweep needs at least one pair");
+
+  // Learn the crash-point range from one uninterrupted run.
+  std::uint64_t num_events = 0;
+  {
+    RunOptions plain = base_options;
+    plain.recovery = nullptr;
+    auto scheduler = make_scheduler();
+    num_events = run_online(inst, *scheduler, plain).num_events;
+  }
+
+  std::vector<CrashReplayReport> reports;
+  reports.reserve(static_cast<std::size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    CrashTrial trial;
+    const std::uint64_t draw = mix64(seed ^ mix64(static_cast<std::uint64_t>(i)));
+    trial.kill_after_events = num_events > 0 ? draw % num_events + 1 : 1;
+    // Every third trial dies mid-journal-write: tear the frame after
+    // 1..32 of its 33 bytes (u32 size + u32 crc + 25-byte payload), which
+    // covers torn frame headers and torn payloads alike.
+    if (i % 3 == 2) {
+      trial.torn_write_bytes =
+          static_cast<std::uint32_t>(mix64(draw) % 32 + 1);
+    }
+    reports.push_back(run_crash_trial(inst, make_scheduler, base_options,
+                                      recovery_template, trial, dir));
+  }
+  return reports;
+}
+
+}  // namespace mris::faults

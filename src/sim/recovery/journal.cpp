@@ -1,0 +1,286 @@
+#include "sim/recovery/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/recovery/io_retry.hpp"
+#include "sim/recovery/state_io.hpp"
+#include "util/contracts.hpp"
+
+namespace mris::recovery {
+
+namespace {
+
+/// Frames are tiny (25-byte payloads today); anything claiming more than
+/// this is corruption, not a record.
+constexpr std::uint32_t kMaxPayload = 1u << 16;
+
+std::string encode_header(std::uint64_t fingerprint) {
+  StateWriter w;
+  w.u32(kJournalMagic);
+  w.u32(kJournalVersion);
+  w.u64(fingerprint);
+  return w.take();
+}
+
+/// Builds one CRC frame around `payload` into `out` (clearing it first).
+void frame_into(std::string_view payload, StateWriter& out) {
+  MRIS_EXPECT(payload.size() <= kMaxPayload, "journal payload too large");
+  out.clear();
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.u32(crc32(payload));
+  out.raw(payload.data(), payload.size());
+}
+
+std::string frame(const std::string& payload) {
+  StateWriter w;
+  frame_into(payload, w);
+  return w.take();
+}
+
+}  // namespace
+
+void encode_event_record(const EventRecord& rec, StateWriter& w) {
+  w.u8(static_cast<std::uint8_t>(rec.kind));
+  w.f64(rec.t);
+  w.i32(rec.job);
+  w.i32(rec.machine);
+  w.f64(rec.start);
+}
+
+std::string encode_event_record(const EventRecord& rec) {
+  StateWriter w;
+  encode_event_record(rec, w);
+  return w.take();
+}
+
+EventRecord decode_event_record(const std::string& payload) {
+  StateReader r(payload);
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(EventRecord::Kind::kRetryReady)) {
+    throw std::runtime_error("recovery: bad event kind in journal record");
+  }
+  EventRecord rec;
+  rec.kind = static_cast<EventRecord::Kind>(kind);
+  rec.t = r.f64();
+  rec.job = r.i32();
+  rec.machine = r.i32();
+  rec.start = r.f64();
+  if (!r.done()) {
+    throw std::runtime_error("recovery: trailing bytes in journal record");
+  }
+  return rec;
+}
+
+// --- JournalWriter --------------------------------------------------------
+
+JournalWriter::JournalWriter(const RecoveryOptions& options,
+                             RecoveryStats* stats)
+    : options_(options), stats_(stats) {}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open_fresh(std::uint64_t fingerprint) {
+  MRIS_EXPECT(file_ == nullptr, "journal already open");
+  const bool opened = with_io_retries(options_, stats_, [&] {
+    if (options_.hooks != nullptr && options_.hooks->allow_open &&
+        !options_.hooks->allow_open(options_.journal_path)) {
+      return false;
+    }
+    file_ = std::fopen(options_.journal_path.c_str(), "wb");
+    return file_ != nullptr;
+  });
+  if (!opened) {
+    give_up();
+    return false;
+  }
+  if (!write_bytes(encode_header(fingerprint)) || !sync()) return false;
+  return true;
+}
+
+bool JournalWriter::open_append() {
+  MRIS_EXPECT(file_ == nullptr, "journal already open");
+  const bool opened = with_io_retries(options_, stats_, [&] {
+    if (options_.hooks != nullptr && options_.hooks->allow_open &&
+        !options_.hooks->allow_open(options_.journal_path)) {
+      return false;
+    }
+    file_ = std::fopen(options_.journal_path.c_str(), "ab");
+    return file_ != nullptr;
+  });
+  if (!opened) {
+    give_up();
+    return false;
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(options_.journal_path, ec);
+  bytes_written_ = synced_bytes_ = ec ? 0 : size;
+  return true;
+}
+
+bool JournalWriter::append(const EventRecord& rec) {
+  if (dead_) return false;
+  payload_.clear();
+  encode_event_record(rec, payload_);
+  frame_into(payload_.data(), frame_);
+  if (!write_bytes(frame_.data())) return false;
+  if (stats_ != nullptr) {
+    ++stats_->journal_records;
+    stats_->journal_bytes += frame_.size();
+  }
+  if (++unsynced_ >= options_.journal_sync_every) return sync();
+  return true;
+}
+
+void JournalWriter::append_torn(const EventRecord& rec,
+                                std::uint32_t keep_bytes) {
+  if (dead_ || file_ == nullptr) return;
+  std::string bytes = frame(encode_event_record(rec));
+  if (keep_bytes < bytes.size()) bytes.resize(keep_bytes);
+  // A crash mid-write takes no retry loop and no bookkeeping: just the
+  // partial bytes hitting the disk, flushed so the restarted process sees
+  // them.
+  std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+  dead_ = true;
+}
+
+void JournalWriter::kill() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // flushes the dirty buffer ...
+    file_ = nullptr;
+    std::error_code ec;  // ... which the truncation then "loses"
+    std::filesystem::resize_file(options_.journal_path, synced_bytes_, ec);
+  }
+  dead_ = true;
+}
+
+bool JournalWriter::sync() {
+  if (dead_ || file_ == nullptr) return false;
+  if (synced_bytes_ == bytes_written_) {
+    unsynced_ = 0;
+    return true;
+  }
+  const bool ok = with_io_retries(options_, stats_, [&] {
+    if (std::fflush(file_) != 0) return false;
+    if (options_.hooks != nullptr && options_.hooks->allow_sync &&
+        !options_.hooks->allow_sync(options_.journal_path)) {
+      return false;
+    }
+    return ::fsync(::fileno(file_)) == 0;
+  });
+  if (!ok) {
+    give_up();
+    return false;
+  }
+  unsynced_ = 0;
+  synced_bytes_ = bytes_written_;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (file_ != nullptr) {
+    if (!dead_) sync();
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+}
+
+bool JournalWriter::write_bytes(std::string_view bytes) {
+  if (dead_ || file_ == nullptr) return false;
+  const bool ok = with_io_retries(options_, stats_, [&] {
+    if (options_.hooks != nullptr && options_.hooks->allow_write &&
+        !options_.hooks->allow_write(options_.journal_path, bytes.size())) {
+      return false;
+    }
+    return std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size();
+  });
+  if (!ok) {
+    give_up();
+    return false;
+  }
+  bytes_written_ += bytes.size();
+  return true;
+}
+
+void JournalWriter::give_up() {
+  if (!dead_ && stats_ != nullptr) ++stats_->journal_failures;
+  dead_ = true;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// --- Reading --------------------------------------------------------------
+
+JournalContents read_journal(const std::string& path) {
+  JournalContents out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.error = "cannot open journal: " + path;
+    return out;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+  if (bytes.size() < kHeaderSize) {
+    out.error = "journal shorter than its header";
+    return out;
+  }
+  StateReader header(std::string_view(bytes).substr(0, kHeaderSize));
+  if (header.u32() != kJournalMagic) {
+    out.error = "bad journal magic";
+    return out;
+  }
+  const std::uint32_t version = header.u32();
+  if (version != kJournalVersion) {
+    out.error = "unsupported journal version " + std::to_string(version);
+    return out;
+  }
+  out.fingerprint = header.u64();
+  out.ok = true;
+  out.valid_bytes = kHeaderSize;
+
+  // Frames until EOF or the first torn/corrupt one (truncation rule).
+  std::size_t pos = kHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break;  // torn frame header
+    StateReader fh(std::string_view(bytes).substr(pos, 8));
+    const std::uint32_t size = fh.u32();
+    const std::uint32_t crc = fh.u32();
+    if (size > kMaxPayload) break;                // corrupt length
+    if (bytes.size() - pos - 8 < size) break;     // torn payload
+    const std::string_view payload(bytes.data() + pos + 8, size);
+    if (crc32(payload) != crc) break;  // corrupt payload
+    try {
+      out.records.push_back(decode_event_record(std::string(payload)));
+    } catch (const std::runtime_error&) {
+      break;  // framed but undecodable — treat as torn
+    }
+    pos += 8 + size;
+    out.valid_bytes = pos;
+  }
+  out.torn_bytes = bytes.size() - out.valid_bytes;
+  return out;
+}
+
+bool truncate_journal(const std::string& path, std::uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  return !ec;
+}
+
+}  // namespace mris::recovery

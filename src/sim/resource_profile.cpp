@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
+#include "sim/recovery/state_io.hpp"
 #include "util/contracts.hpp"
 
 namespace mris {
@@ -276,6 +278,28 @@ void ResourceProfile::prune_before(Time t) {
   // The takeover can leave segments 0 and 1 equal (e.g. the pruned span
   // ended exactly at a release boundary).
   coalesce_range(1, 1);
+}
+
+
+void ResourceProfile::save_state(recovery::StateWriter& w) const {
+  w.vec_f64(times_);
+  w.vec_f64(usage_);
+  w.vec_f64(headroom_);
+  w.f64(pruned_before_);
+}
+
+void ResourceProfile::restore_state(recovery::StateReader& r) {
+  times_ = r.vec_f64();
+  usage_ = r.vec_f64();
+  headroom_ = r.vec_f64();
+  pruned_before_ = r.f64();
+  hint_ = 0;  // pure cache; any in-range value is valid
+  const std::size_t R = static_cast<std::size_t>(num_resources_);
+  if (times_.empty() || usage_.size() != times_.size() * R ||
+      headroom_.size() != times_.size()) {
+    throw std::runtime_error(
+        "recovery: inconsistent ResourceProfile state in snapshot");
+  }
 }
 
 }  // namespace mris

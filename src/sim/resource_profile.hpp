@@ -48,6 +48,11 @@
 
 namespace mris {
 
+namespace recovery {
+class StateReader;
+class StateWriter;
+}  // namespace recovery
+
 class ResourceProfile {
  public:
   /// Creates an empty profile with `num_resources` unit-capacity resources.
@@ -121,6 +126,12 @@ class ResourceProfile {
 
   /// Latest breakpoint (== end of the last live reservation), 0 when empty.
   Time horizon() const noexcept { return times_.back(); }
+
+  /// Serializes the timeline (breakpoints, usage rows, headroom, prune
+  /// bound) into an engine snapshot; the scan hint is a pure cache and is
+  /// reset on restore.  See docs/RECOVERY.md.
+  void save_state(recovery::StateWriter& w) const;
+  void restore_state(recovery::StateReader& r);
 
  private:
   /// Index of the segment whose interval contains t.  t < 0 maps to

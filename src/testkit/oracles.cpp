@@ -13,6 +13,8 @@
 #include "sched/optimal.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/faults/crash.hpp"
+#include "sim/recovery/options.hpp"
 #include "testkit/streams.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -194,6 +196,35 @@ OracleResult fault_replay_determinism(const Instance& inst,
     if (x.job != y.job || x.machine != y.machine || x.start != y.start ||
         x.end != y.end || x.outcome != y.outcome) {
       return fail("attempt " + std::to_string(i) + " differs");
+    }
+  }
+  return {};
+}
+
+OracleResult crash_recovery(const Instance& inst,
+                            const exp::SchedulerSpec& spec,
+                            const Params& params) {
+  if (inst.num_jobs() == 0) return {};
+  const int pairs = static_cast<int>(param_int(params, "crash_pairs", 3));
+  const auto seed =
+      static_cast<std::uint64_t>(param_int(params, "crash_seed", 2024));
+  const FaultPlan plan = fault_plan_from_params(inst, params);
+  RunOptions opts;
+  opts.faults = plan.empty() ? nullptr : &plan;
+  opts.record_events = true;  // the event log joins the byte comparison
+  recovery::RecoveryOptions rec;
+  rec.snapshot_every = static_cast<std::uint64_t>(
+      param_int(params, "snapshot_every", 16));
+  const std::string dir = artifacts_dir() + "/crash_oracle";
+  const auto factory = [&] { return exp::make_scheduler(spec, inst); };
+  const auto reports =
+      faults::run_crash_sweep(inst, factory, opts, rec, pairs, seed, dir);
+  for (const faults::CrashReplayReport& r : reports) {
+    if (!r.identical) {
+      return fail(
+          "crash at event " + std::to_string(r.trial.kill_after_events) +
+          (r.trial.torn_write_bytes > 0 ? " (torn journal write)" : "") +
+          ": " + r.detail);
     }
   }
   return {};
@@ -465,6 +496,7 @@ OracleCatalog OracleCatalog::standard() {
   catalog.add("validator-clean", validator_clean);
   catalog.add("validator-clean-faults", validator_clean_faults);
   catalog.add("fault-replay-determinism", fault_replay_determinism);
+  catalog.add("crash-recovery", crash_recovery);
   catalog.add("engine-chaos", engine_chaos);
   catalog.add("weight-scaling", weight_scaling);
   catalog.add("time-scaling", time_scaling);

@@ -16,6 +16,12 @@
 //                              explicit outage windows come from params,
 //                              checkpointing on or off via `checkpoint`
 //   fault-replay-determinism   a seeded faulty run replays byte-identically
+//   crash-recovery             crash-at-any-point ≡ uninterrupted: seeded
+//                              crash trials (run_crash_sweep, including
+//                              torn mid-journal-write kills) must resume to
+//                              a byte-identical schedule/log/attempt stream;
+//                              params: crash_pairs, crash_seed,
+//                              snapshot_every, plus the fault knobs
 //   engine-chaos               an adversarial API-legal scheduler (random
 //                              machines, deferrals) still yields feasible
 //                              schedules — the engine must not depend on

@@ -1,23 +1,46 @@
 #include "util/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "util/contracts.hpp"
+
 namespace mris::util {
+
+// A malformed knob fails loudly instead of silently running the bench at
+// the default value: MRIS_BENCH_SCALE=4x quietly meaning scale 1.0 produces
+// plausible-looking results for a workload that was never run.
 
 double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(value, &end);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  MRIS_EXPECT(end != value && *end == '\0',
+              (std::string(name) + "='" + value +
+               "' is not a number (unset it or fix the value)")
+                  .c_str());
+  MRIS_EXPECT(errno != ERANGE, (std::string(name) + "='" + value +
+                                "' is out of double range")
+                                   .c_str());
+  return parsed;
 }
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(value, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  MRIS_EXPECT(end != value && *end == '\0',
+              (std::string(name) + "='" + value +
+               "' is not an integer (unset it or fix the value)")
+                  .c_str());
+  MRIS_EXPECT(errno != ERANGE, (std::string(name) + "='" + value +
+                                "' overflows a 64-bit integer")
+                                   .c_str());
+  return parsed;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
@@ -25,7 +48,11 @@ std::string env_string(const char* name, const std::string& fallback) {
   return (value != nullptr && *value != '\0') ? std::string(value) : fallback;
 }
 
-double bench_scale() { return env_double("MRIS_BENCH_SCALE", 1.0); }
+double bench_scale() {
+  const double scale = env_double("MRIS_BENCH_SCALE", 1.0);
+  MRIS_EXPECT(scale > 0.0, "MRIS_BENCH_SCALE must be > 0");
+  return scale;
+}
 
 std::uint64_t bench_seed() {
   return static_cast<std::uint64_t>(env_int("MRIS_SEED", 42));
@@ -33,7 +60,8 @@ std::uint64_t bench_seed() {
 
 std::size_t bench_reps() {
   const std::int64_t reps = env_int("MRIS_REPS", 10);
-  return reps > 0 ? static_cast<std::size_t>(reps) : 1;
+  MRIS_EXPECT(reps >= 1, "MRIS_REPS must be >= 1");
+  return static_cast<std::size_t>(reps);
 }
 
 }  // namespace mris::util

@@ -9,11 +9,13 @@
 namespace mris::util {
 
 /// Reads an environment variable as double; returns `fallback` when unset
-/// or unparsable.
+/// or empty.  A set-but-malformed or out-of-range value violates an
+/// MRIS_EXPECT contract (it would otherwise silently run at the default).
 double env_double(const char* name, double fallback);
 
 /// Reads an environment variable as int64; returns `fallback` when unset
-/// or unparsable.
+/// or empty.  A set-but-malformed or overflowing value violates an
+/// MRIS_EXPECT contract.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 
 /// Reads an environment variable as string; returns `fallback` when unset.

@@ -1,7 +1,10 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace mris::util {
 
@@ -49,28 +52,40 @@ std::string Flags::get(const std::string& name,
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
+  MRIS_EXPECT(!name.empty(), "Flags::get_double: empty flag name");
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[name] = true;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     throw std::invalid_argument("--" + name + ": expected a number, got '" +
                                 it->second + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": '" + it->second +
+                                "' is out of double range");
   }
   return v;
 }
 
 std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t fallback) const {
+  MRIS_EXPECT(!name.empty(), "Flags::get_int: empty flag name");
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[name] = true;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     throw std::invalid_argument("--" + name + ": expected an integer, got '" +
                                 it->second + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": '" + it->second +
+                                "' overflows a 64-bit integer");
   }
   return v;
 }

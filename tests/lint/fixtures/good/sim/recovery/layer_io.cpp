@@ -1,0 +1,15 @@
+// Fixture: the same raw IO calls are allowed here — the path contains
+// sim/recovery/, the layer that owns durable writes.  Method calls named
+// write and write_* helpers are fine anywhere.  Never compiled.
+#include <cstdio>
+#include <unistd.h>
+
+struct Store {
+  void write(const char* p, unsigned long n);
+};
+
+void layer_write(std::FILE* f, int fd, const char* p, unsigned long n) {
+  std::fwrite(p, 1, n, f);  // allowed: inside the recovery IO layer
+  ::fsync(fd);              // allowed: inside the recovery IO layer
+  ::write(fd, p, n);        // allowed: inside the recovery IO layer
+}

@@ -148,6 +148,29 @@ TEST(LintRuleTest, FlagsStdout) {
   EXPECT_TRUE(lint("std::snprintf(buf, sizeof buf, \"%d\", x);").empty());
 }
 
+TEST(LintRuleTest, FlagsRawIoOutsideRecoveryLayer) {
+  EXPECT_TRUE(has_rule(lint("std::fwrite(p, 1, n, f);"), "raw-io"));
+  EXPECT_TRUE(has_rule(lint("::fsync(fd);"), "raw-io"));
+  EXPECT_TRUE(has_rule(lint("fdatasync(fd);"), "raw-io"));
+  EXPECT_TRUE(has_rule(lint("pwrite(fd, p, n, 0);"), "raw-io"));
+  EXPECT_TRUE(has_rule(lint("::write(fd, p, n);"), "raw-io"));
+}
+
+TEST(LintRuleTest, RawIoSparesMethodsHelpersAndRecoveryLayer) {
+  // Method calls and write_* helpers are not the write(2) syscall.
+  EXPECT_TRUE(lint("store->write(meta, payload);").empty());
+  EXPECT_TRUE(lint("snapstore_.write(meta, payload);").empty());
+  EXPECT_TRUE(lint("util::write_csv(f, table);").empty());
+  EXPECT_TRUE(lint("exp::write_series_csv(path, series);").empty());
+  // The recovery IO layer itself owns raw durable writes.
+  EXPECT_TRUE(lint_source("src/sim/recovery/journal.cpp",
+                          "void f() { std::fwrite(p, 1, n, file); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/sim/recovery/snapshot.cpp",
+                          "void f() { ::fsync(fd); ::write(fd, p, n); }\n")
+                  .empty());
+}
+
 TEST(LintRuleTest, HeaderRequiresPragmaOnce) {
   EXPECT_TRUE(has_rule(lint_source("x/h.hpp", "int f();\n"), "pragma-once", 1));
   EXPECT_TRUE(lint_source("x/h.hpp", "#pragma once\nint f();\n").empty());
@@ -214,6 +237,18 @@ TEST(LintFixtureTest, BadFixturesTripEveryRule) {
   EXPECT_TRUE(has_rule(all, "naked-assert"));
   EXPECT_TRUE(has_rule(all, "stdout"));
   EXPECT_TRUE(has_rule(all, "pragma-once"));
+  EXPECT_TRUE(has_rule(all, "raw-io"));
+}
+
+TEST(LintFixtureTest, RawIoFixtureLinesAreExact) {
+  const auto findings =
+      lint_file(std::string(MRIS_LINT_FIXTURES) + "/bad/raw_io.cpp");
+  EXPECT_TRUE(has_rule(findings, "raw-io", 7));   // fwrite
+  EXPECT_TRUE(has_rule(findings, "raw-io", 8));   // fsync
+  EXPECT_TRUE(has_rule(findings, "raw-io", 9));   // fdatasync
+  EXPECT_TRUE(has_rule(findings, "raw-io", 10));  // pwrite
+  EXPECT_TRUE(has_rule(findings, "raw-io", 11));  // ::write
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "raw-io");
 }
 
 TEST(LintFixtureTest, BadFixtureLinesAreExact) {

@@ -67,7 +67,9 @@ TEST(MrisStructureTest, WakeupTimesFormGeometricGrid) {
   // each at least doubles (gaps allowed when the system goes idle).
   Time prev = 0.0;
   for (Time t : wakeups) {
-    if (prev > 0.0) EXPECT_GE(t, 2.0 * prev - 1e-9);
+    if (prev > 0.0) {
+      EXPECT_GE(t, 2.0 * prev - 1e-9);
+    }
     prev = t;
   }
 }

@@ -1,0 +1,310 @@
+// Crash-recovery verification (docs/RECOVERY.md): for seeded (trace, crash
+// point) pairs — including kills mid-journal-write that leave torn frames —
+// a run killed and resumed must produce a schedule, event log, and attempt
+// stream byte-identical to the uninterrupted run.  This is the acceptance
+// bar of the durability subsystem, exercised across schedulers with and
+// without faults/checkpoints, plus resume edge cases (fingerprint refusal,
+// journal-only replay, divergence detection).
+#include "sim/faults/crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "sched/drf.hpp"
+#include "sched/mris.hpp"
+#include "sched/pq.hpp"
+#include "sim/faults.hpp"
+#include "sim/recovery/journal.hpp"
+#include "sim/recovery/snapshot.hpp"
+#include "testkit/generators.hpp"
+
+namespace mris {
+namespace {
+
+namespace fs = std::filesystem;
+using faults::CrashReplayReport;
+using faults::CrashTrial;
+using recovery::RecoveryOptions;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("mris_crash_" + name)).string();
+  fs::create_directories(dir);
+  return dir;
+}
+
+Instance mixed_instance(std::uint64_t seed, int jobs = 40) {
+  testkit::GenConfig config;
+  config.num_jobs = static_cast<std::size_t>(jobs);
+  config.machines = 3;
+  config.resources = 2;
+  return testkit::make_family_instance(testkit::Family::kMixed, config, seed);
+}
+
+void expect_all_identical(const std::vector<CrashReplayReport>& reports) {
+  int torn = 0;
+  for (const CrashReplayReport& r : reports) {
+    EXPECT_TRUE(r.identical)
+        << "crash after event " << r.trial.kill_after_events
+        << (r.trial.torn_write_bytes > 0 ? " (torn write)" : "") << ": "
+        << r.detail;
+    if (r.trial.torn_write_bytes > 0) ++torn;
+  }
+  EXPECT_GT(torn, 0) << "sweep exercised no mid-journal-write kills";
+}
+
+// --- the acceptance sweep: >= 20 seeded (trace, crash point) pairs --------
+
+TEST(CrashRecoveryTest, SweepPqScheduler) {
+  const Instance inst = mixed_instance(11);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 8;  // PQ never wakes up; snapshot on cadence
+  const auto reports = faults::run_crash_sweep(
+      inst, [] { return std::make_unique<PriorityQueueScheduler>(); },
+      options, rec, 7, 0xA11CEull, temp_dir("pq"));
+  ASSERT_EQ(reports.size(), 7u);
+  expect_all_identical(reports);
+}
+
+TEST(CrashRecoveryTest, SweepMrisSchedulerSnapshotsAtWakeups) {
+  const Instance inst = mixed_instance(22);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;  // default: snapshot at gamma_k wakeups only
+  const auto reports = faults::run_crash_sweep(
+      inst, [] { return std::make_unique<MrisScheduler>(); }, options, rec, 7,
+      0xB0B0ull, temp_dir("mris"));
+  ASSERT_EQ(reports.size(), 7u);
+  expect_all_identical(reports);
+}
+
+TEST(CrashRecoveryTest, SweepMrisUnderFaultsAndCheckpoints) {
+  const Instance inst = mixed_instance(33);
+  FaultSpec spec;
+  spec.mtbf = 30.0;
+  spec.mttr = 4.0;
+  spec.straggler_prob = 0.2;
+  spec.failure_prob = 0.1;
+  spec.retry_backoff = 0.5;
+  spec.checkpoint.kind = CheckpointPolicy::Kind::kPeriodic;
+  spec.checkpoint.interval = 1.0;
+  spec.checkpoint.restore_overhead = 0.25;
+  const FaultPlan plan = make_fault_plan(spec, inst, 77);
+  RunOptions options;
+  options.faults = &plan;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 16;
+  rec.journal_sync_every = 8;
+  const auto reports = faults::run_crash_sweep(
+      inst, [] { return std::make_unique<MrisScheduler>(); }, options, rec, 8,
+      0xFA117ull, temp_dir("mris_faults"));
+  ASSERT_EQ(reports.size(), 8u);
+  expect_all_identical(reports);
+  // The resumed runs must still pass the duration-aware fault validator.
+  for (const CrashReplayReport& r : reports) {
+    EXPECT_TRUE(r.resumed.resumed_from_snapshot ||
+                r.resumed.resumed_journal_only)
+        << "crash after event " << r.trial.kill_after_events
+        << " resumed from nothing";
+  }
+}
+
+TEST(CrashRecoveryTest, SweepDrfScheduler) {
+  const Instance inst = mixed_instance(44, 30);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 6;
+  rec.journal_sync_every = 4;
+  const auto reports = faults::run_crash_sweep(
+      inst, [] { return std::make_unique<DrfScheduler>(); }, options, rec, 6,
+      0xD2Full, temp_dir("drf"));
+  ASSERT_EQ(reports.size(), 6u);
+  expect_all_identical(reports);
+}
+
+// --- targeted crash points ------------------------------------------------
+
+TEST(CrashRecoveryTest, KillAfterVeryFirstEvent) {
+  const Instance inst = mixed_instance(55, 20);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 4;
+  CrashTrial trial;
+  trial.kill_after_events = 1;
+  const CrashReplayReport r = faults::run_crash_trial(
+      inst, [] { return std::make_unique<PriorityQueueScheduler>(); },
+      options, rec, trial, temp_dir("first"));
+  EXPECT_TRUE(r.identical) << r.detail;
+}
+
+TEST(CrashRecoveryTest, KillAfterLastEvent) {
+  const Instance inst = mixed_instance(55, 20);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 4;
+  // Learn the event count, then kill exactly at the end.
+  RunResult plain;
+  {
+    PriorityQueueScheduler s;
+    plain = run_online(inst, s, options);
+  }
+  CrashTrial trial;
+  trial.kill_after_events = plain.num_events;
+  const CrashReplayReport r = faults::run_crash_trial(
+      inst, [] { return std::make_unique<PriorityQueueScheduler>(); },
+      options, rec, trial, temp_dir("last"));
+  EXPECT_TRUE(r.identical) << r.detail;
+}
+
+TEST(CrashRecoveryTest, TornWriteOfEverySingleFrameByte) {
+  // Tear the same mid-run record at every possible byte offset: the
+  // truncation rule must hold regardless of where the write was cut.
+  const Instance inst = mixed_instance(66, 12);
+  RunOptions options;
+  options.record_events = true;
+  RecoveryOptions rec;
+  rec.snapshot_every = 4;
+  const std::string dir = temp_dir("torn_all");
+  for (std::uint32_t keep = 1; keep <= 32; keep += 5) {
+    CrashTrial trial;
+    trial.kill_after_events = 9;
+    trial.torn_write_bytes = keep;
+    const CrashReplayReport r = faults::run_crash_trial(
+        inst, [] { return std::make_unique<PriorityQueueScheduler>(); },
+        options, rec, trial, dir);
+    EXPECT_TRUE(r.identical) << "torn at byte " << keep << ": " << r.detail;
+    EXPECT_GT(r.resumed.journal_torn_bytes, 0u) << "keep=" << keep;
+  }
+}
+
+// --- resume edge cases ----------------------------------------------------
+
+TEST(CrashRecoveryTest, JournalOnlyResumeReplaysFromTimeZero) {
+  const Instance inst = mixed_instance(77, 16);
+  const std::string dir = temp_dir("journal_only");
+  RecoveryOptions rec;
+  rec.journal_path = dir + "/engine.mrjl";  // no snapshot path at all
+  rec.journal_sync_every = 1;  // synchronous: the kill loses no records
+  RunOptions options;
+  options.recovery = &rec;
+  options.record_events = true;
+
+  CrashPlan plan;
+  plan.kill_after_events = 10;
+  RecoveryOptions crashed = rec;
+  crashed.crash = &plan;
+  RunOptions crash_options = options;
+  crash_options.recovery = &crashed;
+  {
+    PriorityQueueScheduler s;
+    EXPECT_THROW(run_online(inst, s, crash_options), EngineKilled);
+  }
+
+  RecoveryOptions resume = rec;
+  resume.resume = true;
+  RunOptions resume_options = options;
+  resume_options.recovery = &resume;
+  PriorityQueueScheduler s;
+  const RunResult r = run_online(inst, s, resume_options);
+  EXPECT_TRUE(r.recovery.resumed_journal_only);
+  EXPECT_FALSE(r.recovery.resumed_from_snapshot);
+  EXPECT_GT(r.recovery.resume_replayed_events, 0u);
+
+  RunResult plain;
+  {
+    PriorityQueueScheduler s2;
+    RunOptions plain_options;
+    plain_options.record_events = true;
+    plain = run_online(inst, s2, plain_options);
+  }
+  EXPECT_EQ(faults::encode_run_result(r), faults::encode_run_result(plain));
+}
+
+TEST(CrashRecoveryTest, ResumeRefusesForeignFingerprint) {
+  const Instance inst = mixed_instance(88, 16);
+  const std::string dir = temp_dir("foreign");
+  RecoveryOptions rec;
+  rec.snapshot_path = dir + "/engine.mrsn";
+  rec.journal_path = dir + "/engine.mrjl";
+  rec.snapshot_every = 4;
+  RunOptions options;
+  options.recovery = &rec;
+  {
+    PriorityQueueScheduler s;
+    run_online(inst, s, options);
+  }
+  // Same files, different scheduler => different fingerprint => refusal.
+  RecoveryOptions resume = rec;
+  resume.resume = true;
+  RunOptions resume_options;
+  resume_options.recovery = &resume;
+  DrfScheduler drf;
+  EXPECT_THROW(run_online(inst, drf, resume_options), std::runtime_error);
+}
+
+TEST(CrashRecoveryTest, ResumeDetectsJournalDivergence) {
+  const Instance inst = mixed_instance(99, 16);
+  const std::string dir = temp_dir("diverge");
+  RecoveryOptions rec;
+  rec.journal_path = dir + "/engine.mrjl";
+  RunOptions options;
+  options.recovery = &rec;
+  {
+    PriorityQueueScheduler s;
+    run_online(inst, s, options);
+  }
+  // Doctor one mid-journal record (valid CRC, wrong content): the resumed
+  // run's re-derived stream must disagree and abort loudly.
+  recovery::JournalContents contents =
+      recovery::read_journal(rec.journal_path);
+  ASSERT_TRUE(contents.ok);
+  ASSERT_GT(contents.records.size(), 4u);
+  recovery::RecoveryStats stats;
+  {
+    recovery::JournalWriter writer(rec, &stats);
+    std::uint64_t fingerprint = contents.fingerprint;
+    ASSERT_TRUE(writer.open_fresh(fingerprint));
+    for (std::size_t i = 0; i < contents.records.size(); ++i) {
+      EventRecord r = contents.records[i];
+      if (i == 3) r.t += 1.0;  // the lie
+      ASSERT_TRUE(writer.append(r));
+    }
+    ASSERT_TRUE(writer.sync());
+  }
+  RecoveryOptions resume = rec;
+  resume.resume = true;
+  RunOptions resume_options;
+  resume_options.recovery = &resume;
+  PriorityQueueScheduler s;
+  EXPECT_THROW(run_online(inst, s, resume_options), std::runtime_error);
+}
+
+TEST(CrashRecoveryTest, ResumeWithNothingOnDiskStartsFresh) {
+  const Instance inst = mixed_instance(12, 10);
+  const std::string dir = temp_dir("fresh");
+  fs::remove(dir + "/engine.mrsn");
+  fs::remove(dir + "/engine.mrjl");
+  RecoveryOptions rec;
+  rec.snapshot_path = dir + "/engine.mrsn";
+  rec.journal_path = dir + "/engine.mrjl";
+  rec.resume = true;  // nothing to resume from
+  RunOptions options;
+  options.recovery = &rec;
+  PriorityQueueScheduler s;
+  const RunResult r = run_online(inst, s, options);
+  EXPECT_FALSE(r.recovery.resumed_from_snapshot);
+  EXPECT_FALSE(r.recovery.resumed_journal_only);
+  EXPECT_TRUE(validate_schedule(inst, r.schedule).ok);
+}
+
+}  // namespace
+}  // namespace mris

@@ -84,12 +84,12 @@ TEST(OraclesTest, EngineSurvivesChaoticScheduler) {
 TEST(OraclesTest, CatalogNamesAreCompleteAndSorted) {
   const std::vector<std::string> names = OracleCatalog::standard().names();
   const std::vector<std::string> expected = {
-      "engine-chaos",         "fault-replay-determinism",
-      "job-removal",          "machine-augmentation",
-      "ratio-awct",           "ratio-makespan",
-      "resource-permutation", "time-scaling",
-      "validator-clean",      "validator-clean-faults",
-      "weight-scaling"};
+      "crash-recovery",       "engine-chaos",
+      "fault-replay-determinism", "job-removal",
+      "machine-augmentation", "ratio-awct",
+      "ratio-makespan",       "resource-permutation",
+      "time-scaling",         "validator-clean",
+      "validator-clean-faults", "weight-scaling"};
   EXPECT_EQ(names, expected);
   // Fixtures extend, never replace.
   const auto with = OracleCatalog::with_fixtures().names();

@@ -1,0 +1,100 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace mris::util {
+namespace {
+
+/// Sets an environment variable for one test and restores it after.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+constexpr const char* kVar = "MRIS_ENV_TEST_VAR";
+
+TEST(EnvTest, UnsetOrEmptyFallsBack) {
+  ScopedEnv unset(kVar, nullptr);
+  EXPECT_DOUBLE_EQ(env_double(kVar, 2.5), 2.5);
+  EXPECT_EQ(env_int(kVar, -7), -7);
+  EXPECT_EQ(env_string(kVar, "fb"), "fb");
+  ScopedEnv empty(kVar, "");
+  EXPECT_DOUBLE_EQ(env_double(kVar, 2.5), 2.5);
+  EXPECT_EQ(env_int(kVar, -7), -7);
+}
+
+TEST(EnvTest, ParsesWellFormedValues) {
+  ScopedEnv d(kVar, "3.25e2");
+  EXPECT_DOUBLE_EQ(env_double(kVar, 0.0), 325.0);
+  ScopedEnv i(kVar, "-42");
+  EXPECT_EQ(env_int(kVar, 0), -42);
+  EXPECT_EQ(env_string(kVar, ""), "-42");
+}
+
+// The original parsers silently fell back on malformed values —
+// MRIS_BENCH_SCALE=4x quietly ran the bench at scale 1.0.  Now a
+// set-but-garbage knob is a contract violation.
+TEST(EnvTest, MalformedValueViolatesContract) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  ScopedEnv bad(kVar, "4x");
+  EXPECT_THROW(env_double(kVar, 1.0), ContractViolation);
+  EXPECT_THROW(env_int(kVar, 1), ContractViolation);
+  ScopedEnv frac(kVar, "1.5");
+  EXPECT_THROW(env_int(kVar, 1), ContractViolation);  // int knob, double value
+}
+
+TEST(EnvTest, OutOfRangeValueViolatesContract) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  ScopedEnv huge_d(kVar, "1e999");
+  EXPECT_THROW(env_double(kVar, 1.0), ContractViolation);
+  ScopedEnv huge_i(kVar, "99999999999999999999999");
+  EXPECT_THROW(env_int(kVar, 1), ContractViolation);
+}
+
+TEST(EnvTest, BenchKnobsRejectNonPositiveValues) {
+  ScopedContractMode mode(ContractMode::kThrow);
+  {
+    ScopedEnv scale("MRIS_BENCH_SCALE", "0");
+    EXPECT_THROW(bench_scale(), ContractViolation);
+  }
+  {
+    ScopedEnv scale("MRIS_BENCH_SCALE", "-1");
+    EXPECT_THROW(bench_scale(), ContractViolation);
+  }
+  {
+    ScopedEnv reps("MRIS_REPS", "0");
+    EXPECT_THROW(bench_reps(), ContractViolation);
+  }
+  {
+    ScopedEnv scale("MRIS_BENCH_SCALE", "2.5");
+    EXPECT_DOUBLE_EQ(bench_scale(), 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace mris::util

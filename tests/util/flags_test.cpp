@@ -55,6 +55,13 @@ TEST(FlagsTest, TypeErrorsThrow) {
   EXPECT_THROW(f.get_bool("b"), std::invalid_argument);
 }
 
+TEST(FlagsTest, OutOfRangeValuesThrow) {
+  const Flags f =
+      parse({"--n", "99999999999999999999999", "--x", "1e999"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);  // > int64 max
+  EXPECT_THROW(f.get_double("x", 0.0), std::invalid_argument);
+}
+
 TEST(FlagsTest, BoolSpellings) {
   EXPECT_TRUE(parse({"--a", "1"}).get_bool("a"));
   EXPECT_TRUE(parse({"--a", "yes"}).get_bool("a"));

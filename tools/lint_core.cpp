@@ -284,6 +284,10 @@ std::vector<Finding> lint_source(const std::string& path,
   const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
   const bool rng_exempt = ends_with(path, "util/rng.hpp");
   const bool contracts_exempt = ends_with(path, "util/contracts.hpp");
+  // The recovery layer owns durable file IO: it wraps every write in
+  // retry/backoff, CRC framing, and fsync batching.  Raw writes anywhere
+  // else bypass those guarantees.
+  const bool raw_io_exempt = path.find("sim/recovery/") != std::string::npos;
 
   if (is_header) {
     const bool has_pragma =
@@ -368,6 +372,41 @@ std::vector<Finding> lint_source(const std::string& path,
       ctx.report(lineno, "stdout",
                  "library code must not write to stdout; return data and "
                  "let binaries print");
+    }
+
+    if (!raw_io_exempt) {
+      static const std::vector<std::string> kRawIoWords = {
+          "fwrite", "fsync", "fdatasync", "pwrite", "pwritev", "writev"};
+      for (const std::string& word : kRawIoWords) {
+        if (has_call(line, word)) {
+          ctx.report(lineno, "raw-io",
+                     "'" + word +
+                         "' outside the recovery IO layer; durable writes "
+                         "must go through JournalWriter/SnapshotStore "
+                         "(src/sim/recovery/), which add retry, CRC "
+                         "framing, and fsync batching");
+        }
+      }
+      // The write(2) syscall, but only when global-qualified (::write) —
+      // method calls like store->write() and names like write_csv are fine.
+      for (std::size_t pos = line.find("::write"); pos != std::string::npos;
+           pos = line.find("::write", pos + 1)) {
+        if (pos > 0 && (is_word_char(line[pos - 1]) || line[pos - 1] == ':')) {
+          continue;  // namespace-qualified identifier, not the global scope
+        }
+        if (!word_at(line, pos + 2, "write")) continue;  // ::write_csv etc.
+        std::size_t after = pos + 7;
+        while (after < line.size() &&
+               (line[after] == ' ' || line[after] == '\t')) {
+          ++after;
+        }
+        if (after < line.size() && line[after] == '(') {
+          ctx.report(lineno, "raw-io",
+                     "'::write' outside the recovery IO layer; durable "
+                     "writes must go through JournalWriter/SnapshotStore "
+                     "(src/sim/recovery/)");
+        }
+      }
     }
   }
   return findings;

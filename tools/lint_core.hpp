@@ -19,6 +19,10 @@
 //                      INVARIANT instead.
 //   stdout             std::cout/printf in library code — libraries
 //                      return data; binaries own the terminal.
+//   raw-io             fwrite/fsync/fdatasync/pwrite/::write outside
+//                      src/sim/recovery/ — durable writes must go through
+//                      JournalWriter/SnapshotStore, which add retry with
+//                      backoff, CRC framing, and fsync batching.
 //
 // Suppressions: append `// mris-lint: allow(<rule>)` (or allow(all)) to
 // the offending line or the line above it.  A file-wide exemption is

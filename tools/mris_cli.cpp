@@ -18,6 +18,7 @@
 //   --no-merge-storage         keep hdd/ssd separate (5 resources)
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -49,6 +50,8 @@ int usage() {
       "  stats      characterize a workload (load factor, distributions)\n"
       "  simulate   run one scheduler online; print metrics\n"
       "             --scheduler NAME [--gantt] [--out-schedule F]\n"
+      "             durability: --state-dir D [--snapshot-every N]\n"
+      "             [--resume-from D] (snapshot + write-ahead journal in D)\n"
       "  compare    run the full paper lineup (+ DRF, HYBRID) side by side\n"
       "\n"
       "workload sources: --workload F | --azure-vm F --azure-vmtype F |\n"
@@ -159,14 +162,52 @@ int cmd_simulate(const util::Flags& flags) {
   const exp::SchedulerSpec spec =
       exp::parse_scheduler_spec(flags.get("scheduler", "mris"));
 
+  // Durability (docs/RECOVERY.md): --state-dir enables snapshot + journal
+  // files there; --resume-from restores a crashed run's state dir instead.
+  recovery::RecoveryOptions rec;
+  const std::string resume_from = flags.get("resume-from", "");
+  const std::string state_dir =
+      resume_from.empty() ? flags.get("state-dir", "") : resume_from;
+  const bool durable = !state_dir.empty();
+  if (durable) {
+    std::filesystem::create_directories(state_dir);
+    rec.snapshot_path = state_dir + "/engine.mrsn";
+    rec.journal_path = state_dir + "/engine.mrjl";
+    rec.snapshot_every =
+        static_cast<std::uint64_t>(flags.get_int("snapshot-every", 64));
+    rec.resume = !resume_from.empty();
+  } else {
+    (void)flags.get_int("snapshot-every", 0);  // meaningless without a dir
+  }
+
   Schedule sched;
-  const exp::EvalResult r = exp::evaluate_with_schedule(inst, spec, sched);
+  const exp::EvalResult r = exp::evaluate_with_schedule(
+      inst, spec, sched, nullptr, durable ? &rec : nullptr);
   std::printf("scheduler:     %s\n", spec.display_name().c_str());
   std::printf("jobs/machines: %zu / %d\n", r.num_jobs, machines);
   std::printf("AWCT:          %s\n", exp::format_num(r.awct).c_str());
   std::printf("AWFT:          %s\n", exp::format_num(r.awft).c_str());
   std::printf("makespan:      %s\n", exp::format_num(r.makespan).c_str());
   std::printf("mean delay:    %s\n", exp::format_num(r.mean_delay).c_str());
+  if (durable) {
+    std::printf(
+        "durability:    %llu snapshots, %llu journal records"
+        " (%llu bytes)%s%s\n",
+        static_cast<unsigned long long>(r.recovery.snapshots_taken),
+        static_cast<unsigned long long>(r.recovery.journal_records),
+        static_cast<unsigned long long>(r.recovery.journal_bytes),
+        r.recovery.resumed_from_snapshot   ? ", resumed from snapshot"
+        : r.recovery.resumed_journal_only  ? ", resumed journal-only"
+                                           : "",
+        r.recovery.degraded_in_memory      ? ", DEGRADED to in-memory"
+        : r.recovery.degraded_journal_only ? ", DEGRADED to journal-only"
+                                           : "");
+    if (r.recovery.resume_replayed_events > 0) {
+      std::printf("               %llu events replayed from the journal\n",
+                  static_cast<unsigned long long>(
+                      r.recovery.resume_replayed_events));
+    }
+  }
 
   if (flags.get_bool("gantt", false)) {
     std::printf("\n%s", exp::render_gantt(inst, sched).c_str());

@@ -24,6 +24,8 @@ constexpr const char* kRuleHelp =
     "  no-float          float (doubles only)\n"
     "  naked-assert      assert()/<cassert> outside util/contracts.hpp\n"
     "  stdout            std::cout/printf in library code\n"
+    "  raw-io            fwrite/fsync/pwrite/::write outside "
+    "src/sim/recovery/\n"
     "suppress with '// mris-lint: allow(<rule>)' on or above the line,\n"
     "or '// mris-lint: allow-file(<rule>)' in the first 10 lines.\n";
 
