@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -144,7 +145,9 @@ class Engine final : public EngineContext {
     return faults_ ? effective_[static_cast<std::size_t>(id)] : inst_.job(id);
   }
 
-  const std::vector<JobId>& pending() const override { return pending_; }
+  const std::vector<JobId>& pending() const override MRIS_REQUIRES(shard_mutex_) {
+    return pending_;
+  }
   const Cluster& cluster() const override { return cluster_; }
 
   bool can_start(JobId id, MachineId m, Time start) const override {
@@ -184,7 +187,7 @@ class Engine final : public EngineContext {
     return commit_impl(id, m, start, /*throwing=*/false);
   }
 
-  void schedule_wakeup(Time t) override {
+  void schedule_wakeup(Time t) override MRIS_REQUIRES(shard_mutex_) {
     if (t < now_ - 1e-9) {
       throw std::logic_error("schedule_wakeup: time in the past");
     }
@@ -223,7 +226,7 @@ class Engine final : public EngineContext {
     Time progress_in;   ///< checkpointed progress resumed from
   };
 
-  void push(Event e) { queue_.push(e); }
+  void push(Event e) MRIS_REQUIRES(shard_mutex_) { queue_.push(e); }
 
   /// Advances job `id`'s checkpointed progress to `done` (a salvaged grid
   /// mark) and re-sizes its effective view for the next attempt.
@@ -242,7 +245,8 @@ class Engine final : public EngineContext {
                 "effective processing of a resumed job must stay positive");
   }
 
-  bool commit_impl(JobId id, MachineId m, Time start, bool throwing) {
+  bool commit_impl(JobId id, MachineId m, Time start, bool throwing)
+      MRIS_REQUIRES(shard_mutex_) {
     if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs() ||
         !released_[static_cast<std::size_t>(id)]) {
       if (throwing) job(id);  // throws the canonical visibility error
@@ -320,7 +324,8 @@ class Engine final : public EngineContext {
   /// the retry counter and exponential-backoff gate.  The caller notifies
   /// the scheduler; a gated job instead gets a kRetryReady event at its
   /// gate, which default-forwards to on_arrival.
-  void requeue(JobId id, MachineId lost_machine, bool count_retry) {
+  void requeue(JobId id, MachineId lost_machine, bool count_retry)
+      MRIS_REQUIRES(shard_mutex_) {
     const std::size_t i = static_cast<std::size_t>(id);
     MRIS_EXPECT(committed_[i],
                 "requeue of a job without a committed reservation");
@@ -354,7 +359,7 @@ class Engine final : public EngineContext {
   /// The journal is the authoritative record stream — a resumed run that
   /// re-derives a different record than the journal holds is corrupt or
   /// nondeterministic, and aborts loudly rather than completing wrong.
-  void record(const EventRecord& rec) {
+  void record(const EventRecord& rec) MRIS_REQUIRES(shard_mutex_) {
     if (options_.record_events) log_.push_back(rec);
     if (rec_ == nullptr) return;
     if (verify_pos_ < verify_tail_.size()) {
@@ -422,7 +427,8 @@ class Engine final : public EngineContext {
   /// Serializes the complete engine state at an event boundary: clock,
   /// event queue, job/scheduling flags, fault-recovery state, machine
   /// timelines, the schedule, and the scheduler's own state.
-  void save_engine_state(recovery::StateWriter& w) const {
+  void save_engine_state(recovery::StateWriter& w) const
+      MRIS_REQUIRES(shard_mutex_) {
     w.f64(now_);
     w.u64(seq_);
     w.u64(processed_);
@@ -513,7 +519,8 @@ class Engine final : public EngineContext {
     w.str(sw.data());
   }
 
-  void restore_engine_state(recovery::StateReader& r) {
+  void restore_engine_state(recovery::StateReader& r)
+      MRIS_REQUIRES(shard_mutex_) {
     now_ = r.f64();
     seq_ = r.u64();
     processed_ = r.u64();
@@ -667,7 +674,7 @@ class Engine final : public EngineContext {
 
   /// Initializes the durability layer; returns true when engine state was
   /// restored from a snapshot (the caller then skips fresh-run seeding).
-  bool setup_recovery() {
+  bool setup_recovery() MRIS_REQUIRES(shard_mutex_) {
     rec_ = options_.recovery;
     MRIS_EXPECT(!rec_->journal_path.empty() || !rec_->snapshot_path.empty(),
                 "RecoveryOptions needs a journal path or a snapshot path");
@@ -751,7 +758,7 @@ class Engine final : public EngineContext {
 
   /// Takes a snapshot when the cadence says one is due.  The journal is
   /// synced first so the snapshot's cut is covered by durable records.
-  void maybe_snapshot(bool was_wakeup) {
+  void maybe_snapshot(bool was_wakeup) MRIS_REQUIRES(shard_mutex_) {
     if (snapstore_ == nullptr || snapstore_->dead()) return;
     const bool due =
         (rec_->snapshot_at_wakeups && was_wakeup) ||
@@ -771,7 +778,7 @@ class Engine final : public EngineContext {
   /// Keeps the degradation-ladder flags current: snapshots failing with a
   /// live journal is journal-only mode; losing the last configured
   /// mechanism is in-memory mode.  Either way the run keeps scheduling.
-  void note_degradation() {
+  void note_degradation() MRIS_REQUIRES(shard_mutex_) {
     const bool snap_failed = snapstore_ != nullptr && snapstore_->dead();
     const bool jrnl_alive = journal_ != nullptr && !journal_->dead();
     const bool jrnl_failed = journal_ != nullptr && !jrnl_alive;
@@ -796,19 +803,30 @@ class Engine final : public EngineContext {
 
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::vector<JobId> pending_;
+
+  /// Shard lock for the state below.  The engine is single-threaded today,
+  /// so nothing contends on it yet; the sharded engine (ROADMAP) will run
+  /// shards on the ThreadPool and take it around event-queue and
+  /// durability mutations.  Annotating now lets mris_analyze (and clang's
+  /// -Wthread-safety under MRIS_CLANG_THREAD_SAFETY) enforce the
+  /// discipline before the concurrency lands.
+  std::mutex shard_mutex_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_
+      MRIS_GUARDED_BY(shard_mutex_);
+  std::vector<JobId> pending_ MRIS_GUARDED_BY(shard_mutex_);
   std::vector<char> released_;
   std::vector<char> committed_;
-  std::set<Time> wakeups_;
+  std::set<Time> wakeups_ MRIS_GUARDED_BY(shard_mutex_);
   std::size_t processed_ = 0;
   std::size_t remaining_ = 0;  ///< jobs not yet completed
 
   // Durability state (inert without RunOptions::recovery).
   const recovery::RecoveryOptions* rec_ = nullptr;
-  recovery::RecoveryStats rec_stats_;
-  std::unique_ptr<recovery::JournalWriter> journal_;
-  std::unique_ptr<recovery::SnapshotStore> snapstore_;
+  recovery::RecoveryStats rec_stats_ MRIS_GUARDED_BY(shard_mutex_);
+  std::unique_ptr<recovery::JournalWriter> journal_
+      MRIS_PT_GUARDED_BY(shard_mutex_);
+  std::unique_ptr<recovery::SnapshotStore> snapstore_
+      MRIS_PT_GUARDED_BY(shard_mutex_);
   recovery::StateWriter snap_writer_;  ///< reused buffer, capacity persists
   std::uint64_t fingerprint_ = 0;
   std::uint64_t records_emitted_ = 0;  ///< position in the record stream
@@ -831,7 +849,7 @@ class Engine final : public EngineContext {
   std::vector<std::vector<LiveRes>> live_;  ///< per machine, commit order
 };
 
-RunResult Engine::run() {
+RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
   if (options_.faults) {
     options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
     if (!options_.faults->empty()) faults_ = options_.faults;

@@ -8,6 +8,10 @@
 #include <utility>
 
 #include "core/metrics.hpp"
+// Known debt: the metamorphic oracles drive real schedulers end-to-end, so
+// testkit reaches up into exp.  ROADMAP: split the scheduler registry out
+// of exp so this edge can flip downward.
+// mris-analyze: allow(layer-upward)
 #include "exp/runner.hpp"
 #include "sched/bounds.hpp"
 #include "sched/optimal.hpp"

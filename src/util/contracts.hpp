@@ -84,3 +84,42 @@ void contract_failed(const char* kind, const char* condition,
 #define MRIS_EXPECT(cond, msg) MRIS_CONTRACT_CHECK_("precondition", cond, msg)
 #define MRIS_ENSURE(cond, msg) MRIS_CONTRACT_CHECK_("postcondition", cond, msg)
 #define MRIS_INVARIANT(cond, msg) MRIS_CONTRACT_CHECK_("invariant", cond, msg)
+
+// --- thread-safety annotations ---------------------------------------------
+//
+// Clang-style capability annotations for state the sharded engine will
+// share across ThreadPool workers.  They are contracts in the same spirit
+// as MRIS_EXPECT: a field declared MRIS_GUARDED_BY(m) documents — and lets
+// tooling enforce — that `m` must be held to touch it.
+//
+// Two independent checkers consume them:
+//   * mris_analyze (tools/mris_analyze, always on in CI) checks lexically
+//     that every function touching an annotated field names the guard;
+//   * clang's -Wthread-safety checks them natively when building with
+//     clang and -DMRIS_CLANG_THREAD_SAFETY (opt-in so the default gcc
+//     -Werror build never sees unknown attributes).
+//
+//   MRIS_CAPABILITY(x)        type is a lockable capability (mutex-like)
+//   MRIS_GUARDED_BY(x)        field requires holding x
+//   MRIS_PT_GUARDED_BY(x)     pointed-to data requires holding x
+//   MRIS_REQUIRES(x)          function must be called with x held
+//   MRIS_ACQUIRE(x)           function acquires x
+//   MRIS_RELEASE(x)           function releases x
+//   MRIS_EXCLUDES(x)          function must be called with x NOT held
+//   MRIS_NO_THREAD_SAFETY_ANALYSIS  opt a function out of clang's checker
+
+#if defined(MRIS_CLANG_THREAD_SAFETY) && defined(__clang__)
+#define MRIS_TS_ATTR_(x) __attribute__((x))
+#else
+#define MRIS_TS_ATTR_(x)  // no-op outside the opt-in clang build
+#endif
+
+#define MRIS_CAPABILITY(x) MRIS_TS_ATTR_(capability(x))
+#define MRIS_GUARDED_BY(x) MRIS_TS_ATTR_(guarded_by(x))
+#define MRIS_PT_GUARDED_BY(x) MRIS_TS_ATTR_(pt_guarded_by(x))
+#define MRIS_REQUIRES(x) MRIS_TS_ATTR_(requires_capability(x))
+#define MRIS_ACQUIRE(x) MRIS_TS_ATTR_(acquire_capability(x))
+#define MRIS_RELEASE(x) MRIS_TS_ATTR_(release_capability(x))
+#define MRIS_EXCLUDES(x) MRIS_TS_ATTR_(locks_excluded(x))
+#define MRIS_NO_THREAD_SAFETY_ANALYSIS \
+  MRIS_TS_ATTR_(no_thread_safety_analysis)

@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace mris::util {
 
 class ThreadPool {
@@ -58,10 +60,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_ MRIS_GUARDED_BY(mutex_);
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ MRIS_GUARDED_BY(mutex_) = false;
 };
 
 /// Shared pool for the experiment harness (constructed on first use).

@@ -1,0 +1,466 @@
+// Unit tests for the mris_analyze frontend (tokens, scopes, symbols,
+// suppressions) and its three passes (layering, taint, thread-safety),
+// plus end-to-end assertions over the committed fixture trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/lint_core.hpp"
+#include "tools/mris_analyze/frontend.hpp"
+#include "tools/mris_analyze/layering.hpp"
+#include "tools/mris_analyze/taint.hpp"
+#include "tools/mris_analyze/threadsafety.hpp"
+
+namespace mris::analyze {
+namespace {
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int line_of(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+// --- tokenizer ------------------------------------------------------------
+
+TEST(Tokenize, IdentifiersNumbersAndMultiCharOperators) {
+  const auto toks = tokenize("a2 += b->c :: 10 == x;");
+  std::vector<std::string> texts;
+  for (const auto& t : toks) texts.push_back(t.text);
+  const std::vector<std::string> want = {"a2", "+=", "b", "->", "c",
+                                         "::", "10", "==", "x",  ";"};
+  EXPECT_EQ(texts, want);
+  EXPECT_TRUE(toks[0].is_ident);
+  EXPECT_FALSE(toks[6].is_ident);  // "10" is a number, not an identifier
+}
+
+TEST(Tokenize, TracksLineNumbersAndSkipsPreprocessor) {
+  const auto toks = tokenize("int a;\n#define M(x) \\\n  (x)\nint b;\n");
+  ASSERT_EQ(toks.size(), 6u);  // int a ; int b ; — the directive vanishes
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[3].text, "int");
+  EXPECT_EQ(toks[3].line, 4);  // continuation consumed both #define lines
+}
+
+// --- scopes ---------------------------------------------------------------
+
+TEST(Scopes, ClassifiesNamespaceClassFunctionBlock) {
+  const std::string text =
+      "namespace ns {\n"
+      "class Widget {\n"
+      " public:\n"
+      "  int poke() {\n"
+      "    if (x) { y(); }\n"
+      "    return 0;\n"
+      "  }\n"
+      "};\n"
+      "}\n";
+  const SourceFile f = make_source("t.cpp", text);
+  std::vector<ScopeKind> kinds;
+  for (const auto& s : f.scopes) kinds.push_back(s.kind);
+  const std::vector<ScopeKind> want = {ScopeKind::kNamespace, ScopeKind::kClass,
+                                       ScopeKind::kFunction, ScopeKind::kBlock};
+  EXPECT_EQ(kinds, want);
+  EXPECT_EQ(f.scopes[0].name, "ns");
+  EXPECT_EQ(f.scopes[1].name, "Widget");
+  EXPECT_EQ(f.scopes[2].name, "poke");
+  EXPECT_EQ(enclosing_class_name(f.scopes, 2), "Widget");
+
+  // A token inside the if-block resolves to the function scope.
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (f.tokens[i].text == "y") {
+      EXPECT_EQ(enclosing_function(f.scopes, i), 2);
+    }
+  }
+}
+
+TEST(Scopes, QualifiedOutOfLineDefinitionKeepsQualifier) {
+  const SourceFile f =
+      make_source("t.cpp", "int Widget::poke(int v) { return v; }\n");
+  ASSERT_EQ(f.scopes.size(), 1u);
+  EXPECT_EQ(f.scopes[0].kind, ScopeKind::kFunction);
+  EXPECT_EQ(f.scopes[0].name, "Widget::poke");
+}
+
+// --- symbol table ---------------------------------------------------------
+
+TEST(Symbols, RecordsContainersThreadLocalsAndGuards) {
+  const std::string text =
+      "#include <map>\n"
+      "struct S {\n"
+      "  std::unordered_map<int, int> ages_;\n"
+      "  std::map<Task*, int> by_ptr_;\n"
+      "  int hits_ MRIS_GUARDED_BY(mu_) = 0;\n"
+      "  Journal* journal_ MRIS_PT_GUARDED_BY(mu_) = nullptr;\n"
+      "};\n"
+      "thread_local int scratch = 0;\n";
+  const SourceFile f = make_source("t.cpp", text);
+
+  ASSERT_EQ(f.symbols.containers.size(), 2u);
+  EXPECT_EQ(f.symbols.containers[0].name, "ages_");
+  EXPECT_EQ(f.symbols.containers[0].order, ContainerOrder::kUnordered);
+  EXPECT_EQ(f.symbols.containers[1].name, "by_ptr_");
+  EXPECT_EQ(f.symbols.containers[1].order, ContainerOrder::kPointerKeyed);
+
+  ASSERT_EQ(f.symbols.thread_locals.size(), 1u);
+  EXPECT_EQ(f.symbols.thread_locals[0], "scratch");
+
+  ASSERT_EQ(f.symbols.guarded.size(), 2u);
+  EXPECT_EQ(f.symbols.guarded[0].cls, "S");
+  EXPECT_EQ(f.symbols.guarded[0].field, "hits_");
+  EXPECT_EQ(f.symbols.guarded[0].mutex, "mu_");
+  EXPECT_FALSE(f.symbols.guarded[0].pointer_guard);
+  EXPECT_EQ(f.symbols.guarded[1].field, "journal_");
+  EXPECT_TRUE(f.symbols.guarded[1].pointer_guard);
+}
+
+// --- suppressions ---------------------------------------------------------
+
+TEST(Suppressions, LineAndPreviousLineAndWildcard) {
+  EXPECT_TRUE(line_allows("x();  // mris-analyze: allow(ts-global)",
+                          "ts-global"));
+  EXPECT_TRUE(line_allows("// mris-analyze: allow(all)", "taint-flow"));
+  EXPECT_FALSE(line_allows("// mris-analyze: allow(ts-global)", "ts-guard"));
+  // mris-lint's tag must NOT suppress analyzer findings.
+  EXPECT_FALSE(line_allows("// mris-lint: allow(ts-global)", "ts-global"));
+}
+
+TEST(Suppressions, ReporterHonorsCommentOnOrAboveLine) {
+  const std::string text =
+      "int a;\n"
+      "// mris-analyze: allow(demo)\n"
+      "int b;\n";
+  const SourceFile f = make_source("t.cpp", text);
+  Options options;
+  std::vector<Finding> sink;
+  Reporter r(f, options, sink);
+  r.report(1, "demo", "on unsuppressed line");
+  r.report(3, "demo", "line above allows");
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].line, 1);
+  EXPECT_TRUE(r.suppressed(3, "demo"));
+
+  // --no-suppress reports both.
+  options.honor_suppressions = false;
+  std::vector<Finding> raw;
+  Reporter r2(f, options, raw);
+  r2.report(3, "demo", "reported raw");
+  EXPECT_EQ(raw.size(), 1u);
+}
+
+TEST(Suppressions, RuleFilterDropsOtherRules) {
+  const SourceFile f = make_source("t.cpp", "int a;\n");
+  Options options;
+  options.rule_filter = {"keep-me"};
+  std::vector<Finding> sink;
+  Reporter r(f, options, sink);
+  r.report(1, "keep-me", "kept");
+  r.report(1, "drop-me", "dropped");
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].rule, "keep-me");
+}
+
+// --- layering -------------------------------------------------------------
+
+SourceFile include_file(const std::string& rel, const std::string& body) {
+  return make_source(rel, body);
+}
+
+TEST(Layering, UpwardIncludeIsFlaggedDownwardIsNot) {
+  std::vector<SourceFile> files = {
+      include_file("util/a.hpp", "#include \"sim/engine.hpp\"\n"),
+      include_file("sim/engine.hpp", "#include \"util/rng.hpp\"\n"),
+      include_file("util/rng.hpp", "int x;\n"),
+  };
+  const std::vector<std::string> rels = {"util/a.hpp", "sim/engine.hpp",
+                                         "util/rng.hpp"};
+  const LayeringResult res = analyze_layering(files, rels, Options{});
+  ASSERT_TRUE(has_rule(res.findings, "layer-upward"));
+  EXPECT_EQ(line_of(res.findings, "layer-upward"), 1);
+  // Only the util -> sim edge is a violation; sim -> util is the order.
+  EXPECT_EQ(res.findings.size(), 1u);
+  EXPECT_EQ(res.findings[0].file, "util/a.hpp");
+  EXPECT_EQ(res.edge_count, 2);
+  EXPECT_EQ(res.modules.at("util").rank, 0);
+  EXPECT_GT(res.modules.at("sim").rank, res.modules.at("util").rank);
+}
+
+TEST(Layering, FileCycleIsFlagged) {
+  std::vector<SourceFile> files = {
+      include_file("core/a.hpp", "#include \"core/b.hpp\"\n"),
+      include_file("core/b.hpp", "#include \"core/a.hpp\"\n"),
+  };
+  const std::vector<std::string> rels = {"core/a.hpp", "core/b.hpp"};
+  const LayeringResult res = analyze_layering(files, rels, Options{});
+  EXPECT_TRUE(has_rule(res.findings, "layer-cycle"));
+}
+
+TEST(Layering, SuppressedViolationStaysInBaseline) {
+  std::vector<SourceFile> files = {
+      include_file("util/a.hpp",
+                   "// mris-analyze: allow(layer-upward)\n"
+                   "#include \"sim/engine.hpp\"\n"),
+      include_file("sim/engine.hpp", "int x;\n"),
+  };
+  const std::vector<std::string> rels = {"util/a.hpp", "sim/engine.hpp"};
+  const LayeringResult res = analyze_layering(files, rels, Options{});
+  EXPECT_FALSE(has_rule(res.findings, "layer-upward"));
+  ASSERT_EQ(res.violations.size(), 1u);
+  EXPECT_TRUE(res.violations[0].suppressed);
+  // The suppressed edge still shows up in the JSON baseline.
+  EXPECT_NE(layers_json(res).find("\"suppressed\": true"), std::string::npos);
+}
+
+TEST(Layering, JsonIsDeterministic) {
+  std::vector<SourceFile> files = {
+      include_file("sim/a.hpp", "#include \"util/b.hpp\"\n"),
+      include_file("util/b.hpp", "int x;\n"),
+  };
+  const std::vector<std::string> rels = {"sim/a.hpp", "util/b.hpp"};
+  const LayeringResult r1 = analyze_layering(files, rels, Options{});
+  const LayeringResult r2 = analyze_layering(files, rels, Options{});
+  EXPECT_EQ(layers_json(r1), layers_json(r2));
+  EXPECT_NE(layers_json(r1).find("\"files\": 2"), std::string::npos);
+  // The markdown rendering carries the layer diagram for docs.
+  EXPECT_NE(layers_markdown(r1).find("util"), std::string::npos);
+}
+
+// --- taint ----------------------------------------------------------------
+
+std::vector<Finding> taint_of(const std::string& text) {
+  const SourceFile f = make_source("t.cpp", text);
+  return analyze_taint(f, Options{});
+}
+
+TEST(Taint, RangeForOverUnorderedIsASource) {
+  const auto findings = taint_of(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> ages;\n"
+      "int sum() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& kv : ages) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(findings, "taint-unordered"));
+  EXPECT_EQ(line_of(findings, "taint-unordered"), 5);
+}
+
+TEST(Taint, IteratorAndForEachFormsAreSources) {
+  const auto findings = taint_of(
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen;\n"
+      "void touch() {\n"
+      "  auto it = seen.begin();\n"
+      "  std::for_each(seen.cbegin(), seen.cend(), [](int) {});\n"
+      "}\n");
+  std::size_t unordered = 0;
+  for (const auto& f : findings) unordered += f.rule == "taint-unordered";
+  EXPECT_GE(unordered, 2u);
+}
+
+TEST(Taint, PointerKeyedMapAndPointerHash) {
+  const auto findings = taint_of(
+      "#include <map>\n"
+      "struct Task;\n"
+      "std::map<Task*, int> prio;\n"
+      "std::size_t h(Task* t) { return std::hash<Task*>{}(t); }\n"
+      "void walk() {\n"
+      "  for (auto& kv : prio) {}\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(findings, "taint-pointer-key"));
+}
+
+TEST(Taint, FlowFromUnorderedIterationIntoSink) {
+  const auto findings = taint_of(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> jobs;\n"
+      "void drain(Engine& eng) {\n"
+      "  for (auto& kv : jobs) {\n"
+      "    int picked = kv.first;\n"
+      "    eng.commit(picked);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(findings, "taint-flow"));
+  EXPECT_EQ(line_of(findings, "taint-flow"), 6);
+}
+
+TEST(Taint, ThreadLocalIsFlowOnlyNotAStandaloneFinding) {
+  // A thread_local that never reaches a sink is silent...
+  const auto clean = taint_of(
+      "thread_local int scratch = 0;\n"
+      "int bump() { return ++scratch; }\n");
+  EXPECT_FALSE(has_rule(clean, "taint-flow"));
+  // ...but passing one to an ordering-sensitive sink is a finding.
+  const auto flagged = taint_of(
+      "thread_local int scratch = 0;\n"
+      "void drain(Engine& eng) { eng.push(scratch); }\n");
+  EXPECT_TRUE(has_rule(flagged, "taint-flow"));
+}
+
+TEST(Taint, SuppressionSilencesTheSource) {
+  const auto findings = taint_of(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> ages;\n"
+      "int sum() {\n"
+      "  int s = 0;\n"
+      "  // mris-analyze: allow(taint-unordered)\n"
+      "  for (const auto& kv : ages) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(findings, "taint-unordered"));
+}
+
+// --- thread-safety --------------------------------------------------------
+
+std::vector<Finding> ts_of(const std::string& text) {
+  std::vector<SourceFile> files = {make_source("t.cpp", text)};
+  return analyze_threadsafety(files, Options{});
+}
+
+TEST(ThreadSafety, MutableStaticWithoutAnnotationIsFlagged) {
+  const auto findings = ts_of(
+      "namespace x {\n"
+      "static int g_hits = 0;\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(findings, "ts-global"));
+  EXPECT_EQ(line_of(findings, "ts-global"), 2);
+}
+
+TEST(ThreadSafety, ConstexprMutexAndAtomicGlobalsAreExempt) {
+  const auto findings = ts_of(
+      "namespace x {\n"
+      "constexpr int kLimit = 8;\n"
+      "static const char* kName = \"mris\";\n"
+      "static std::mutex g_mu;\n"
+      "static std::atomic<int> g_count{0};\n"
+      "static std::once_flag g_once;\n"
+      "static int g_state MRIS_GUARDED_BY(g_mu) = 0;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(findings, "ts-global"));
+}
+
+TEST(ThreadSafety, GuardedFieldTouchedWithoutNamingMutex) {
+  const auto findings = ts_of(
+      "class Queue {\n"
+      " public:\n"
+      "  void add(int v) { items_.push_back(v); }\n"
+      "  int size() const {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    return items_.size();\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_ MRIS_GUARDED_BY(mu_);\n"
+      "};\n");
+  // add() never names mu_; size() locks it.
+  std::size_t guard = 0;
+  for (const auto& f : findings) guard += f.rule == "ts-guard";
+  EXPECT_EQ(guard, 1u);
+  EXPECT_EQ(line_of(findings, "ts-guard"), 3);
+}
+
+TEST(ThreadSafety, RequiresAnnotationInSignatureCountsAsNaming) {
+  const auto findings = ts_of(
+      "class Queue {\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_ MRIS_GUARDED_BY(mu_);\n"
+      "  void add_locked(int v) MRIS_REQUIRES(mu_) { items_.push_back(v); }\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(findings, "ts-guard"));
+}
+
+TEST(ThreadSafety, ConstructorIsExemptFromGuardDiscipline) {
+  const auto findings = ts_of(
+      "class Queue {\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_ MRIS_GUARDED_BY(mu_);\n"
+      " public:\n"
+      "  Queue() { items_.reserve(8); }\n"
+      "  ~Queue() { items_.clear(); }\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(findings, "ts-guard"));
+}
+
+TEST(ThreadSafety, GuardRegistrySpansFiles) {
+  // Annotation in the header, touch in the .cpp — the pass must join them.
+  std::vector<SourceFile> files = {
+      make_source("q.hpp",
+                  "class Queue {\n"
+                  "  std::mutex mu_;\n"
+                  "  std::vector<int> items_ MRIS_GUARDED_BY(mu_);\n"
+                  "  void add(int v);\n"
+                  "};\n"),
+      make_source("q.cpp", "void Queue::add(int v) { items_.push_back(v); }\n"),
+  };
+  const auto findings = analyze_threadsafety(files, Options{});
+  ASSERT_TRUE(has_rule(findings, "ts-guard"));
+  EXPECT_EQ(findings[0].file, "q.cpp");
+}
+
+TEST(ThreadSafety, ByRefCaptureSubmittedToPool) {
+  const auto findings = ts_of(
+      "void fan_out(util::ThreadPool& pool, int& acc) {\n"
+      "  pool.submit([&acc] { ++acc; });\n"
+      "  pool.submit([acc] { (void)acc; });\n"
+      "}\n");
+  std::size_t refcap = 0;
+  for (const auto& f : findings) refcap += f.rule == "ts-ref-capture";
+  EXPECT_EQ(refcap, 1u);
+  EXPECT_EQ(line_of(findings, "ts-ref-capture"), 2);
+}
+
+// --- fixtures end to end --------------------------------------------------
+
+std::vector<Finding> analyze_dir(const std::string& dir) {
+  const std::vector<std::string> paths = mris::lint::collect_sources(dir);
+  std::vector<SourceFile> files;
+  std::vector<std::string> rels;
+  for (const std::string& p : paths) {
+    SourceFile f;
+    if (!load_source(p, f)) continue;
+    rels.push_back(
+        std::filesystem::path(p).lexically_relative(dir).generic_string());
+    f.path = rels.back();
+    files.push_back(std::move(f));
+  }
+  const Options options;
+  std::vector<Finding> all = analyze_layering(files, rels, options).findings;
+  for (const SourceFile& f : files) {
+    const auto t = analyze_taint(f, options);
+    all.insert(all.end(), t.begin(), t.end());
+  }
+  const auto ts = analyze_threadsafety(files, options);
+  all.insert(all.end(), ts.begin(), ts.end());
+  return all;
+}
+
+TEST(Fixtures, GoodTreeIsClean) {
+  const auto findings = analyze_dir(std::string(MRIS_ANALYZE_FIXTURES) +
+                                    "/good");
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " unexpected finding(s), first: "
+      << format_finding(findings.front());
+}
+
+TEST(Fixtures, EveryBadTreeTripsItsRule) {
+  const std::vector<std::string> rules = {
+      "layer-upward", "layer-cycle",     "taint-unordered",
+      "taint-pointer-key", "taint-flow", "ts-global",
+      "ts-guard",     "ts-ref-capture"};
+  for (const std::string& rule : rules) {
+    const auto findings =
+        analyze_dir(std::string(MRIS_ANALYZE_FIXTURES) + "/bad/" + rule);
+    EXPECT_TRUE(has_rule(findings, rule)) << "fixture for " << rule;
+  }
+}
+
+}  // namespace
+}  // namespace mris::analyze

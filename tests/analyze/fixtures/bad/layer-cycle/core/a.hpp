@@ -1,0 +1,11 @@
+// BAD: a.hpp -> b.hpp -> a.hpp is an include cycle (same module, so the
+// layer ranks are equal — only the cycle detector catches it).
+#pragma once
+
+#include "core/b.hpp"
+
+namespace fixture {
+struct A {
+  int from_b = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "core/a.hpp"
+
+namespace fixture {
+struct B {
+  int from_a = 0;
+};
+}  // namespace fixture

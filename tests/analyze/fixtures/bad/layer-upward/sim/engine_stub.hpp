@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+struct EngineStub {
+  int shards = 1;
+};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// BAD: util is the bottom layer; including sim/ is an upward edge.
+#pragma once
+
+#include "sim/engine_stub.hpp"
+
+namespace fixture {
+inline int shard_count(const EngineStub& e) { return e.shards; }
+}  // namespace fixture

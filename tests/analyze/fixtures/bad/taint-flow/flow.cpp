@@ -1,0 +1,17 @@
+// BAD: a value whose identity came from unordered iteration reaches an
+// ordering-sensitive sink (a schedule commit) without being re-ordered.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+void commit(int job);
+
+void drain(const std::unordered_map<std::string, int>& ready) {
+  for (const auto& [name, job] : ready) {
+    int picked = job;
+    commit(picked);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// BAD: ordered containers keyed by pointers iterate in address order,
+// which ASLR re-rolls every run; std::hash<T*> has the same problem.
+#include <cstddef>
+#include <functional>
+#include <map>
+
+namespace fixture {
+
+struct Task {
+  int id = 0;
+};
+
+int total(const std::map<Task*, int>& by_addr) {
+  int sum = 0;
+  for (const auto& [task, count] : by_addr) sum += count;
+  return sum;
+}
+
+std::size_t slot(Task* t) { return std::hash<Task*>{}(t); }
+
+}  // namespace fixture

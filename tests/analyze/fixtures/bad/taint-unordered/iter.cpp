@@ -1,0 +1,18 @@
+// BAD: iterator-based traversal of an unordered container — the order the
+// lexical range-for rule cannot see.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> keys(const std::unordered_map<std::string, int>& m) {
+  const std::unordered_map<std::string, int>& names = m;
+  std::vector<std::string> out;
+  for (auto it = names.begin(); it != names.end(); ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace fixture

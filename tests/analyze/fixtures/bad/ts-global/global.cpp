@@ -1,0 +1,13 @@
+// BAD: mutable process-wide state with no MRIS_GUARDED_BY annotation.
+namespace fixture {
+
+static int g_hits = 0;
+
+int g_mode = 1;
+
+int bump() {
+  g_hits += g_mode;
+  return g_hits;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// BAD: `add` touches a MRIS_GUARDED_BY(mu_) field without naming the
+// guard — no lock taken, no MRIS_REQUIRES(mu_) on the signature.  (This is
+// also the gate-red demonstration for the annotations themselves: the good
+// fixture's Counter only passes *because* its accessors lock mu_.)
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void add(int v) { items_.push_back(v); }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> items_ MRIS_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

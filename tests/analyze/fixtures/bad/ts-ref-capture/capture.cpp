@@ -1,0 +1,20 @@
+// BAD: the submitted lambda captures a local by reference and nothing
+// here joins the future before the frame can exit.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+struct PoolLike {
+  template <typename F>
+  void submit(F&& fn);
+};
+
+void tally(PoolLike& pool, const std::vector<int>& xs) {
+  int acc = 0;
+  pool.submit([&acc, &xs] {
+    acc = std::accumulate(xs.begin(), xs.end(), 0);
+  });
+}
+
+}  // namespace fixture

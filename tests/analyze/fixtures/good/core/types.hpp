@@ -1,0 +1,21 @@
+// Clean fixture: core may include util (downward edge).
+#pragma once
+
+#include <vector>
+
+#include "util/helpers.hpp"
+
+namespace fixture {
+
+struct Item {
+  int id = 0;
+  double weight = 0.0;
+};
+
+// Deterministic ordering before anything order-sensitive happens.
+inline void sort_items(std::vector<Item>& items) {
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.id < b.id; });
+}
+
+}  // namespace fixture

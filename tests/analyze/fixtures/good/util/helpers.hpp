@@ -1,0 +1,44 @@
+// Clean fixture: every construct here is the approved counterpart of a
+// bad-fixture finding.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// Value-keyed ordered map: iteration order is the key order, deterministic.
+inline int sum_by_name(const std::map<std::string, int>& by_name) {
+  int total = 0;
+  for (const auto& [name, value] : by_name) total += value;
+  return total;
+}
+
+// Guarded state whose every accessor names the guard.
+class Counter {
+ public:
+  void add(int v) {
+    std::lock_guard lock(mu_);
+    hits_ += v;
+  }
+
+  int get() const {
+    std::lock_guard lock(mu_);
+    return hits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int hits_ MRIS_GUARDED_BY(mu_) = 0;
+};
+
+// Immutable statics are not shared *mutable* state.
+inline const char* mode_name() {
+  static constexpr const char* kName = "fixture";
+  return kName;
+}
+
+}  // namespace fixture

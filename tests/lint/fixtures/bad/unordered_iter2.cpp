@@ -1,0 +1,20 @@
+// Iterator-based and for_each traversal of unordered containers: the
+// forms the original range-for-only rule missed.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> registry;
+
+int first_value() {
+  auto it = registry.begin();
+  return it == registry.end() ? 0 : it->second;
+}
+
+void visit_all() {
+  std::for_each(registry.begin(), registry.end(), [](auto& kv) { ++kv.second; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture for the --stale audit: one live suppression (kept) and one
+// stale suppression (reported).
+namespace fixture {
+
+// Live: the rule really fires on the line below, so the comment earns
+// its keep.
+// mris-lint: allow(no-float)
+float narrow = 0.0f;
+
+// Stale: nothing on this line (or the next) triggers no-float anymore —
+// the audit reports exactly this comment.
+int widened = 0;  // mris-lint: allow(no-float)
+
+}  // namespace fixture

@@ -129,6 +129,33 @@ TEST(LintRuleTest, TracksUnorderedVariablesAcrossLines) {
                   .empty());
 }
 
+TEST(LintRuleTest, FlagsIteratorAndForEachTraversal) {
+  // begin()-family iterators on a known unordered variable.
+  EXPECT_TRUE(has_rule(lint("std::unordered_map<int, int> hist;\n"
+                            "void f() {\n"
+                            "  auto it = hist.begin();\n"
+                            "}\n"),
+                       "unordered-iter", 3));
+  // std::for_each over an unordered container.
+  EXPECT_TRUE(has_rule(lint("std::unordered_set<int> seen;\n"
+                            "void f() {\n"
+                            "  std::for_each(seen.cbegin(), seen.cend(), g);\n"
+                            "}\n"),
+                       "unordered-iter", 3));
+  // begin() on an ordered container stays clean.
+  EXPECT_TRUE(lint("std::map<int, int> sorted;\n"
+                   "void f() {\n"
+                   "  auto it = sorted.begin();\n"
+                   "}\n")
+                  .empty());
+  // A range-for line is reported once, not once per matching branch.
+  const auto findings = lint("std::unordered_map<int, int> hist;\n"
+                             "void f() {\n"
+                             "  for (auto& kv : hist) g(kv);\n"
+                             "}\n");
+  EXPECT_EQ(findings.size(), 1u);
+}
+
 TEST(LintRuleTest, FlagsFloat) {
   EXPECT_TRUE(has_rule(lint("float f = 0.5f;"), "no-float", 1));
   EXPECT_TRUE(lint("double d = 0.5; int afloat = 1;").empty());
@@ -210,6 +237,54 @@ TEST(LintSuppressionTest, NoSuppressModeReportsAnyway) {
       lint_source("x/test.cpp", "float f;  // mris-lint: allow(no-float)",
                   options),
       "no-float"));
+}
+
+// --- stale-suppression audit ----------------------------------------------
+
+TEST(LintStaleTest, LiveSuppressionIsNotStale) {
+  EXPECT_TRUE(stale_suppressions(
+                  "x/test.cpp", "float f;  // mris-lint: allow(no-float)")
+                  .empty());
+  // A previous-line allow covering the next line is live too.
+  EXPECT_TRUE(stale_suppressions(
+                  "x/test.cpp", "// mris-lint: allow(no-float)\nfloat f;")
+                  .empty());
+}
+
+TEST(LintStaleTest, OrphanedSuppressionIsReported) {
+  const auto stale = stale_suppressions(
+      "x/test.cpp", "int i = 0;  // mris-lint: allow(no-float)");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].line, 1);
+  EXPECT_EQ(stale[0].rule, "no-float");
+  EXPECT_FALSE(stale[0].file_wide);
+  // The fix-style rendering names the comment to delete.
+  EXPECT_NE(format_stale(stale[0]).find("allow(no-float)"), std::string::npos);
+}
+
+TEST(LintStaleTest, AllowAllIsLiveIfAnyRuleFires) {
+  EXPECT_TRUE(stale_suppressions(
+                  "x/test.cpp", "float f = rand();  // mris-lint: allow(all)")
+                  .empty());
+  EXPECT_EQ(stale_suppressions(
+                "x/test.cpp", "int i = 0;  // mris-lint: allow(all)")
+                .size(),
+            1u);
+}
+
+TEST(LintStaleTest, FileWideSuppressionCheckedAgainstWholeFile) {
+  // Live: a float appears further down the file.
+  EXPECT_TRUE(stale_suppressions("x/test.cpp",
+                                 "// mris-lint: allow-file(no-float)\n"
+                                 "int a;\n"
+                                 "float b;\n")
+                  .empty());
+  // Stale: the rule never fires anywhere.
+  const auto stale = stale_suppressions("x/test.cpp",
+                                        "// mris-lint: allow-file(no-float)\n"
+                                        "int a;\n");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_TRUE(stale[0].file_wide);
 }
 
 // --- fixture files (the same ones the ctest invocations scan) -------------

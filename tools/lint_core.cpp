@@ -49,6 +49,37 @@ bool has_call(const std::string& text, const std::string& word) {
   return false;
 }
 
+/// True when `line` contains `<name>.begin(`-family access (also `->`,
+/// and the cbegin/rbegin/crbegin variants) on the given container name.
+bool has_begin_access(const std::string& line, const std::string& name) {
+  static const std::vector<std::string> kBeginWords = {"begin", "cbegin",
+                                                       "rbegin", "crbegin"};
+  for (std::size_t pos = line.find(name); pos != std::string::npos;
+       pos = line.find(name, pos + 1)) {
+    if (!word_at(line, pos, name)) continue;
+    std::size_t i = pos + name.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '.') {
+      ++i;
+    } else if (i + 1 < line.size() && line[i] == '-' && line[i + 1] == '>') {
+      i += 2;
+    } else {
+      continue;
+    }
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    for (const std::string& w : kBeginWords) {
+      if (!word_at(line, i, w)) continue;
+      std::size_t after = i + w.size();
+      while (after < line.size() &&
+             (line[after] == ' ' || line[after] == '\t')) {
+        ++after;
+      }
+      if (after < line.size() && line[after] == '(') return true;
+    }
+  }
+  return false;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -335,6 +366,7 @@ std::vector<Finding> lint_source(const std::string& path,
       }
     }
 
+    bool unordered_flagged = false;
     if (find_word(line, "for") != std::string::npos) {
       const bool direct = line.find("unordered_") != std::string::npos;
       const bool via_name = std::any_of(
@@ -343,10 +375,33 @@ std::vector<Finding> lint_source(const std::string& path,
             return find_word(line, name) != std::string::npos;
           });
       if (direct || via_name) {
+        unordered_flagged = true;
         ctx.report(lineno, "unordered-iter",
                    "iterating an unordered container has "
                    "implementation-defined order; use a sorted container or "
                    "sort the keys first");
+      }
+    }
+    // Iterator-based traversal (`it = m.begin()`) and std::for_each reach
+    // the same implementation-defined order without `for` on the line.
+    if (!unordered_flagged) {
+      const bool via_begin = std::any_of(
+          unordered_names.begin(), unordered_names.end(),
+          [&](const std::string& name) {
+            return has_begin_access(line, name);
+          });
+      const bool via_for_each =
+          has_call(line, "for_each") &&
+          (line.find("unordered_") != std::string::npos ||
+           std::any_of(unordered_names.begin(), unordered_names.end(),
+                       [&](const std::string& name) {
+                         return find_word(line, name) != std::string::npos;
+                       }));
+      if (via_begin || via_for_each) {
+        ctx.report(lineno, "unordered-iter",
+                   "iterating an unordered container (iterator or "
+                   "std::for_each form) has implementation-defined order; "
+                   "use a sorted container or sort the keys first");
       }
     }
 
@@ -447,6 +502,78 @@ std::vector<std::string> collect_sources(const std::string& root) {
 std::string format_finding(const Finding& finding) {
   return finding.file + ":" + std::to_string(finding.line) + ": [" +
          finding.rule + "] " + finding.message;
+}
+
+namespace {
+
+/// Extracts the rule named by an allow/allow-file tag in `line`, if any.
+bool parse_allow_tag(const std::string& line, const std::string& tag,
+                     std::string& rule_out) {
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return false;
+  const std::size_t open = line.find('(', pos);
+  const std::size_t close = line.find(')', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  rule_out = line.substr(open + 1, close - open - 1);
+  return true;
+}
+
+}  // namespace
+
+std::vector<StaleSuppression> stale_suppressions(const std::string& path,
+                                                 const std::string& source) {
+  Options raw;
+  raw.honor_suppressions = false;
+  const std::vector<Finding> findings = lint_source(path, source, raw);
+  const std::vector<std::string> lines = split_lines(source);
+
+  const auto rule_fires_at = [&](const std::string& rule, int line) {
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                         return f.line == line &&
+                                (rule == "all" || f.rule == rule);
+                       });
+  };
+  const auto rule_fires_anywhere = [&](const std::string& rule) {
+    return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+      return rule == "all" || f.rule == rule;
+    });
+  };
+
+  std::vector<StaleSuppression> stale;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    std::string rule;
+    // A line-level allow covers its own line and the one below.
+    if (parse_allow_tag(lines[i], "mris-lint: allow(", rule)) {
+      if (!rule_fires_at(rule, lineno) && !rule_fires_at(rule, lineno + 1)) {
+        stale.push_back({path, lineno, rule, /*file_wide=*/false});
+      }
+    }
+    if (i < 10 &&
+        parse_allow_tag(lines[i], "mris-lint: allow-file(", rule)) {
+      if (!rule_fires_anywhere(rule)) {
+        stale.push_back({path, lineno, rule, /*file_wide=*/true});
+      }
+    }
+  }
+  return stale;
+}
+
+std::vector<StaleSuppression> stale_suppressions_in_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return stale_suppressions(path, buffer.str());
+}
+
+std::string format_stale(const StaleSuppression& stale) {
+  const std::string form = stale.file_wide ? "allow-file" : "allow";
+  return stale.file + ":" + std::to_string(stale.line) +
+         ": stale 'mris-lint: " + form + "(" + stale.rule +
+         ")' — the rule no longer fires here; remove this comment";
 }
 
 }  // namespace mris::lint

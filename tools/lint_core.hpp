@@ -68,4 +68,30 @@ std::vector<std::string> collect_sources(const std::string& root);
 /// "file:line: [rule] message" — the clickable compiler-style format.
 std::string format_finding(const Finding& finding);
 
+// --- stale-suppression audit ----------------------------------------------
+
+/// A `// mris-lint: allow(...)` comment that no longer suppresses
+/// anything: re-linting with suppressions ignored produces no finding of
+/// the allowed rule on the comment's line or the line below (for
+/// allow-file: anywhere in the file).  `allow(all)` matches any rule.
+struct StaleSuppression {
+  std::string file;
+  int line = 0;       ///< 1-based line of the allow comment
+  std::string rule;   ///< the rule named in the comment (may be "all")
+  bool file_wide = false;  ///< allow-file(...) form
+};
+
+/// Audits one translation unit's suppression comments against its raw
+/// (unsuppressed) findings.
+std::vector<StaleSuppression> stale_suppressions(const std::string& path,
+                                                 const std::string& source);
+
+/// Reads and audits a file; unreadable files yield no entries (lint_file
+/// already reports them).
+std::vector<StaleSuppression> stale_suppressions_in_file(
+    const std::string& path);
+
+/// "file:line: stale 'mris-lint: allow(rule)' — remove this comment".
+std::string format_stale(const StaleSuppression& stale);
+
 }  // namespace mris::lint

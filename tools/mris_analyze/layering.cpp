@@ -1,0 +1,291 @@
+#include "tools/mris_analyze/layering.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace mris::analyze {
+
+namespace {
+
+std::string module_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(0, slash);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::vector<std::string>>& default_layers() {
+  static const std::vector<std::vector<std::string>> kLayers = {
+      {"util"},    {"core"},    {"trace"}, {"sim"},
+      {"knapsack", "sched"},    {"testkit"},         {"exp"},
+  };
+  return kLayers;
+}
+
+std::vector<IncludeEdge> collect_includes(const SourceFile& file,
+                                          const std::string& rel_path) {
+  std::vector<IncludeEdge> edges;
+  for (std::size_t i = 0; i < file.stripped_lines.size(); ++i) {
+    const std::string& sline = file.stripped_lines[i];
+    std::size_t pos = sline.find_first_not_of(" \t");
+    if (pos == std::string::npos || sline[pos] != '#') continue;
+    pos = sline.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || sline.compare(pos, 7, "include") != 0) {
+      continue;
+    }
+    // The stripper blanks string contents, so read the path from the
+    // original line.  Only quoted includes participate in layering.
+    if (i >= file.original_lines.size()) continue;
+    const std::string& oline = file.original_lines[i];
+    const std::size_t q1 = oline.find('"');
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = oline.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 == q1 + 1) continue;
+    IncludeEdge e;
+    e.from = rel_path;
+    e.to = oline.substr(q1 + 1, q2 - q1 - 1);
+    e.line = static_cast<int>(i) + 1;
+    edges.push_back(std::move(e));
+  }
+  return edges;
+}
+
+LayeringResult analyze_layering(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::string>& rel_paths, const Options& options,
+    const std::vector<std::vector<std::string>>& layers) {
+  LayeringResult result;
+  std::map<std::string, int> rank;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (const std::string& m : layers[l]) {
+      rank[m] = static_cast<int>(l);
+    }
+  }
+
+  // Stable iteration: process files sorted by relative path.
+  std::vector<std::size_t> order(files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rel_paths[a] < rel_paths[b];
+  });
+
+  std::map<std::string, std::size_t> by_rel;
+  for (std::size_t i = 0; i < files.size(); ++i) by_rel[rel_paths[i]] = i;
+
+  result.file_count = static_cast<int>(files.size());
+  std::map<std::string, std::set<std::string>> out_mods, in_mods;
+  std::map<std::string, std::vector<IncludeEdge>> file_edges;  // from-file
+
+  auto note_violation = [&](std::size_t file_idx, int line,
+                            const std::string& rule,
+                            const std::string& detail) {
+    std::vector<Finding> one;
+    Reporter reporter(files[file_idx], options, one);
+    reporter.report(line, rule, detail);
+    Violation v;
+    v.rule = rule;
+    v.file = rel_paths[file_idx];  // JSON uses root-relative paths
+    v.line = line;
+    v.detail = detail;
+    v.suppressed = one.empty();
+    result.violations.push_back(v);
+    result.findings.insert(result.findings.end(), one.begin(), one.end());
+  };
+
+  for (const std::size_t idx : order) {
+    const SourceFile& f = files[idx];
+    const std::string& rel = rel_paths[idx];
+    const std::string from_mod = module_of(rel);
+    if (!from_mod.empty()) ++result.modules[from_mod].files;
+    for (const IncludeEdge& e : collect_includes(f, rel)) {
+      ++result.edge_count;
+      file_edges[rel].push_back(e);
+      const std::string to_mod = module_of(e.to);
+      const auto from_rank = rank.find(from_mod);
+      const auto to_rank = rank.find(to_mod);
+      if (from_rank == rank.end() || to_rank == rank.end()) continue;
+      if (from_mod == to_mod) {
+        ++result.modules[from_mod].internal_edges;
+      } else {
+        ++result.module_edges[{from_mod, to_mod}];
+        out_mods[from_mod].insert(to_mod);
+        in_mods[to_mod].insert(from_mod);
+        if (to_rank->second > from_rank->second) {
+          note_violation(idx, e.line, "layer-upward",
+                         "'" + rel + "' (layer " +
+                             std::to_string(from_rank->second) + ", " +
+                             from_mod + ") includes '" + e.to + "' (layer " +
+                             std::to_string(to_rank->second) + ", " + to_mod +
+                             "): layering is " + "util -> core -> trace -> "
+                             "sim -> {knapsack, sched} -> testkit -> exp");
+        }
+      }
+    }
+  }
+
+  for (auto& [mod, stats] : result.modules) {
+    const auto r = rank.find(mod);
+    stats.rank = r == rank.end() ? -1 : r->second;
+    stats.fan_in = static_cast<int>(in_mods[mod].size());
+    stats.fan_out = static_cast<int>(out_mods[mod].size());
+  }
+  // Modules that appear only as include targets still get a stats row.
+  for (const auto& [mod, srcs] : in_mods) {
+    if (result.modules.count(mod) == 0) {
+      ModuleStats stats;
+      const auto r = rank.find(mod);
+      stats.rank = r == rank.end() ? -1 : r->second;
+      stats.fan_in = static_cast<int>(srcs.size());
+      result.modules[mod] = stats;
+    }
+  }
+
+  // File-level cycle detection (DFS, deterministic order).  Any module
+  // cycle — including a same-layer one like knapsack <-> sched — shows up
+  // here as a file cycle through the modules' headers, because an include
+  // edge IS a file edge.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path_stack;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    path_stack.push_back(node);
+    for (const IncludeEdge& e : file_edges[node]) {
+      if (by_rel.count(e.to) == 0) continue;  // outside the scanned set
+      const int c = color[e.to];
+      if (c == 1) {
+        // Back edge: the cycle is path_stack from e.to onward, closed by e.
+        std::string chain;
+        bool in_cycle = false;
+        for (const std::string& n : path_stack) {
+          if (n == e.to) in_cycle = true;
+          if (in_cycle) chain += n + " -> ";
+        }
+        chain += e.to;
+        if (reported.insert(chain).second) {
+          const auto it = by_rel.find(node);
+          if (it != by_rel.end()) {
+            note_violation(it->second, e.line, "layer-cycle",
+                           "include cycle: " + chain);
+          }
+        }
+      } else if (c == 0) {
+        dfs(e.to);
+      }
+    }
+    path_stack.pop_back();
+    color[node] = 2;
+  };
+  for (const std::size_t idx : order) {
+    if (color[rel_paths[idx]] == 0) dfs(rel_paths[idx]);
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  std::sort(result.violations.begin(), result.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
+}
+
+std::string layers_json(const LayeringResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"generator\": \"mris_analyze layering v1\",\n";
+  out << "  \"layers\": [";
+  const auto& layers = default_layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    out << (l ? ", " : "") << "[";
+    for (std::size_t m = 0; m < layers[l].size(); ++m) {
+      out << (m ? ", " : "") << '"' << layers[l][m] << '"';
+    }
+    out << "]";
+  }
+  out << "],\n";
+  out << "  \"files\": " << result.file_count << ",\n";
+  out << "  \"include_edges\": " << result.edge_count << ",\n";
+  out << "  \"modules\": {\n";
+  bool first = true;
+  for (const auto& [mod, stats] : result.modules) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << json_escape(mod) << "\": {\"rank\": " << stats.rank
+        << ", \"files\": " << stats.files << ", \"fan_in\": " << stats.fan_in
+        << ", \"fan_out\": " << stats.fan_out
+        << ", \"internal_edges\": " << stats.internal_edges << "}";
+  }
+  out << "\n  },\n";
+  out << "  \"module_edges\": [\n";
+  first = true;
+  for (const auto& [key, count] : result.module_edges) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"from\": \"" << json_escape(key.first) << "\", \"to\": \""
+        << json_escape(key.second) << "\", \"includes\": " << count << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"violations\": [\n";
+  first = true;
+  for (const Violation& v : result.violations) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"rule\": \"" << json_escape(v.rule) << "\", \"file\": \""
+        << json_escape(v.file) << "\", \"line\": " << v.line
+        << ", \"suppressed\": " << (v.suppressed ? "true" : "false")
+        << ", \"detail\": \"" << json_escape(v.detail) << "\"}";
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string layers_markdown(const LayeringResult& result) {
+  std::ostringstream out;
+  out << "```\n";
+  const auto& layers = default_layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (l) out << "   |\n   v\n";
+    out << " ";
+    for (std::size_t m = 0; m < layers[l].size(); ++m) {
+      out << (m ? "   " : "") << layers[l][m];
+    }
+    out << "\n";
+  }
+  out << "```\n\n";
+  out << "| module | layer | files | fan-in | fan-out | internal includes "
+         "|\n";
+  out << "|---|---|---|---|---|---|\n";
+  for (const auto& [mod, stats] : result.modules) {
+    out << "| " << mod << " | " << stats.rank << " | " << stats.files << " | "
+        << stats.fan_in << " | " << stats.fan_out << " | "
+        << stats.internal_edges << " |\n";
+  }
+  out << "\n| from | to | includes |\n|---|---|---|\n";
+  for (const auto& [key, count] : result.module_edges) {
+    out << "| " << key.first << " | " << key.second << " | " << count
+        << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace mris::analyze

@@ -1,0 +1,89 @@
+// Pass 1: include-graph layering.
+//
+// Extracts the full `#include "..."` DAG of the scanned tree and enforces
+// the architecture order
+//
+//   util -> core -> trace -> sim -> {knapsack, sched} -> testkit -> exp
+//
+// (an arrow means "may be included by everything to its right").  A module
+// is the first path component relative to the scanned root (src/util ->
+// "util").  Two kinds of finding:
+//
+//   layer-upward  an include whose target lives in a strictly higher
+//                 layer than the including file's module;
+//   layer-cycle   a file-level include cycle (also covers module cycles
+//                 within one layer, e.g. knapsack <-> sched, since any
+//                 module cycle implies a file cycle through the two
+//                 modules' headers).
+//
+// The pass also produces the machine-readable graph summary written to
+// results/ANALYSIS_layers.json: node/edge counts, per-module fan-in/out,
+// the sorted module-edge list, and every violation (including suppressed
+// ones, so the baseline is visible and diffable in CI).  The emitter is
+// deterministic — fixed key order, sorted arrays, no timestamps — so a
+// double run must produce byte-identical files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/mris_analyze/frontend.hpp"
+
+namespace mris::analyze {
+
+struct IncludeEdge {
+  std::string from;  ///< including file, path relative to the scanned root
+  std::string to;    ///< included path as written (project-relative)
+  int line = 0;
+};
+
+struct ModuleStats {
+  int rank = -1;  ///< layer index, -1 for files outside the known layers
+  int files = 0;
+  int fan_in = 0;        ///< distinct other modules that include this one
+  int fan_out = 0;       ///< distinct other modules this one includes
+  int internal_edges = 0;  ///< includes staying inside the module
+};
+
+struct Violation {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string detail;
+  bool suppressed = false;
+};
+
+struct LayeringResult {
+  std::vector<Finding> findings;  ///< reportable (unsuppressed) findings
+  std::vector<Violation> violations;  ///< all, incl. suppressed (baseline)
+  int file_count = 0;
+  int edge_count = 0;
+  std::map<std::string, ModuleStats> modules;
+  /// (from, to) -> include count, cross-module only, sorted by key.
+  std::map<std::pair<std::string, std::string>, int> module_edges;
+};
+
+/// The enforced layer order; layers[i] may include layers[j] iff j <= i
+/// (same-layer cross-module edges are legal but must stay acyclic).
+const std::vector<std::vector<std::string>>& default_layers();
+
+/// `#include "..."` targets of one file (quoted form only — system
+/// includes are outside the architecture).  Lines whose directive survives
+/// comment stripping only; paths come from the original text because the
+/// stripper blanks string literal contents.
+std::vector<IncludeEdge> collect_includes(const SourceFile& file,
+                                          const std::string& rel_path);
+
+/// Runs the pass over `files` (parallel arrays of frontend views and
+/// root-relative paths).
+LayeringResult analyze_layering(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::string>& rel_paths, const Options& options,
+    const std::vector<std::vector<std::string>>& layers = default_layers());
+
+/// Deterministic JSON / markdown renderings of the graph summary.
+std::string layers_json(const LayeringResult& result);
+std::string layers_markdown(const LayeringResult& result);
+
+}  // namespace mris::analyze

@@ -1,0 +1,158 @@
+// mris_analyze: multi-pass whole-project analyzer (see frontend.hpp).
+//
+//   mris_analyze [--no-suppress] [--rule R]... [--json PATH] [--md PATH]
+//                <src-root>
+//
+// Passes: include-graph layering (layer-upward, layer-cycle),
+// nondeterminism taint (taint-unordered, taint-pointer-key, taint-flow),
+// thread-safety discipline (ts-global, ts-guard, ts-ref-capture).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/I-O error.  --json/--md write
+// the deterministic layering summary regardless of findings, so CI can
+// upload the report from a red run too.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_core.hpp"
+#include "tools/mris_analyze/frontend.hpp"
+#include "tools/mris_analyze/layering.hpp"
+#include "tools/mris_analyze/taint.hpp"
+#include "tools/mris_analyze/threadsafety.hpp"
+
+namespace {
+
+constexpr const char* kRules[] = {
+    "layer-upward",  "layer-cycle",       "taint-unordered",
+    "taint-pointer-key", "taint-flow",    "ts-global",
+    "ts-guard",      "ts-ref-capture",
+};
+
+int usage() {
+  std::cerr << "usage: mris_analyze [--no-suppress] [--rule R]... "
+               "[--json PATH] [--md PATH] [--list-rules] <src-root>\n";
+  return 2;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+/// Path relative to the scanned root, for module attribution.
+std::string relative_to(const std::string& root, const std::string& path) {
+  std::string prefix = root;
+  while (!prefix.empty() && prefix.back() == '/') prefix.pop_back();
+  if (path.size() > prefix.size() + 1 &&
+      path.compare(0, prefix.size(), prefix) == 0 &&
+      path[prefix.size()] == '/') {
+    return path.substr(prefix.size() + 1);
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using mris::analyze::Finding;
+  using mris::analyze::Options;
+  using mris::analyze::SourceFile;
+
+  Options options;
+  std::string root, json_path, md_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-suppress") {
+      options.honor_suppressions = false;
+    } else if (arg == "--rule" && i + 1 < argc) {
+      options.rule_filter.push_back(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--md" && i + 1 < argc) {
+      md_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const char* r : kRules) std::cout << r << "\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty()) return usage();
+
+  const std::vector<std::string> paths = mris::lint::collect_sources(root);
+  if (paths.empty()) {
+    std::cerr << "mris_analyze: no .hpp/.cpp sources under '" << root
+              << "'\n";
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  std::vector<std::string> rel_paths;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    SourceFile f;
+    if (!mris::analyze::load_source(p, f)) {
+      std::cerr << "mris_analyze: cannot read '" << p << "'\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+    rel_paths.push_back(relative_to(root, p));
+  }
+
+  std::vector<Finding> findings;
+  const mris::analyze::LayeringResult layering =
+      mris::analyze::analyze_layering(files, rel_paths, options);
+  findings.insert(findings.end(), layering.findings.begin(),
+                  layering.findings.end());
+  for (const SourceFile& f : files) {
+    const std::vector<Finding> taint = mris::analyze::analyze_taint(f, options);
+    findings.insert(findings.end(), taint.begin(), taint.end());
+  }
+  const std::vector<Finding> ts =
+      mris::analyze::analyze_threadsafety(files, options);
+  findings.insert(findings.end(), ts.begin(), ts.end());
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : findings) {
+    std::cout << mris::analyze::format_finding(f) << "\n";
+  }
+
+  if (!json_path.empty() &&
+      !write_text(json_path, mris::analyze::layers_json(layering))) {
+    std::cerr << "mris_analyze: cannot write '" << json_path << "'\n";
+    return 2;
+  }
+  if (!md_path.empty() &&
+      !write_text(md_path, mris::analyze::layers_markdown(layering))) {
+    std::cerr << "mris_analyze: cannot write '" << md_path << "'\n";
+    return 2;
+  }
+
+  if (findings.empty()) {
+    std::cout << "mris_analyze: " << paths.size() << " files, "
+              << layering.edge_count << " include edges: clean\n";
+    return 0;
+  }
+  std::cout << "mris_analyze: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}

@@ -2,10 +2,16 @@
 //
 // Usage:
 //   mris_lint [--no-suppress] [--list-rules] <file-or-dir>...
+//   mris_lint --stale <file-or-dir>...
 //
 // Exit status: 0 when every scanned file is clean, 1 otherwise (so it can
 // run as a ctest).  Findings go to stdout in compiler format
 // (file:line: [rule] message); the summary goes to stderr.
+//
+// --stale audits the suppression comments instead of the code: it lists
+// every `// mris-lint: allow(...)` whose rule no longer fires on the
+// covered line(s), fix-style — each output line is a comment that can be
+// deleted outright.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,11 +39,14 @@ constexpr const char* kRuleHelp =
 
 int main(int argc, char** argv) {
   mris::lint::Options options;
+  bool stale_mode = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-suppress") {
       options.honor_suppressions = false;
+    } else if (arg == "--stale") {
+      stale_mode = true;
     } else if (arg == "--list-rules") {
       std::fputs(kRuleHelp, stdout);
       return 0;
@@ -69,14 +78,22 @@ int main(int argc, char** argv) {
     }
     for (const std::string& path : sources) {
       ++files;
-      for (const mris::lint::Finding& f :
-           mris::lint::lint_file(path, options)) {
-        std::fprintf(stdout, "%s\n", mris::lint::format_finding(f).c_str());
-        ++total;
+      if (stale_mode) {
+        for (const mris::lint::StaleSuppression& s :
+             mris::lint::stale_suppressions_in_file(path)) {
+          std::fprintf(stdout, "%s\n", mris::lint::format_stale(s).c_str());
+          ++total;
+        }
+      } else {
+        for (const mris::lint::Finding& f :
+             mris::lint::lint_file(path, options)) {
+          std::fprintf(stdout, "%s\n", mris::lint::format_finding(f).c_str());
+          ++total;
+        }
       }
     }
   }
-  std::fprintf(stderr, "mris_lint: %zu finding(s) in %zu file(s)\n", total,
-               files);
+  std::fprintf(stderr, "mris_lint: %zu %s in %zu file(s)\n", total,
+               stale_mode ? "stale suppression(s)" : "finding(s)", files);
   return total == 0 ? 0 : 1;
 }
