@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links resolve to real files.
+"""Check that relative markdown links resolve to real files and anchors.
 
 Scans the given markdown files (or, with no arguments, the repo's
 documentation set: README.md, DESIGN.md, EXPERIMENTS.md, THEORY.md,
 ROADMAP.md and docs/*.md) for inline links and images
 `[text](target)` / `![alt](target)`.  External schemes (http, https,
-mailto) and pure in-page anchors (`#...`) are ignored; every other
-target is resolved relative to the linking file and must exist.
+mailto) are ignored; every other target is resolved relative to the
+linking file and must exist.
 
-Runs as a ctest (`doc_links`), so a renamed or deleted file breaks CI
-rather than readers.  Exit status: 0 when every link resolves, 1
-otherwise (broken links are listed in file:line: form).
+Fragments are validated too: `#anchor` (same-page) and `file.md#anchor`
+targets must name a heading that exists in the target file, using
+GitHub's slug rule (lowercase, spaces to dashes, punctuation stripped,
+duplicate slugs suffixed -1, -2, ...).  Fragments pointing into
+non-markdown files are not checked.
+
+Runs as a ctest (`doc_links`), so a renamed or deleted file — or a
+reworded heading — breaks CI rather than readers.  Exit status: 0 when
+every link resolves, 1 otherwise (broken links are listed in file:line:
+form).
 """
 import os
 import re
@@ -20,6 +27,14 @@ import sys
 # space (markdown titles `[x](file "title")` keep only the path part).
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, ...
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# GitHub slugging keeps word characters (underscore included) and
+# dashes; drops the rest.  Backticks and link syntax are removed before
+# slugging; '*' falls to SLUG_STRIP_RE.  '_' is deliberately kept: in
+# this repo's headings it appears inside code spans (`BENCH_*.json`),
+# where GitHub treats it as literal, not emphasis.
+SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+MD_INLINE_RE = re.compile(r"[`]|\[([^\]]*)\]\([^)]*\)")
 
 
 def default_files(repo_root):
@@ -37,6 +52,42 @@ def default_files(repo_root):
     return files
 
 
+def slugify(heading):
+    """GitHub's anchor slug for one heading (without dedup suffix)."""
+    # Strip emphasis/code markers and reduce links to their text first.
+    text = MD_INLINE_RE.sub(lambda m: m.group(1) or "", heading)
+    text = SLUG_STRIP_RE.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path, cache={}):
+    """The set of valid #anchors of a markdown file (GitHub slug rule)."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if line.lstrip().startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if not match:
+                    continue
+                slug = slugify(match.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    except OSError:
+        pass
+    cache[path] = anchors
+    return anchors
+
+
 def check_file(path):
     """Returns a list of 'file:line: message' strings for broken links."""
     broken = []
@@ -52,16 +103,23 @@ def check_file(path):
                 continue
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
-                if EXTERNAL_RE.match(target) or target.startswith("#"):
+                if EXTERNAL_RE.match(target):
                     continue
-                rel = target.split("#", 1)[0]
-                if not rel:
-                    continue
-                resolved = os.path.normpath(os.path.join(base, rel))
-                if not os.path.exists(resolved):
-                    broken.append(
-                        f"{path}:{lineno}: broken link '{target}' "
-                        f"(resolved to {resolved})")
+                rel, _, fragment = target.partition("#")
+                if rel:
+                    resolved = os.path.normpath(os.path.join(base, rel))
+                    if not os.path.exists(resolved):
+                        broken.append(
+                            f"{path}:{lineno}: broken link '{target}' "
+                            f"(resolved to {resolved})")
+                        continue
+                else:
+                    resolved = os.path.abspath(path)  # in-page anchor
+                if fragment and resolved.endswith(".md"):
+                    if fragment.lower() not in heading_anchors(resolved):
+                        broken.append(
+                            f"{path}:{lineno}: broken anchor '{target}' "
+                            f"(no heading '#{fragment}' in {resolved})")
     return broken
 
 

@@ -44,13 +44,16 @@ EvalResult metrics_from_attempts(const Instance& inst,
 
 EvalResult evaluate_impl(const Instance& inst, const SchedulerSpec& spec,
                          Schedule& schedule_out, const FaultPlan* faults,
-                         const recovery::RecoveryOptions* recovery) {
+                         const recovery::RecoveryOptions* recovery,
+                         const EngineConfig& engine) {
   const std::unique_ptr<OnlineScheduler> scheduler =
       make_scheduler(spec, inst);
   RunOptions options;
   const bool faulty = faults != nullptr && !faults->empty();
   if (faulty) options.faults = faults;
   options.recovery = recovery;
+  options.shards = engine.shards;
+  options.threads = engine.threads;
   RunResult run = run_online(inst, *scheduler, options);
 
   EvalResult r;
@@ -102,9 +105,10 @@ EvalResult evaluate_with_schedule(const Instance& inst,
                                   const SchedulerSpec& spec,
                                   Schedule& schedule_out,
                                   const FaultPlan* faults,
-                                  const recovery::RecoveryOptions* recovery) {
+                                  const recovery::RecoveryOptions* recovery,
+                                  const EngineConfig& engine) {
   try {
-    return evaluate_impl(inst, spec, schedule_out, faults, recovery);
+    return evaluate_impl(inst, spec, schedule_out, faults, recovery, engine);
   } catch (const std::exception& e) {
     EvalResult r;
     r.num_jobs = inst.num_jobs();
@@ -116,9 +120,10 @@ EvalResult evaluate_with_schedule(const Instance& inst,
 
 EvalResult evaluate(const Instance& inst, const SchedulerSpec& spec,
                     const FaultPlan* faults,
-                    const recovery::RecoveryOptions* recovery) {
+                    const recovery::RecoveryOptions* recovery,
+                    const EngineConfig& engine) {
   Schedule ignored;
-  return evaluate_with_schedule(inst, spec, ignored, faults, recovery);
+  return evaluate_with_schedule(inst, spec, ignored, faults, recovery, engine);
 }
 
 PointResult replicate(

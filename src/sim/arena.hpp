@@ -1,0 +1,129 @@
+// Chunked bump allocator for per-shard, per-epoch scratch payloads
+// (docs/SHARDING.md, "Arena lifetime rules").
+//
+// The sharded engine's Phase A produces notification payloads — the
+// killed/cancelled reservation lists of an outage, per-job salvage marks —
+// whose lifetime is exactly one epoch: written by the shard's drain task,
+// read once by the sequential merge (Phase B), dead at the next barrier.
+// Allocating them from the heap puts a malloc/free pair on the hot path of
+// every fault event and shares the allocator across worker threads; a
+// per-shard bump arena makes the allocation a pointer increment, the
+// "free" a single reset(), and keeps every byte thread-local to the
+// owning shard's drain task.
+//
+// Lifetime contract: memory returned by alloc()/alloc_span() is valid
+// until the next reset().  The sharded engine resets a shard's arena at
+// the START of that shard's next drain, so Phase B may safely read the
+// spans of the epoch that just drained.  reset() retains the allocated
+// chunks — steady-state epochs allocate nothing from the OS.
+//
+// Not thread-safe by design: each arena is owned by exactly one shard,
+// and a shard is drained by exactly one task per epoch (the barrier
+// provides the happens-before edge between epochs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mris {
+
+class BumpArena {
+ public:
+  /// `chunk_bytes` is the granularity of OS allocations; oversized requests
+  /// get a dedicated chunk of exactly their size.
+  explicit BumpArena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+  BumpArena(BumpArena&&) = default;
+  BumpArena& operator=(BumpArena&&) = default;
+
+  /// Raw allocation, aligned to `align` (a power of two).
+  void* alloc(std::size_t bytes, std::size_t align) {
+    MRIS_EXPECT(align != 0 && (align & (align - 1)) == 0,
+                "BumpArena::alloc alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t p =
+        (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (current_ >= chunks_.size() || p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_in_use_ = cursor_ - std::bit_cast<std::uintptr_t>(
+                                  chunks_[current_].data.get()) +
+                    retired_bytes_;
+    return std::bit_cast<void*>(p);
+  }
+
+  /// Typed span of `n` default-constructed Ts.  T must be trivially
+  /// destructible: reset() never runs destructors.
+  template <typename T>
+  std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BumpArena holds trivially destructible payloads only");
+    if (n == 0) return {};
+    T* p = static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return {p, n};
+  }
+
+  /// Rewinds to empty, retaining every chunk for reuse.
+  void reset() {
+    current_ = 0;
+    retired_bytes_ = 0;
+    bytes_in_use_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = std::bit_cast<std::uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+  }
+
+  std::size_t bytes_in_use() const noexcept { return bytes_in_use_; }
+  std::size_t num_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t min_bytes) {
+    // Retire the current chunk's used prefix into the total, then reuse the
+    // next retained chunk if it is big enough, else allocate a new one.
+    if (current_ < chunks_.size()) {
+      retired_bytes_ +=
+          cursor_ - std::bit_cast<std::uintptr_t>(chunks_[current_].data.get());
+      ++current_;
+    }
+    while (current_ < chunks_.size() && chunks_[current_].size < min_bytes) {
+      ++current_;  // too small for this request; skip (still retained)
+    }
+    if (current_ >= chunks_.size()) {
+      const std::size_t size = std::max(chunk_bytes_, min_bytes);
+      chunks_.push_back({std::make_unique<char[]>(size), size});
+      current_ = chunks_.size() - 1;
+    }
+    cursor_ = std::bit_cast<std::uintptr_t>(chunks_[current_].data.get());
+    limit_ = cursor_ + chunks_[current_].size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;       ///< index of the chunk being bumped
+  std::uintptr_t cursor_ = 0;     ///< next free byte in the current chunk
+  std::uintptr_t limit_ = 0;      ///< end of the current chunk
+  std::size_t retired_bytes_ = 0; ///< bytes used in full chunks before current_
+  std::size_t bytes_in_use_ = 0;
+};
+
+}  // namespace mris

@@ -103,6 +103,10 @@ void Cluster::prune_before(Time t) {
   for (auto& m : machines_) m.prune_before(t);
 }
 
+void Cluster::prune_machine_before(MachineId m, Time t) {
+  machines_.at(static_cast<std::size_t>(m)).prune_before(t);
+}
+
 std::vector<double> Cluster::available(MachineId m, Time t) const {
   return machine(m).available_at(t);
 }

@@ -74,6 +74,10 @@ class Cluster {
   /// at or after t are unaffected; queries before t become invalid.
   void prune_before(Time t);
 
+  /// prune_before() for a single machine — the sharded engine compacts
+  /// each shard's machines on the shard's own drain cadence.
+  void prune_machine_before(MachineId m, Time t);
+
   /// Remaining capacity vector of machine `m` at time t.
   std::vector<double> available(MachineId m, Time t) const;
 

@@ -14,6 +14,7 @@
 #include "sim/recovery/journal.hpp"
 #include "sim/recovery/snapshot.hpp"
 #include "sim/recovery/state_io.hpp"
+#include "sim/shard.hpp"
 #include "util/contracts.hpp"
 
 namespace mris {
@@ -1160,6 +1161,9 @@ const char* event_kind_name(EventRecord::Kind kind) {
 
 RunResult run_online(const Instance& inst, OnlineScheduler& scheduler,
                      const RunOptions& options) {
+  if (options.shards > 0) {
+    return run_online_sharded(inst, scheduler, options);
+  }
   Engine engine(inst, scheduler, options);
   return engine.run();
 }

@@ -214,6 +214,19 @@ struct RunOptions {
   /// nullptr disables snapshots, journaling, and resume entirely — the
   /// zero-overhead default path.  See sim/recovery/options.hpp.
   const recovery::RecoveryOptions* recovery = nullptr;
+
+  /// Number of machine shards.  0 (the default) selects the classic
+  /// single-loop engine; >= 1 selects the sharded epoch/barrier engine
+  /// (sim/shard.hpp, docs/SHARDING.md), clamped to the machine count.
+  /// Determinism: same seed + same shard count => byte-identical results
+  /// for ANY `threads` value; fault-free runs are additionally identical
+  /// across shard counts.  Crash-point injection requires shards == 0.
+  int shards = 0;
+
+  /// Worker threads for the sharded engine's Phase A drains (ignored when
+  /// shards == 0; 1 = drain inline on the calling thread).  Never affects
+  /// results — only wall-clock time.
+  int threads = 1;
 };
 
 /// Simulates `scheduler` on `inst` from t=0 until every job is committed

@@ -1,0 +1,1385 @@
+// Sharded engine implementation (see shard.hpp and docs/SHARDING.md for
+// the execution model and determinism contract).
+//
+// Correctness hinges on a strict phase discipline:
+//
+//   * Phase A (parallel): a drain task owns ONE shard — its event heap,
+//     outbox, arena, the live-reservation lists and timeline calendars of
+//     its machines, and its machines' down/until flags.  It READS (never
+//     writes) the epoch/retry/residual tables, which are frozen between
+//     barriers: they are mutated only by Phase B, which runs strictly
+//     after every drain task has joined.
+//   * Phase B + global events (sequential, coordinating thread only):
+//     everything else — the pending queue, the global event heap, the
+//     schedule, attempts, the journal.  Guarded by `barrier_mutex_` as an
+//     annotation anchor (the lock is never contended: drain tasks touch
+//     none of this state).
+//
+// The merge order of Phase B notifications is (t, kind, job-or-machine id,
+// epoch) — a strict total order that does not mention the shard id, which
+// is what makes fault-free results independent of the shard count: the
+// same notifications arrive in the same order no matter how machines are
+// partitioned.
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "sim/arena.hpp"
+#include "sim/recovery/journal.hpp"
+#include "sim/recovery/snapshot.hpp"
+#include "sim/recovery/state_io.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mris {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+// Event kinds, numerically identical to the single-loop engine's so the
+// equal-timestamp ordering contract (engine.hpp header comment) carries
+// over: completion(0) < machine-up(1) < machine-down(2) are shard-local;
+// arrival(3) < wakeup(4) < retry-ready(5) are global barrier events.
+enum LocalKind : int {
+  kLocalCompletion = 0,
+  kLocalMachineUp = 1,
+  kLocalMachineDown = 2,
+};
+enum GlobalKind : int {
+  kGlobalWakeup = 4,
+  kGlobalRetryReady = 5,
+};
+
+/// A shard-local event.  `key` is the partition-independent tie-break: the
+/// job id for completions, the machine id for outage/repair events.
+struct LocalEvent {
+  Time t;
+  int kind;
+  std::int64_t key;
+  std::uint64_t aux;  ///< completion: job epoch; machine event: outage idx
+  JobId job = kInvalidJob;
+  MachineId machine = kInvalidMachine;
+};
+
+/// Heap comparator: min-heap on (t, kind, key, aux).
+struct LocalLater {
+  bool operator()(const LocalEvent& a, const LocalEvent& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.key != b.key) return a.key > b.key;
+    return a.aux > b.aux;
+  }
+};
+
+/// A global event (wakeup / retry-ready).  Seq is assigned sequentially by
+/// the coordinating thread, so it is partition- and thread-independent.
+struct GlobalEvent {
+  Time t;
+  int kind;
+  std::uint64_t seq;
+  JobId job = kInvalidJob;
+  MachineId machine = kInvalidMachine;
+};
+
+struct GlobalLater {
+  bool operator()(const GlobalEvent& a, const GlobalEvent& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+/// One committed reservation on a machine's calendar (faulty runs only) —
+/// same bookkeeping as the single-loop engine.
+struct LiveRes {
+  JobId job;
+  Time start;
+  Time declared_end;  ///< start + declared effective processing
+  Time occupied_end;  ///< actual occupancy end (>= declared under stragglers)
+  bool extended;      ///< straggler extension already applied
+  Time restore;       ///< restore overhead included in this attempt
+  Time work;          ///< declared residual work (p_j - progress_in)
+  Time progress_in;   ///< checkpointed progress resumed from
+};
+
+/// What a shard tells the sequential phase about one drained event.  The
+/// payload spans live in the shard's arena until its next drain.
+struct Notification {
+  Time t = 0.0;
+  int kind = kLocalCompletion;
+  JobId job = kInvalidJob;
+  MachineId machine = kInvalidMachine;
+  std::uint64_t aux = 0;  ///< machine events: outage index
+
+  // Completion payload.
+  bool fail = false;   ///< injected failure fired for this attempt
+  Time salvage = 0.0;  ///< checkpoint salvaged by the failed attempt
+  LiveRes res{};       ///< the reservation that just ended (faulty runs)
+
+  // Machine-down payload, in live-list (commit) order.
+  std::span<const LiveRes> killed;
+  std::span<const Time> kill_salvage;  ///< per killed job, same order
+  std::span<const LiveRes> cancelled;
+};
+
+/// Merge key of Phase B: (t, kind, job-or-machine id, epoch).  Shard ids
+/// never enter, so the merged order is independent of the partition.
+bool notify_before(const Notification& a, const Notification& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  const std::int64_t ka = a.kind == kLocalCompletion ? a.job : a.machine;
+  const std::int64_t kb = b.kind == kLocalCompletion ? b.job : b.machine;
+  if (ka != kb) return ka < kb;
+  return a.aux < b.aux;
+}
+
+/// Per-shard state.  During Phase A exactly one drain task owns this
+/// struct plus the machines in [mlo, mhi); outside Phase A only the
+/// coordinating thread touches it (commit pushes completion events here).
+struct Shard {
+  int id = 0;
+  MachineId mlo = 0;
+  MachineId mhi = 0;
+  std::vector<LocalEvent> heap;  ///< binary heap under LocalLater
+  std::vector<Notification> outbox;
+  BumpArena arena;
+  int completions_since_prune = 0;
+
+  void push(const LocalEvent& e) {
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), LocalLater{});
+  }
+  LocalEvent pop() {
+    std::pop_heap(heap.begin(), heap.end(), LocalLater{});
+    const LocalEvent e = heap.back();
+    heap.pop_back();
+    return e;
+  }
+};
+
+class ShardedEngine final : public EngineContext {
+ public:
+  ShardedEngine(const Instance& inst, OnlineScheduler& scheduler,
+                const RunOptions& options)
+      : inst_(inst),
+        scheduler_(scheduler),
+        options_(options),
+        cluster_(inst.num_machines(), inst.num_resources()),
+        schedule_(inst.num_jobs()),
+        released_(inst.num_jobs(), false),
+        committed_(inst.num_jobs(), false),
+        in_pending_(inst.num_jobs(), false),
+        retries_(inst.num_jobs(), 0),
+        injected_(inst.num_jobs(), 0),
+        residual_(inst.num_jobs()),
+        gate_(inst.num_jobs(), 0.0),
+        epoch_(inst.num_jobs(), 0),
+        machine_down_flag_(static_cast<std::size_t>(inst.num_machines()), 0),
+        down_until_(static_cast<std::size_t>(inst.num_machines()), 0.0),
+        live_(static_cast<std::size_t>(inst.num_machines())) {
+    const int M = inst.num_machines();
+    const int S = std::clamp(options.shards, 1, std::max(1, M));
+    shards_.resize(static_cast<std::size_t>(S));
+    shard_of_machine_.resize(static_cast<std::size_t>(M));
+    for (int s = 0; s < S; ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      sh.id = s;
+      sh.mlo = ShardLayout::machines_begin(s, S, M);
+      sh.mhi = ShardLayout::machines_end(s, S, M);
+      for (MachineId m = sh.mlo; m < sh.mhi; ++m) {
+        shard_of_machine_[static_cast<std::size_t>(m)] = s;
+      }
+    }
+    const int threads = std::max(1, options.threads);
+    if (threads > 1 && S > 1) {
+      pool_ = std::make_unique<util::ThreadPool>(
+          static_cast<std::size_t>(threads));
+    }
+  }
+
+  RunResult run();
+
+  // EngineContext -----------------------------------------------------
+  Time now() const override { return now_; }
+  int num_machines() const override { return inst_.num_machines(); }
+  int num_resources() const override { return inst_.num_resources(); }
+  std::size_t num_jobs() const override { return inst_.num_jobs(); }
+
+  const Job& job(JobId id) const override {
+    if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs()) {
+      throw std::logic_error("EngineContext::job: bad job id");
+    }
+    if (!released_[static_cast<std::size_t>(id)]) {
+      throw std::logic_error(
+          "EngineContext::job: job " + std::to_string(id) +
+          " has not been released yet (online model violation)");
+    }
+    return faults_ ? effective_[static_cast<std::size_t>(id)] : inst_.job(id);
+  }
+
+  /// Released-but-uncommitted jobs in release order.  Commits mark their
+  /// entry dead instead of erasing it (the single-loop engine pays an O(P)
+  /// erase per commit); the list is compacted lazily here, so a commit
+  /// burst against a deep backlog costs O(P) once, not O(P) per commit.
+  const std::vector<JobId>& pending() const override
+      MRIS_REQUIRES(barrier_mutex_) {
+    compact_pending();
+    return pending_;
+  }
+  const Cluster& cluster() const override { return cluster_; }
+
+  bool can_start(JobId id, MachineId m, Time start) const override {
+    return cluster_.fits(job(id), m, start);
+  }
+
+  Time earliest_fit_on(JobId id, MachineId m, Time not_before) const override {
+    if (faults_ && m >= 0 && m < cluster_.num_machines() &&
+        machine_down_flag_[static_cast<std::size_t>(m)] &&
+        not_before < down_until_[static_cast<std::size_t>(m)]) {
+      not_before = down_until_[static_cast<std::size_t>(m)];
+    }
+    return cluster_.earliest_fit_on(job(id), m, not_before);
+  }
+
+  Time earliest_fit(JobId id, Time not_before,
+                    MachineId& best_machine) const override {
+    Time best = kInf;
+    best_machine = kInvalidMachine;
+    for (MachineId m = 0; m < cluster_.num_machines(); ++m) {
+      const Time s = earliest_fit_on(id, m, not_before);
+      if (s < best) {
+        best = s;
+        best_machine = m;
+      }
+    }
+    return best;
+  }
+
+  void commit(JobId id, MachineId m, Time start) override {
+    commit_impl(id, m, start, /*throwing=*/true);
+  }
+
+  bool try_commit(JobId id, MachineId m, Time start) override {
+    return commit_impl(id, m, start, /*throwing=*/false);
+  }
+
+  void schedule_wakeup(Time t) override MRIS_REQUIRES(barrier_mutex_) {
+    if (t < now_ - 1e-9) {
+      throw std::logic_error("schedule_wakeup: time in the past");
+    }
+    if (wakeups_.insert(t).second) {
+      push_global({t, kGlobalWakeup, seq_++});
+    }
+  }
+
+  int retry_count(JobId id) const override {
+    return retries_.at(static_cast<std::size_t>(id));
+  }
+
+  Time earliest_start(JobId id) const override {
+    return std::max(now_, gate_.at(static_cast<std::size_t>(id)));
+  }
+
+  bool machine_up(MachineId m) const override {
+    return machine_down_flag_.at(static_cast<std::size_t>(m)) == 0;
+  }
+
+  Time checkpointed_progress(JobId id) const override {
+    return residual_.at(static_cast<std::size_t>(id)).done;
+  }
+
+ private:
+  Shard& shard_of(MachineId m) {
+    return shards_[static_cast<std::size_t>(
+        shard_of_machine_[static_cast<std::size_t>(m)])];
+  }
+
+  void push_global(const GlobalEvent& e) MRIS_REQUIRES(barrier_mutex_) {
+    gheap_.push_back(e);
+    std::push_heap(gheap_.begin(), gheap_.end(), GlobalLater{});
+  }
+
+  /// Drops entries whose job has been committed (or otherwise removed)
+  /// since the last compaction; stable, so release order is preserved.
+  void compact_pending() const MRIS_REQUIRES(barrier_mutex_) {
+    if (!pending_dirty_) return;
+    pending_dirty_ = false;
+    std::erase_if(pending_, [this](JobId id) {
+      return !in_pending_[static_cast<std::size_t>(id)];
+    });
+  }
+
+  void pending_add(JobId id) MRIS_REQUIRES(barrier_mutex_) {
+    // A requeued job may still have a dead entry in the uncompacted list;
+    // compact first so the append cannot duplicate it.
+    compact_pending();
+    pending_.push_back(id);
+    in_pending_[static_cast<std::size_t>(id)] = true;
+  }
+
+  void set_progress(JobId id, Time done) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const Job& j = inst_.job(id);
+    MRIS_EXPECT(done >= residual_[i].done - 1e-12,
+                "checkpointed progress must be monotone across attempts");
+    MRIS_EXPECT(done < j.processing,
+                "salvaged progress must leave positive residual work");
+    residual_[i].done = done;
+    residual_[i].restore =
+        done > 0.0 ? faults_->checkpoint.restore_overhead : 0.0;
+    effective_[i].processing = residual_[i].effective_processing(j);
+    MRIS_ENSURE(effective_[i].processing > 0.0,
+                "effective processing of a resumed job must stay positive");
+  }
+
+  bool commit_impl(JobId id, MachineId m, Time start, bool throwing)
+      MRIS_REQUIRES(barrier_mutex_) {
+    if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs() ||
+        !released_[static_cast<std::size_t>(id)]) {
+      if (throwing) job(id);  // throws the canonical visibility error
+      return false;
+    }
+    const Job& j =
+        faults_ ? effective_[static_cast<std::size_t>(id)] : inst_.job(id);
+    if (committed_[static_cast<std::size_t>(id)]) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: job " + std::to_string(id) +
+                             " already committed (non-preemptive model)");
+    }
+    if (start < now_ - 1e-9) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start " + std::to_string(start) +
+                             " is in the past (now=" + std::to_string(now_) +
+                             ")");
+    }
+    if (start + 1e-9 < j.release) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start precedes release of job " +
+                             std::to_string(id));
+    }
+    if (start + 1e-9 < gate_[static_cast<std::size_t>(id)]) {
+      if (!throwing) return false;
+      throw std::logic_error("commit: start precedes retry gate of job " +
+                             std::to_string(id));
+    }
+    if (m >= 0 && m < cluster_.num_machines() &&
+        machine_down_flag_[static_cast<std::size_t>(m)] &&
+        start < down_until_[static_cast<std::size_t>(m)] - 1e-9) {
+      if (!throwing) return false;
+      throw std::logic_error(
+          "commit: machine " + std::to_string(m) + " is down until t=" +
+          std::to_string(down_until_[static_cast<std::size_t>(m)]));
+    }
+    if (throwing) {
+      cluster_.reserve(j, m, start);  // throws if infeasible
+    } else {
+      if (m < 0 || m >= cluster_.num_machines() ||
+          !cluster_.fits(j, m, start)) {
+        return false;
+      }
+      cluster_.reserve(j, m, start);
+    }
+    schedule_.assign(id, m, start);
+    MRIS_ENSURE(schedule_.assignment(id).assigned(),
+                "commit must leave the job assigned in the schedule");
+    record({EventRecord::Kind::kCommit, now_, id, m, start});
+    committed_[static_cast<std::size_t>(id)] = true;
+    in_pending_[static_cast<std::size_t>(id)] = false;
+    pending_dirty_ = true;
+    if (faults_) {
+      auto& lv = live_[static_cast<std::size_t>(m)];
+      MRIS_INVARIANT(std::none_of(lv.begin(), lv.end(),
+                                  [&](const LiveRes& r) { return r.job == id; }),
+                     "committed job already has a live reservation");
+      const ResidualWork& rw = residual_[static_cast<std::size_t>(id)];
+      lv.push_back({id, start, start + j.processing, start + j.processing,
+                    false, rw.restore, rw.remaining(inst_.job(id)), rw.done});
+    }
+    shard_of(m).push({start + j.processing, kLocalCompletion, id,
+                      epoch_[static_cast<std::size_t>(id)], id, m});
+    return true;
+  }
+
+  /// Re-releases a lost job.  `t_event` is the loss time (the kill or
+  /// failure instant), which anchors the exponential-backoff gate exactly
+  /// as in the single-loop engine; availability is evaluated against the
+  /// barrier clock now_.
+  void requeue(JobId id, MachineId lost_machine, bool count_retry,
+               Time t_event) MRIS_REQUIRES(barrier_mutex_) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    MRIS_EXPECT(committed_[i],
+                "requeue of a job without a committed reservation");
+    ++epoch_[i];
+    committed_[i] = false;
+    schedule_.unassign(id);
+    Time gate = t_event;
+    if (count_retry) {
+      ++retries_[i];
+      if (faults_->retry_backoff > 0.0) {
+        gate =
+            t_event + faults_->retry_backoff * std::ldexp(1.0, retries_[i] - 1);
+      }
+    }
+    gate_[i] = gate;
+    pending_add(id);
+    record({EventRecord::Kind::kRequeue, now_, id, lost_machine, 0.0});
+    if (gate > now_ + 1e-12) {
+      push_global({gate, kGlobalRetryReady, seq_++, id, lost_machine});
+    }
+  }
+
+  bool gated(JobId id) const {
+    return gate_[static_cast<std::size_t>(id)] > now_ + 1e-12;
+  }
+
+  // Phase A -------------------------------------------------------------
+
+  /// Drains every event of `sh` due at or before `horizon` into its
+  /// outbox.  Runs on a worker thread; touches ONLY shard-owned state
+  /// (heap, arena, outbox, its machines' calendars / live lists / down
+  /// flags) plus the frozen-between-barriers job tables (reads).
+  void drain_shard(Shard& sh, Time horizon) {
+    sh.arena.reset();
+    sh.outbox.clear();
+    while (!sh.heap.empty() && sh.heap.front().t <= horizon) {
+      const LocalEvent e = sh.pop();
+      switch (e.kind) {
+        case kLocalCompletion:
+          drain_completion(sh, e);
+          break;
+        case kLocalMachineUp: {
+          machine_down_flag_[static_cast<std::size_t>(e.machine)] = 0;
+          Notification n;
+          n.t = e.t;
+          n.kind = kLocalMachineUp;
+          n.machine = e.machine;
+          n.aux = e.aux;
+          sh.outbox.push_back(n);
+          break;
+        }
+        case kLocalMachineDown:
+          drain_machine_down(sh, e);
+          break;
+      }
+    }
+  }
+
+  void drain_completion(Shard& sh, const LocalEvent& e) {
+    Notification n;
+    n.t = e.t;
+    n.kind = kLocalCompletion;
+    n.job = e.job;
+    n.machine = e.machine;
+    n.aux = e.aux;
+    if (faults_) {
+      const std::size_t ji = static_cast<std::size_t>(e.job);
+      if (e.aux != epoch_[ji]) return;  // superseded in an earlier epoch
+      auto& lv = live_[static_cast<std::size_t>(e.machine)];
+      const auto it = std::find_if(
+          lv.begin(), lv.end(),
+          [&](const LiveRes& r) { return r.job == e.job; });
+      if (it == lv.end()) return;  // killed/cancelled earlier THIS epoch
+      if (!it->extended) {
+        // Straggler check, identical to the single-loop engine: extend the
+        // occupancy on this shard's own calendar and re-arm locally.
+        const Job& j = inst_.job(e.job);
+        const double stretch = faults_->actual_processing(e.job, 1.0);
+        const Time actual_end = it->declared_end + it->work * (stretch - 1.0);
+        if (actual_end > it->declared_end + 1e-12) {
+          cluster_.force_reserve_until(e.machine, it->declared_end,
+                                       actual_end, j.demand);
+          it->occupied_end = actual_end;
+          it->extended = true;
+          sh.push({actual_end, kLocalCompletion, e.job, e.aux, e.job,
+                   e.machine});
+          return;  // not done yet; the real completion fires later
+        }
+        it->extended = true;
+      }
+      // Injected-failure draw: counter-based on (seed, job, retries), and
+      // retries_/injected_ are frozen during Phase A, so the draw is
+      // identical no matter which thread or shard evaluates it.
+      n.fail = faults_->failure_prob > 0.0 &&
+               injected_[ji] < faults_->max_retries &&
+               failure_draw(faults_->seed, e.job, retries_[ji]) <
+                   faults_->failure_prob;
+      if (n.fail && faults_->checkpoint.enabled()) {
+        const Job& j = inst_.job(e.job);
+        n.salvage = std::max(
+            it->progress_in,
+            faults_->checkpoint.salvageable(j, j.processing));
+      }
+      n.res = *it;
+      lv.erase(it);
+    }
+    if (++sh.completions_since_prune >= kPruneEvery) {
+      sh.completions_since_prune = 0;
+      // Prune this shard's calendars up to the PREVIOUS barrier: every
+      // scheduler query probes at or after the current barrier, so the
+      // lagging bound preserves all observable results regardless of how
+      // the per-shard completion batches happen to line up.
+      for (MachineId m = sh.mlo; m < sh.mhi; ++m) {
+        cluster_.prune_machine_before(m, prune_bound_);
+      }
+    }
+    sh.outbox.push_back(n);
+  }
+
+  void drain_machine_down(Shard& sh, const LocalEvent& e) {
+    MRIS_EXPECT(e.aux < faults_->outages.size(),
+                "machine-down event names an unknown outage window");
+    const OutageWindow& o = faults_->outages[e.aux];
+    const std::size_t mi = static_cast<std::size_t>(e.machine);
+    machine_down_flag_[mi] = 1;
+    down_until_[mi] = o.up;
+    cluster_.block(e.machine, o.down, o.up);
+    // Partition the machine's reservations exactly as the single-loop
+    // engine does; payloads go to the shard arena (alive until this
+    // shard's next drain, i.e. safely past Phase B).
+    auto& lv = live_[mi];
+    std::size_t n_killed = 0, n_cancelled = 0;
+    for (const LiveRes& r : lv) {
+      if (r.start >= o.up) continue;
+      if (r.start >= o.down) {
+        ++n_cancelled;
+      } else {
+        ++n_killed;
+      }
+    }
+    const std::span<LiveRes> killed = sh.arena.alloc_span<LiveRes>(n_killed);
+    const std::span<Time> salvage = sh.arena.alloc_span<Time>(n_killed);
+    const std::span<LiveRes> cancelled =
+        sh.arena.alloc_span<LiveRes>(n_cancelled);
+    std::size_t ik = 0, ic = 0;
+    for (auto it = lv.begin(); it != lv.end();) {
+      if (it->start >= o.up) {
+        ++it;
+      } else if (it->start >= o.down) {
+        cancelled[ic++] = *it;
+        it = lv.erase(it);
+      } else {
+        killed[ik++] = *it;
+        it = lv.erase(it);
+      }
+    }
+    for (std::size_t i = 0; i < killed.size(); ++i) {
+      const LiveRes& r = killed[i];
+      // Free the tail the dead job would still hold ([down, occupied_end)),
+      // keeping [start, down) as real usage — exact endpoints, see the
+      // ulp note in the single-loop engine.
+      cluster_.release_until(e.machine, o.down, r.occupied_end,
+                             inst_.job(r.job).demand);
+      salvage[i] = 0.0;
+      if (faults_->checkpoint.enabled()) {
+        const Job& j = inst_.job(r.job);
+        const double stretch = faults_->actual_processing(r.job, 1.0);
+        const Time work_time = std::max(0.0, (o.down - r.start) - r.restore);
+        const Time achieved = r.progress_in + work_time / stretch;
+        salvage[i] = std::max(r.progress_in,
+                              faults_->checkpoint.salvageable(j, achieved));
+      }
+    }
+    for (const LiveRes& r : cancelled) {
+      cluster_.release_until(e.machine, r.start, r.declared_end,
+                             inst_.job(r.job).demand);
+    }
+    Notification n;
+    n.t = e.t;
+    n.kind = kLocalMachineDown;
+    n.machine = e.machine;
+    n.aux = e.aux;
+    n.killed = killed;
+    n.kill_salvage = salvage;
+    n.cancelled = cancelled;
+    sh.outbox.push_back(n);
+  }
+
+  // Phase B -------------------------------------------------------------
+
+  /// Applies one merged notification: records, attempt bookkeeping,
+  /// requeues, scheduler callbacks.  The scheduler observes now() == the
+  /// barrier clock; attempts carry the true event times.
+  void apply_notification(const Notification& n)
+      MRIS_REQUIRES(barrier_mutex_) {
+    ++processed_;
+    if (rec_ != nullptr && verify_pos_ < verify_tail_.size()) {
+      ++rec_stats_.resume_replayed_events;
+    }
+    switch (n.kind) {
+      case kLocalCompletion: {
+        record({EventRecord::Kind::kCompletion, now_, n.job, n.machine, 0.0});
+        if (!faults_) {
+          --remaining_;
+          scheduler_.on_completion(*this, n.job, n.machine);
+          break;
+        }
+        const std::size_t ji = static_cast<std::size_t>(n.job);
+        if (n.fail) {
+          attempts_.push_back({n.job, n.machine, n.res.start, n.t,
+                               Attempt::Outcome::kJobFailure, n.res.restore,
+                               n.res.progress_in, n.salvage});
+          set_progress(n.job, n.salvage);
+          ++injected_[ji];
+          record({EventRecord::Kind::kJobFailed, now_, n.job, n.machine, 0.0});
+          requeue(n.job, n.machine, /*count_retry=*/true, n.t);
+          if (!gated(n.job)) scheduler_.on_arrival(*this, n.job);
+          break;  // the job did not complete
+        }
+        attempts_.push_back({n.job, n.machine, n.res.start, n.t,
+                             Attempt::Outcome::kCompleted, n.res.restore,
+                             n.res.progress_in,
+                             faults_->checkpoint.enabled()
+                                 ? inst_.job(n.job).processing
+                                 : 0.0});
+        --remaining_;
+        scheduler_.on_completion(*this, n.job, n.machine);
+        break;
+      }
+      case kLocalMachineUp:
+        record({EventRecord::Kind::kMachineUp, now_, kInvalidJob, n.machine,
+                0.0});
+        scheduler_.on_machine_up(*this, n.machine);
+        break;
+      case kLocalMachineDown: {
+        record({EventRecord::Kind::kMachineDown, now_, kInvalidJob, n.machine,
+                0.0});
+        for (std::size_t i = 0; i < n.killed.size(); ++i) {
+          const LiveRes& r = n.killed[i];
+          attempts_.push_back({r.job, n.machine, r.start, n.t,
+                               Attempt::Outcome::kMachineFailure, r.restore,
+                               r.progress_in, n.kill_salvage[i]});
+          set_progress(r.job, n.kill_salvage[i]);
+          requeue(r.job, n.machine, /*count_retry=*/true, n.t);
+        }
+        for (const LiveRes& r : n.cancelled) {
+          requeue(r.job, n.machine, /*count_retry=*/false, n.t);
+        }
+        scheduler_.on_machine_down(*this, n.machine);
+        for (const LiveRes& r : n.killed) {
+          if (!committed_[static_cast<std::size_t>(r.job)] && !gated(r.job)) {
+            scheduler_.on_arrival(*this, r.job);
+          }
+        }
+        for (const LiveRes& r : n.cancelled) {
+          if (!committed_[static_cast<std::size_t>(r.job)] && !gated(r.job)) {
+            scheduler_.on_arrival(*this, r.job);
+          }
+        }
+        break;
+      }
+      default:
+        MRIS_INVARIANT(false, "unknown notification kind");
+    }
+  }
+
+  // Durability (docs/RECOVERY.md, sharded format) -----------------------
+
+  void record(const EventRecord& rec) MRIS_REQUIRES(barrier_mutex_) {
+    if (options_.record_events) log_.push_back(rec);
+    if (rec_ == nullptr) return;
+    if (verify_pos_ < verify_tail_.size()) {
+      if (recovery::encode_event_record(rec) !=
+          recovery::encode_event_record(verify_tail_[verify_pos_])) {
+        throw std::runtime_error(
+            "recovery: resumed run diverged from the journal at record " +
+            std::to_string(records_emitted_) + " (re-derived " +
+            event_kind_name(rec.kind) + ", journal holds " +
+            event_kind_name(verify_tail_[verify_pos_].kind) +
+            "); the state is corrupt or the run is nondeterministic");
+      }
+      ++verify_pos_;
+    } else if (journal_ != nullptr) {
+      journal_->append(rec);
+    }
+    ++records_emitted_;
+  }
+
+  /// Run fingerprint: the single-loop fields plus the engine kind and the
+  /// shard count (a 4-shard snapshot must not resume an 8-shard run — the
+  /// event partition differs).  The THREAD count is deliberately absent:
+  /// results are thread-invariant, so any thread count may resume.
+  std::uint64_t compute_fingerprint() const {
+    recovery::Fingerprint fp;
+    fp.mix(std::string_view(scheduler_.name()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_machines()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_resources()));
+    fp.mix(static_cast<std::uint64_t>(inst_.num_jobs()));
+    for (const Job& j : inst_.jobs()) {
+      fp.mix(static_cast<std::uint64_t>(j.id));
+      fp.mix(j.release);
+      fp.mix(j.processing);
+      fp.mix(j.weight);
+      fp.mix(static_cast<std::uint64_t>(j.tenant));
+      for (double d : j.demand) fp.mix(d);
+    }
+    fp.mix(static_cast<std::uint64_t>(options_.record_events ? 1 : 0));
+    fp.mix(static_cast<std::uint64_t>(faults_ != nullptr ? 1 : 0));
+    if (faults_ != nullptr) {
+      fp.mix(static_cast<std::uint64_t>(faults_->outages.size()));
+      for (const OutageWindow& o : faults_->outages) {
+        fp.mix(static_cast<std::uint64_t>(o.machine));
+        fp.mix(o.down);
+        fp.mix(o.up);
+      }
+      fp.mix(static_cast<std::uint64_t>(faults_->stretch.size()));
+      for (double s : faults_->stretch) fp.mix(s);
+      fp.mix(faults_->failure_prob);
+      fp.mix(static_cast<std::uint64_t>(faults_->max_retries));
+      fp.mix(faults_->retry_backoff);
+      fp.mix(faults_->seed);
+      const CheckpointPolicy& cp = faults_->checkpoint;
+      fp.mix(static_cast<std::uint64_t>(cp.kind));
+      fp.mix(cp.interval);
+      fp.mix(cp.fraction);
+      fp.mix(cp.restore_overhead);
+      fp.mix(cp.jitter);
+      fp.mix(cp.seed);
+    }
+    fp.mix(std::string_view("sharded-engine"));
+    fp.mix(static_cast<std::uint64_t>(shards_.size()));
+    return fp.value();
+  }
+
+  /// Serializes the engine at a barrier: the global sections mirror the
+  /// single-loop snapshot, followed by one section per shard (its local
+  /// event heap and prune counter).  Snapshots are only cut at barriers,
+  /// where no drain task is in flight.
+  void save_engine_state(recovery::StateWriter& w) const
+      MRIS_REQUIRES(barrier_mutex_) {
+    w.u32(static_cast<std::uint32_t>(shards_.size()));
+    w.f64(now_);
+    w.u64(seq_);
+    w.u64(processed_);
+    w.u64(remaining_);
+    w.u64(arrival_cursor_);
+    w.u64(gheap_.size());
+    for (const GlobalEvent& e : gheap_) {
+      w.f64(e.t);
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.u64(e.seq);
+      w.i32(e.job);
+      w.i32(e.machine);
+    }
+    compact_pending();
+    w.vec_i32(pending_);
+    w.vec_char(released_);
+    w.vec_char(committed_);
+    w.vec_f64(std::vector<double>(wakeups_.begin(), wakeups_.end()));
+    w.u8(options_.record_events ? 1 : 0);
+    if (options_.record_events) {
+      w.u64(log_.size());
+      for (const EventRecord& rec : log_) {
+        w.u8(static_cast<std::uint8_t>(rec.kind));
+        w.f64(rec.t);
+        w.i32(rec.job);
+        w.i32(rec.machine);
+        w.f64(rec.start);
+      }
+    }
+    w.u8(faults_ != nullptr ? 1 : 0);
+    if (faults_ != nullptr) {
+      w.u64(attempts_.size());
+      for (const Attempt& a : attempts_) {
+        w.i32(a.job);
+        w.i32(a.machine);
+        w.f64(a.start);
+        w.f64(a.end);
+        w.u8(static_cast<std::uint8_t>(a.outcome));
+        w.f64(a.restore);
+        w.f64(a.progress_in);
+        w.f64(a.progress_out);
+      }
+      w.vec_i32(retries_);
+      w.vec_i32(injected_);
+      w.u64(residual_.size());
+      for (const ResidualWork& rw : residual_) {
+        w.f64(rw.done);
+        w.f64(rw.restore);
+      }
+      w.vec_f64(gate_);
+      w.vec_u64(epoch_);
+      w.vec_char(machine_down_flag_);
+      w.vec_f64(down_until_);
+      w.u64(live_.size());
+      for (const std::vector<LiveRes>& lv : live_) {
+        w.u64(lv.size());
+        for (const LiveRes& r : lv) {
+          w.i32(r.job);
+          w.f64(r.start);
+          w.f64(r.declared_end);
+          w.f64(r.occupied_end);
+          w.u8(r.extended ? 1 : 0);
+          w.f64(r.restore);
+          w.f64(r.work);
+          w.f64(r.progress_in);
+        }
+      }
+    }
+    cluster_.save_state(w);
+    w.u64(schedule_.num_jobs());
+    for (std::size_t i = 0; i < schedule_.num_jobs(); ++i) {
+      const Assignment& a = schedule_.assignment(static_cast<JobId>(i));
+      w.i32(a.machine);
+      w.f64(a.start);
+    }
+    recovery::StateWriter sw;
+    scheduler_.save_state(sw);
+    w.str(sw.data());
+    for (const Shard& sh : shards_) {
+      w.u64(sh.heap.size());
+      for (const LocalEvent& e : sh.heap) {
+        w.f64(e.t);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u64(e.aux);
+        w.i32(e.job);
+        w.i32(e.machine);
+      }
+      w.i32(sh.completions_since_prune);
+    }
+  }
+
+  void restore_engine_state(recovery::StateReader& r)
+      MRIS_REQUIRES(barrier_mutex_) {
+    const std::uint32_t sn_shards = r.u32();
+    if (sn_shards != shards_.size()) {
+      throw std::runtime_error("recovery: snapshot shard count mismatch");
+    }
+    now_ = r.f64();
+    seq_ = r.u64();
+    processed_ = r.u64();
+    remaining_ = static_cast<std::size_t>(r.u64());
+    arrival_cursor_ = static_cast<std::size_t>(r.u64());
+    const std::uint64_t qn = r.u64();
+    gheap_.clear();
+    for (std::uint64_t i = 0; i < qn; ++i) {
+      GlobalEvent e{};
+      e.t = r.f64();
+      const std::uint8_t kind = r.u8();
+      if (kind != kGlobalWakeup && kind != kGlobalRetryReady) {
+        throw std::runtime_error("recovery: bad global event kind in snapshot");
+      }
+      e.kind = static_cast<int>(kind);
+      e.seq = r.u64();
+      e.job = r.i32();
+      e.machine = r.i32();
+      gheap_.push_back(e);
+    }
+    std::make_heap(gheap_.begin(), gheap_.end(), GlobalLater{});
+    pending_ = r.vec_i32();
+    released_ = r.vec_char();
+    committed_ = r.vec_char();
+    if (released_.size() != inst_.num_jobs() ||
+        committed_.size() != inst_.num_jobs()) {
+      throw std::runtime_error("recovery: snapshot job count mismatch");
+    }
+    pending_dirty_ = false;
+    std::fill(in_pending_.begin(), in_pending_.end(), false);
+    for (JobId id : pending_) {
+      in_pending_.at(static_cast<std::size_t>(id)) = true;
+    }
+    wakeups_.clear();
+    for (double t : r.vec_f64()) wakeups_.insert(t);
+    const bool had_log = r.u8() != 0;
+    if (had_log != options_.record_events) {
+      throw std::runtime_error(
+          "recovery: snapshot was taken with a different record_events "
+          "setting; refusing to resume");
+    }
+    if (had_log) {
+      const std::uint64_t n = r.u64();
+      log_.clear();
+      log_.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EventRecord rec;
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(EventRecord::Kind::kRetryReady)) {
+          throw std::runtime_error("recovery: bad record kind in snapshot");
+        }
+        rec.kind = static_cast<EventRecord::Kind>(kind);
+        rec.t = r.f64();
+        rec.job = r.i32();
+        rec.machine = r.i32();
+        rec.start = r.f64();
+        log_.push_back(rec);
+      }
+    }
+    const bool had_faults = r.u8() != 0;
+    if (had_faults != (faults_ != nullptr)) {
+      throw std::runtime_error(
+          "recovery: snapshot was taken under a different fault plan; "
+          "refusing to resume");
+    }
+    if (faults_ != nullptr) {
+      const std::uint64_t an = r.u64();
+      attempts_.clear();
+      attempts_.reserve(static_cast<std::size_t>(an));
+      for (std::uint64_t i = 0; i < an; ++i) {
+        Attempt a;
+        a.job = r.i32();
+        a.machine = r.i32();
+        a.start = r.f64();
+        a.end = r.f64();
+        const std::uint8_t outcome = r.u8();
+        if (outcome > static_cast<std::uint8_t>(Attempt::Outcome::kJobFailure)) {
+          throw std::runtime_error("recovery: bad attempt outcome in snapshot");
+        }
+        a.outcome = static_cast<Attempt::Outcome>(outcome);
+        a.restore = r.f64();
+        a.progress_in = r.f64();
+        a.progress_out = r.f64();
+        attempts_.push_back(a);
+      }
+      retries_ = r.vec_i32();
+      injected_ = r.vec_i32();
+      const std::uint64_t rn = r.u64();
+      if (rn != inst_.num_jobs() || retries_.size() != inst_.num_jobs() ||
+          injected_.size() != inst_.num_jobs()) {
+        throw std::runtime_error("recovery: snapshot job count mismatch");
+      }
+      residual_.assign(static_cast<std::size_t>(rn), ResidualWork{});
+      for (ResidualWork& rw : residual_) {
+        rw.done = r.f64();
+        rw.restore = r.f64();
+      }
+      gate_ = r.vec_f64();
+      epoch_ = r.vec_u64();
+      machine_down_flag_ = r.vec_char();
+      down_until_ = r.vec_f64();
+      const std::uint64_t mn = r.u64();
+      if (mn != static_cast<std::uint64_t>(inst_.num_machines())) {
+        throw std::runtime_error("recovery: snapshot machine count mismatch");
+      }
+      live_.assign(static_cast<std::size_t>(mn), {});
+      for (std::vector<LiveRes>& lv : live_) {
+        const std::uint64_t ln = r.u64();
+        lv.reserve(static_cast<std::size_t>(ln));
+        for (std::uint64_t i = 0; i < ln; ++i) {
+          LiveRes res{};
+          res.job = r.i32();
+          res.start = r.f64();
+          res.declared_end = r.f64();
+          res.occupied_end = r.f64();
+          res.extended = r.u8() != 0;
+          res.restore = r.f64();
+          res.work = r.f64();
+          res.progress_in = r.f64();
+          lv.push_back(res);
+        }
+      }
+      effective_ = inst_.jobs();
+      for (std::size_t i = 0; i < effective_.size(); ++i) {
+        effective_[i].processing =
+            residual_[i].effective_processing(inst_.jobs()[i]);
+      }
+    }
+    cluster_.restore_state(r);
+    const std::uint64_t sn = r.u64();
+    if (sn != inst_.num_jobs()) {
+      throw std::runtime_error("recovery: snapshot job count mismatch");
+    }
+    schedule_ = Schedule(inst_.num_jobs());
+    for (std::size_t i = 0; i < static_cast<std::size_t>(sn); ++i) {
+      const MachineId machine = r.i32();
+      const Time start = r.f64();
+      if (machine != kInvalidMachine) {
+        schedule_.assign(static_cast<JobId>(i), machine, start);
+      }
+    }
+    const std::string sched_bytes = r.str();
+    recovery::StateReader sr(sched_bytes);
+    scheduler_.restore_state(sr);
+    if (!sr.done()) {
+      throw std::runtime_error(
+          "recovery: scheduler '" + scheduler_.name() +
+          "' did not consume its serialized state (save/restore mismatch)");
+    }
+    for (Shard& sh : shards_) {
+      const std::uint64_t hn = r.u64();
+      sh.heap.clear();
+      sh.heap.reserve(static_cast<std::size_t>(hn));
+      for (std::uint64_t i = 0; i < hn; ++i) {
+        LocalEvent e{};
+        e.t = r.f64();
+        const std::uint8_t kind = r.u8();
+        if (kind > kLocalMachineDown) {
+          throw std::runtime_error(
+              "recovery: bad local event kind in snapshot");
+        }
+        e.kind = static_cast<int>(kind);
+        e.aux = r.u64();
+        e.job = r.i32();
+        e.machine = r.i32();
+        e.key = e.kind == kLocalCompletion ? e.job : e.machine;
+        sh.heap.push_back(e);
+      }
+      std::make_heap(sh.heap.begin(), sh.heap.end(), LocalLater{});
+      sh.completions_since_prune = r.i32();
+    }
+    if (!r.done()) {
+      throw std::runtime_error("recovery: trailing bytes in snapshot payload");
+    }
+  }
+
+  bool setup_recovery() MRIS_REQUIRES(barrier_mutex_) {
+    rec_ = options_.recovery;
+    MRIS_EXPECT(rec_->crash == nullptr,
+                "sharded engine does not support crash-point injection "
+                "(use the single-loop engine: RunOptions::shards == 0)");
+    MRIS_EXPECT(!rec_->journal_path.empty() || !rec_->snapshot_path.empty(),
+                "RecoveryOptions needs a journal path or a snapshot path");
+    fingerprint_ = compute_fingerprint();
+    if (!rec_->snapshot_path.empty()) {
+      snapstore_ =
+          std::make_unique<recovery::SnapshotStore>(*rec_, &rec_stats_);
+    }
+    if (!rec_->journal_path.empty()) {
+      journal_ = std::make_unique<recovery::JournalWriter>(*rec_, &rec_stats_);
+    }
+
+    bool restored = false;
+    bool journal_reusable = false;
+    if (rec_->resume) {
+      recovery::JournalContents jr;
+      if (journal_ != nullptr) {
+        jr = recovery::read_journal(rec_->journal_path);
+        if (jr.ok && jr.fingerprint != fingerprint_) {
+          throw std::runtime_error(
+              "recovery: journal belongs to a different (instance, "
+              "scheduler, fault plan); refusing to resume");
+        }
+        if (jr.ok && jr.torn_bytes > 0) {
+          rec_stats_.journal_torn_bytes = jr.torn_bytes;
+          if (!recovery::truncate_journal(rec_->journal_path,
+                                          jr.valid_bytes)) {
+            throw std::runtime_error(
+                "recovery: cannot truncate torn journal tail");
+          }
+        }
+        journal_reusable = jr.ok;
+      }
+      recovery::SnapshotContents snap;
+      if (snapstore_ != nullptr) {
+        snap = recovery::read_snapshot(rec_->snapshot_path);
+        if (snap.ok && snap.meta.fingerprint != fingerprint_) {
+          throw std::runtime_error(
+              "recovery: snapshot belongs to a different (instance, "
+              "scheduler, fault plan); refusing to resume");
+        }
+      }
+      if (snap.ok) {
+        recovery::StateReader reader(snap.payload);
+        restore_engine_state(reader);
+        records_emitted_ = snap.meta.journal_records;
+        const std::size_t cut = static_cast<std::size_t>(
+            std::min<std::uint64_t>(snap.meta.journal_records,
+                                    jr.records.size()));
+        verify_tail_.assign(
+            jr.records.begin() + static_cast<std::ptrdiff_t>(cut),
+            jr.records.end());
+        rec_stats_.resumed_from_snapshot = true;
+        restored = true;
+      } else if (jr.ok) {
+        verify_tail_ = std::move(jr.records);
+        rec_stats_.resumed_journal_only = true;
+      }
+    }
+    if (journal_ != nullptr) {
+      if (journal_reusable) {
+        journal_->open_append();
+      } else {
+        journal_->open_fresh(fingerprint_);
+      }
+    }
+    if (!rec_->resume && snapstore_ != nullptr) {
+      std::remove(rec_->snapshot_path.c_str());
+    }
+    return restored;
+  }
+
+  /// Snapshot cadence, evaluated once per barrier (snapshots are never cut
+  /// mid-epoch): after a barrier whose batch contained a wakeup, and/or
+  /// whenever the processed-event count crosses a snapshot_every multiple.
+  void maybe_snapshot(bool batch_had_wakeup) MRIS_REQUIRES(barrier_mutex_) {
+    if (snapstore_ == nullptr || snapstore_->dead()) return;
+    bool due = rec_->snapshot_at_wakeups && batch_had_wakeup;
+    if (rec_->snapshot_every > 0) {
+      const std::uint64_t mark = processed_ / rec_->snapshot_every;
+      if (mark > snap_marker_) {
+        snap_marker_ = mark;
+        due = true;
+      }
+    }
+    if (!due) return;
+    if (journal_ != nullptr) journal_->sync();
+    recovery::SnapshotMeta meta;
+    meta.fingerprint = fingerprint_;
+    meta.events_processed = processed_;
+    meta.journal_records = records_emitted_;
+    meta.now = now_;
+    snap_writer_.clear();
+    save_engine_state(snap_writer_);
+    snapstore_->write(meta, snap_writer_.data());
+  }
+
+  void note_degradation() MRIS_REQUIRES(barrier_mutex_) {
+    const bool snap_failed = snapstore_ != nullptr && snapstore_->dead();
+    const bool jrnl_alive = journal_ != nullptr && !journal_->dead();
+    const bool jrnl_failed = journal_ != nullptr && !jrnl_alive;
+    if (snap_failed && jrnl_alive) rec_stats_.degraded_journal_only = true;
+    if (jrnl_failed && (snapstore_ == nullptr || snap_failed)) {
+      rec_stats_.degraded_in_memory = true;
+    }
+  }
+
+  // Run state -----------------------------------------------------------
+
+  const Instance& inst_;
+  OnlineScheduler& scheduler_;
+  RunOptions options_;
+  std::vector<EventRecord> log_;
+  Cluster cluster_;
+  Schedule schedule_;
+
+  static constexpr int kPruneEvery = 32;
+
+  Time now_ = 0.0;
+  Time prune_bound_ = 0.0;  ///< previous barrier; frozen during Phase A
+  std::uint64_t seq_ = 0;
+
+  /// Annotation anchor for the sequential state below: it may only be
+  /// touched between Phase A barriers, on the coordinating thread.  The
+  /// lock is never contended — drain tasks touch none of this state — it
+  /// exists so mris_analyze's ts-guard rule (and clang -Wthread-safety
+  /// under MRIS_CLANG_THREAD_SAFETY) can mechanically check the phase
+  /// discipline the comments promise.
+  std::mutex barrier_mutex_;
+  std::vector<GlobalEvent> gheap_ MRIS_GUARDED_BY(barrier_mutex_);
+  mutable std::vector<JobId> pending_ MRIS_GUARDED_BY(barrier_mutex_);
+  mutable bool pending_dirty_ MRIS_GUARDED_BY(barrier_mutex_) = false;
+  std::set<Time> wakeups_ MRIS_GUARDED_BY(barrier_mutex_);
+
+  std::vector<char> released_;
+  std::vector<char> committed_;
+  mutable std::vector<char> in_pending_;
+  std::vector<JobId> arrival_order_;  ///< job ids sorted by (release, id)
+  std::size_t arrival_cursor_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t remaining_ = 0;
+
+  // Durability state (inert without RunOptions::recovery).
+  const recovery::RecoveryOptions* rec_ = nullptr;
+  recovery::RecoveryStats rec_stats_ MRIS_GUARDED_BY(barrier_mutex_);
+  std::unique_ptr<recovery::JournalWriter> journal_
+      MRIS_PT_GUARDED_BY(barrier_mutex_);
+  std::unique_ptr<recovery::SnapshotStore> snapstore_
+      MRIS_PT_GUARDED_BY(barrier_mutex_);
+  recovery::StateWriter snap_writer_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t records_emitted_ = 0;
+  std::uint64_t snap_marker_ = 0;
+  std::vector<EventRecord> verify_tail_;
+  std::size_t verify_pos_ = 0;
+
+  // Fault/recovery tables.  epoch_/retries_/injected_/residual_/gate_/
+  // effective_ and the committed_/released_ flags are FROZEN during
+  // Phase A (drain tasks read them; only Phase B writes).  live_,
+  // machine_down_flag_, down_until_ and the cluster calendars are
+  // partitioned by machine: during Phase A each is touched only by the
+  // owning shard's drain task.
+  const FaultPlan* faults_ = nullptr;
+  std::vector<Attempt> attempts_;
+  std::vector<int> retries_;
+  std::vector<int> injected_;
+  std::vector<ResidualWork> residual_;
+  std::vector<Job> effective_;
+  std::vector<Time> gate_;
+  std::vector<std::uint64_t> epoch_;
+  std::vector<char> machine_down_flag_;
+  std::vector<Time> down_until_;
+  std::vector<std::vector<LiveRes>> live_;
+
+  // Sharding machinery.
+  std::vector<Shard> shards_;
+  std::vector<int> shard_of_machine_;
+  std::vector<std::size_t> ready_;  ///< shard indices drained this epoch
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+RunResult ShardedEngine::run() MRIS_REQUIRES(barrier_mutex_) {
+  if (options_.faults) {
+    options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
+    if (!options_.faults->empty()) faults_ = options_.faults;
+  }
+
+  // Arrival order: (release, instance order) — the exact order the
+  // single-loop engine pops its seeded arrival events in, but held as a
+  // sorted array with a cursor instead of 10^6 entries churning through a
+  // binary heap.
+  arrival_order_.resize(inst_.num_jobs());
+  for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
+    arrival_order_[i] = inst_.jobs()[i].id;
+  }
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [this](JobId a, JobId b) {
+                     return inst_.job(a).release < inst_.job(b).release;
+                   });
+
+  bool restored = false;
+  if (options_.recovery != nullptr) restored = setup_recovery();
+
+  if (!restored) {
+    if (faults_) {
+      effective_ = inst_.jobs();
+      // Outage events are shard-local: seed them into the owning shards.
+      for (std::size_t i = 0; i < faults_->outages.size(); ++i) {
+        const OutageWindow& o = faults_->outages[i];
+        shard_of(o.machine).push(
+            {o.down, kLocalMachineDown, o.machine, i, kInvalidJob, o.machine});
+        shard_of(o.machine).push(
+            {o.up, kLocalMachineUp, o.machine, i, kInvalidJob, o.machine});
+      }
+    }
+    remaining_ = inst_.num_jobs();
+    scheduler_.on_start(*this);
+  }
+
+  std::vector<std::size_t> merge_pos;  // per-ready-shard outbox cursor
+  for (;;) {
+    // Next global barrier: the earliest arrival / wakeup / retry-ready.
+    Time t_global = kInf;
+    if (arrival_cursor_ < arrival_order_.size()) {
+      t_global = inst_.job(arrival_order_[arrival_cursor_]).release;
+    }
+    if (!gheap_.empty()) t_global = std::min(t_global, gheap_.front().t);
+    Time t_local = kInf;
+    for (const Shard& sh : shards_) {
+      if (!sh.heap.empty()) t_local = std::min(t_local, sh.heap.front().t);
+    }
+    if (t_global == kInf && t_local == kInf) break;
+    const Time T = std::min(t_global, t_local);
+    MRIS_INVARIANT(T >= now_ - 1e-9, "events must be non-decreasing in time");
+
+    // Phase A: drain every shard with due events up to T.  All local event
+    // kinds order before all global kinds at equal timestamps, so the
+    // drain condition is simply t <= T.
+    prune_bound_ = std::max(0.0, now_ - 1e-9);
+    ready_.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s].heap.empty() && shards_[s].heap.front().t <= T) {
+        ready_.push_back(s);
+      }
+    }
+    if (pool_ != nullptr && ready_.size() > 1) {
+      pool_->parallel_for(ready_.size(), [&](std::size_t i) {
+        drain_shard(shards_[ready_[i]], T);
+      });
+    } else {
+      for (const std::size_t s : ready_) drain_shard(shards_[s], T);
+    }
+    now_ = std::max(now_, T);
+
+    // Phase B: k-way merge of the outboxes in (t, kind, key, epoch) order.
+    merge_pos.assign(ready_.size(), 0);
+    for (;;) {
+      const Notification* best = nullptr;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < ready_.size(); ++i) {
+        const Shard& sh = shards_[ready_[i]];
+        if (merge_pos[i] >= sh.outbox.size()) continue;
+        const Notification& cand = sh.outbox[merge_pos[i]];
+        if (best == nullptr || notify_before(cand, *best)) {
+          best = &cand;
+          best_i = i;
+        }
+      }
+      if (best == nullptr) break;
+      ++merge_pos[best_i];
+      apply_notification(*best);
+    }
+    for (const std::size_t s : ready_) shards_[s].outbox.clear();
+
+    // Global events at exactly T, in the legacy kind order: arrivals,
+    // then heap events (wakeups before retry-readies).  Wakeups the
+    // scheduler arms AT T during these callbacks join the same batch.
+    bool batch_had_wakeup = false;
+    if (T == t_global) {
+      while (arrival_cursor_ < arrival_order_.size() &&
+             inst_.job(arrival_order_[arrival_cursor_]).release == T) {
+        const JobId j = arrival_order_[arrival_cursor_++];
+        ++processed_;
+        if (rec_ != nullptr && verify_pos_ < verify_tail_.size()) {
+          ++rec_stats_.resume_replayed_events;
+        }
+        record({EventRecord::Kind::kArrival, now_, j, kInvalidMachine, 0.0});
+        released_[static_cast<std::size_t>(j)] = true;
+        pending_add(j);
+        scheduler_.on_arrival(*this, j);
+      }
+      while (!gheap_.empty() && gheap_.front().t == T) {
+        std::pop_heap(gheap_.begin(), gheap_.end(), GlobalLater{});
+        const GlobalEvent e = gheap_.back();
+        gheap_.pop_back();
+        if (e.kind == kGlobalRetryReady &&
+            (committed_[static_cast<std::size_t>(e.job)] || gated(e.job))) {
+          continue;  // committed meanwhile, or lost again with a later gate
+        }
+        ++processed_;
+        if (rec_ != nullptr && verify_pos_ < verify_tail_.size()) {
+          ++rec_stats_.resume_replayed_events;
+        }
+        if (e.kind == kGlobalWakeup) {
+          batch_had_wakeup = true;
+          record({EventRecord::Kind::kWakeup, now_, kInvalidJob,
+                  kInvalidMachine, 0.0});
+          scheduler_.on_wakeup(*this);
+        } else {
+          record({EventRecord::Kind::kRetryReady, now_, e.job, e.machine,
+                  0.0});
+          scheduler_.on_retry_ready(*this, e.job);
+        }
+      }
+    }
+
+    if (rec_ != nullptr) {
+      maybe_snapshot(batch_had_wakeup);
+      note_degradation();
+    }
+  }
+
+  if (remaining_ > 0) {
+    throw std::runtime_error(
+        "run_online: scheduler '" + scheduler_.name() + "' deadlocked: " +
+        std::to_string(remaining_) +
+        " jobs uncompleted with no future events");
+  }
+  if (!schedule_.complete()) {
+    throw std::runtime_error("run_online: schedule incomplete after run");
+  }
+  if (journal_ != nullptr) {
+    journal_->sync();
+    note_degradation();
+  }
+  RunResult result{std::move(schedule_), processed_, std::move(log_),
+                   std::move(attempts_), rec_stats_};
+  return result;
+}
+
+}  // namespace
+
+RunResult run_online_sharded(const Instance& inst, OnlineScheduler& scheduler,
+                             const RunOptions& options) {
+  MRIS_EXPECT(options.shards >= 1,
+              "run_online_sharded requires options.shards >= 1");
+  ShardedEngine engine(inst, scheduler, options);
+  return engine.run();
+}
+
+}  // namespace mris

@@ -1,0 +1,60 @@
+// Sharded multi-threaded variant of the discrete-event engine
+// (docs/SHARDING.md).  The cluster's machines are partitioned into
+// `RunOptions::shards` fixed contiguous groups; each shard owns the
+// machine-local event state (completions, outages, repairs, straggler
+// extensions) of its machines, and the engine advances in deterministic
+// epochs:
+//
+//   Phase A   every shard with events due before the next *global* event
+//             (arrival / wakeup / retry-ready) drains them — in parallel on
+//             the run's ThreadPool when `RunOptions::threads > 1` — into a
+//             per-shard notification outbox;
+//   barrier   all drain tasks join;
+//   Phase B   the outboxes are merged in a fixed partition-independent
+//             order — (time, kind, job-or-machine id) — and applied
+//             sequentially: attempts are recorded, lost jobs requeued, and
+//             scheduler callbacks delivered at the barrier clock;
+//   global    the global events at the barrier time fire in the legacy
+//             kind order (arrivals, then wakeups, then retry-ready).
+//
+// Determinism contract: same seed + same shard count => byte-identical
+// schedule, event log, and journal for ANY worker-thread count; fault-free
+// runs are additionally byte-identical across SHARD counts, and identical
+// to the single-loop engine for wakeup-driven schedulers (MRIS).  The
+// exact tie-breaking rules and the proof sketch live in docs/SHARDING.md.
+//
+// Entry point: run_online() dispatches here when options.shards > 0.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace mris {
+
+/// Fixed machine partition of the sharded engine: shard `s` of `S` owns the
+/// contiguous machine range [begin, end).  Balanced to within one machine;
+/// exposed so tests and tools can reason about the layout.
+struct ShardLayout {
+  static MachineId machines_begin(int shard, int shards, int machines) {
+    return static_cast<MachineId>(
+        (static_cast<long long>(shard) * machines) / shards);
+  }
+  static MachineId machines_end(int shard, int shards, int machines) {
+    return machines_begin(shard + 1, shards, machines);
+  }
+  static int shard_of(MachineId m, int shards, int machines) {
+    // Exact inverse of the begin/end split: the largest s with
+    // floor(s*M/S) <= m is ceil((m+1)*S/M) - 1.
+    return static_cast<int>(
+        (static_cast<long long>(m) * shards + shards - 1) / machines);
+  }
+};
+
+/// Runs `scheduler` on `inst` with the sharded engine.  `options.shards`
+/// must be >= 1 (run_online clamps it to the machine count); see the
+/// determinism contract above.  Crash-point injection
+/// (RecoveryOptions::crash) is not supported here — use the single-loop
+/// engine for crash-injection tests.
+RunResult run_online_sharded(const Instance& inst, OnlineScheduler& scheduler,
+                             const RunOptions& options);
+
+}  // namespace mris

@@ -460,6 +460,42 @@ OracleResult ratio_makespan(const Instance& inst,
   return {};
 }
 
+// ---- shard equivalence ---------------------------------------------------
+
+/// Metamorphic oracle for the sharded engine (docs/SHARDING.md): on a
+/// fault-free run, the machine partition is unobservable — 1 shard and N
+/// shards must produce the exact same schedule, for any scheduler.
+OracleResult shard_equivalence(const Instance& inst,
+                               const exp::SchedulerSpec& spec,
+                               const Params&) {
+  if (inst.num_jobs() == 0 || inst.num_machines() == 0) return {};
+  exp::EngineConfig one;
+  one.shards = 1;
+  Schedule s_one;
+  const exp::EvalResult r_one =
+      exp::evaluate_with_schedule(inst, spec, s_one, nullptr, nullptr, one);
+  if (r_one.failed) return fail("1-shard run failed: " + r_one.error);
+  exp::EngineConfig many;
+  many.shards = std::min(4, inst.num_machines());
+  many.threads = 2;
+  Schedule s_many;
+  const exp::EvalResult r_many =
+      exp::evaluate_with_schedule(inst, spec, s_many, nullptr, nullptr, many);
+  if (r_many.failed) return fail("N-shard run failed: " + r_many.error);
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const Assignment& a = s_one.assignment(static_cast<JobId>(i));
+    const Assignment& b = s_many.assignment(static_cast<JobId>(i));
+    if (a.machine != b.machine || a.start != b.start) {
+      return fail("job " + std::to_string(i) + " placed at (m" +
+                  std::to_string(a.machine) + ", t" + fmt(a.start) +
+                  ") with 1 shard but (m" + std::to_string(b.machine) +
+                  ", t" + fmt(b.start) + ") with " +
+                  std::to_string(many.shards) + " shards");
+    }
+  }
+  return {};
+}
+
 // ---- fixtures ------------------------------------------------------------
 
 OracleResult fixture_triple_heavy(const Instance& inst,
@@ -509,6 +545,7 @@ OracleCatalog OracleCatalog::standard() {
   catalog.add("job-removal", job_removal);
   catalog.add("ratio-awct", ratio_awct);
   catalog.add("ratio-makespan", ratio_makespan);
+  catalog.add("shard-equivalence", shard_equivalence);
   return catalog;
 }
 
