@@ -216,14 +216,11 @@ int run() {
                  "  \"schema_version\": 2,\n"
                  "  \"bench\": \"engine_scale\",\n"
                  "  \"config\": {\"seed\": %llu, \"scale\": %s},\n"
-                 "  \"provenance\": {\"git_sha\": \"%s\", "
-                 "\"compiler\": \"%s\", \"flags\": \"%s\"},\n"
+                 "  %s,\n"
                  "  \"workloads\": [\n",
                  static_cast<unsigned long long>(util::bench_seed()),
                  json_num(util::bench_scale()).c_str(),
-                 json_escape(MRIS_BENCH_GIT_SHA).c_str(),
-                 json_escape(MRIS_BENCH_COMPILER).c_str(),
-                 json_escape(MRIS_BENCH_FLAGS).c_str());
+                 provenance_json().c_str());
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(

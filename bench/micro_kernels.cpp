@@ -1,0 +1,468 @@
+// Per-kernel micro-benchmark for the SIMD dispatch layer (util/simd.hpp):
+// every kernel in the dispatch table, timed scalar-table vs vector-table
+// on the access pattern its caller produces, plus two end-to-end rows that
+// flip the process-wide dispatch level around real scheduler code.
+//
+// Kernel rows (kind "kernel") — deterministic synthetic operands:
+//   * min_headroom      batched headroom recompute over stride-4 usage rows
+//                       (the reserve/release maintenance pass at R = 4);
+//   * feasibility_scan  fused first_conflict hop-scan over long breakpoint
+//                       and headroom arrays (the fits/earliest_fit fast
+//                       path, window-bounded);
+//   * reserve_release   add_row + sub_clamp_row round trips (the timeline
+//                       mutation pair);
+//   * cadp_dp           dp_relax item loop on a pooled dp row (the CADP
+//                       inner loop).
+//
+// End-to-end rows (kind "end_to_end") — set_level() flips the dispatch:
+//   * profile_replay    earliest_fit/reserve/release replay on a real
+//                       ResourceProfile, placements checksummed;
+//   * cadp_select       solve_cadp selections checksummed.
+//
+// Every row runs both paths over identical inputs and the bit-pattern
+// checksums must match — the bench FAILS (exit code) on any divergence.
+// Wall-clock speedups are informational; CI gates only the exit code.
+//
+// Outputs:
+//   * results/BENCH_profile.json — the "kernels" array (micro_profile
+//     co-owns the file and contributes "workloads"; each binary splices
+//     the other's section back in, see bench_common.hpp);
+//   * results/KERNEL_checksums.txt — checksums only, no timings: byte-
+//     identical across -DMRIS_SIMD=ON/OFF builds of the same tree, which
+//     is exactly what the CI cross-build diff asserts.
+//
+// Usage: micro_kernels [row-name...] — with arguments, runs only the named
+// rows and skips the result files (partial runs must not clobber them).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "knapsack/knapsack.hpp"
+#include "sim/resource_profile.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace mris::bench {
+namespace {
+
+namespace simd = util::simd;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over bit patterns — equal checksums == bit-identical outputs.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+
+  void mix_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    mix_u64(bits);
+  }
+
+  void mix_doubles(const std::vector<double>& xs) {
+    for (double x : xs) mix_double(x);
+  }
+};
+
+struct Row {
+  std::string name;
+  std::string kind;  // "kernel" or "end_to_end"
+  std::size_t n = 0;
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  std::uint64_t scalar_sum = 0;
+  std::uint64_t simd_sum = 0;
+
+  bool identical() const { return scalar_sum == simd_sum; }
+  double speedup() const {
+    return simd_ms > 0.0 ? scalar_ms / simd_ms : 1.0;
+  }
+};
+
+void print_row(const Row& r) {
+  std::printf("%-16s %-10s n=%-8zu scalar=%9.3f ms  %6s=%9.3f ms  "
+              "speedup=%5.2fx  checksums %s\n",
+              r.name.c_str(), r.kind.c_str(), r.n, r.scalar_ms,
+              simd::level_name(simd::avx2_available() ? simd::Level::kAvx2
+                                                      : simd::Level::kScalar),
+              r.simd_ms, r.speedup(),
+              r.identical() ? "IDENTICAL" : "DIVERGED");
+}
+
+/// The vector side of every comparison: the best level this build/CPU has.
+/// Without AVX2 both sides run the scalar table and the row degenerates to
+/// a self-check (speedup ~1, checksums trivially equal).
+simd::Level vector_level() {
+  return simd::avx2_available() ? simd::Level::kAvx2 : simd::Level::kScalar;
+}
+
+/// Times `body` under both kernel tables, best-of-reps, and records the
+/// bit-pattern checksum each table produced.
+Row run_kernel_row(const std::string& name, std::size_t n,
+                   const std::function<std::uint64_t(const simd::Kernels&)>&
+                       body) {
+  Row r;
+  r.name = name;
+  r.kind = "kernel";
+  r.n = n;
+  const std::size_t reps = util::bench_reps();
+  r.scalar_ms = 1e300;
+  r.simd_ms = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      r.scalar_sum = body(simd::kernel_table(simd::Level::kScalar));
+      r.scalar_ms = std::min(r.scalar_ms, ms_since(t0));
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      r.simd_sum = body(simd::kernel_table(vector_level()));
+      r.simd_ms = std::min(r.simd_ms, ms_since(t0));
+    }
+  }
+  print_row(r);
+  return r;
+}
+
+/// Times `body` under both process-wide dispatch levels (set_level), for
+/// the end-to-end rows whose code paths call simd::active() internally.
+Row run_level_row(const std::string& name, std::size_t n,
+                  const std::function<std::uint64_t()>& body) {
+  Row r;
+  r.name = name;
+  r.kind = "end_to_end";
+  r.n = n;
+  const simd::Level before = simd::active_level();
+  const std::size_t reps = util::bench_reps();
+  r.scalar_ms = 1e300;
+  r.simd_ms = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    simd::set_level(simd::Level::kScalar);
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      r.scalar_sum = body();
+      r.scalar_ms = std::min(r.scalar_ms, ms_since(t0));
+    }
+    simd::set_level(vector_level());
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      r.simd_sum = body();
+      r.simd_ms = std::min(r.simd_ms, ms_since(t0));
+    }
+  }
+  simd::set_level(before);
+  print_row(r);
+  return r;
+}
+
+// --- kernel-row workloads -------------------------------------------------
+
+constexpr std::size_t kStride = simd::padded_stride(4);  // R = 4
+
+std::vector<double> random_usage_rows(std::size_t rows, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> usage(rows * kStride);
+  for (double& x : usage) x = util::uniform(rng, 0.0, 0.95);
+  return usage;
+}
+
+/// Headroom-cache maintenance: recompute all headrooms from stride-4 usage
+/// rows, the pass ResourceProfile::add/release runs over the touched range.
+Row min_headroom_row() {
+  const std::size_t rows = scaled(4096);
+  const std::size_t iters = 400;
+  const std::vector<double> usage = random_usage_rows(rows, 0xa1);
+  return run_kernel_row(
+      "min_headroom", rows, [&](const simd::Kernels& k) {
+        std::vector<double> headroom(rows, 0.0);
+        for (std::size_t it = 0; it < iters; ++it) {
+          k.min_headroom(usage.data(), rows, kStride, headroom.data());
+        }
+        Fnv f;
+        f.mix_doubles(headroom);
+        return f.h;
+      });
+}
+
+/// Feasibility fast path: fused first_conflict hop-scan across long
+/// breakpoint/headroom arrays at several conflict densities
+/// (fits/earliest_fit's access pattern: long conflict-free runs punctuated
+/// by full segments, bounded by the first breakpoint past the window end).
+Row feasibility_scan_row() {
+  const std::size_t n = scaled(std::size_t{1} << 16);
+  util::Xoshiro256 rng(0xa2);
+  std::vector<double> times(n), headroom(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += util::uniform(rng, 0.1, 1.0);
+    times[i] = t;
+    headroom[i] = util::uniform(rng, 0.3, 1.0);
+  }
+  // Mostly-fits densities: a window-bounded conflict-free scan (the
+  // successful fits() check) plus ~0.1%/1.4% sparse-conflict hop scans.
+  // The dense-conflict regime — where the caller's inline check keeps the
+  // scan off the kernel path entirely and there is nothing to vectorize —
+  // is covered end-to-end by profile_replay below.
+  const double dmaxes[] = {0.29, 0.301, 0.31};
+  // Window ends mid-array, so the `times[i] >= end` bound (not n) is what
+  // normally stops the scan — as in fits().
+  const double ends[] = {times[n / 2], times[n - 1], times[2 * n / 3]};
+  return run_kernel_row(
+      "feasibility_scan", n, [&](const simd::Kernels& k) {
+        Fnv f;
+        for (int it = 0; it < 60; ++it) {
+          const double dmax = dmaxes[it % 3];
+          const double end = ends[it % 3];
+          std::size_t i = 0;
+          while (i < n) {
+            i += k.first_conflict(times.data() + i, headroom.data() + i,
+                                  n - i, end, dmax);
+            if (i >= n || times[i] >= end) break;
+            f.mix_u64(i);
+            ++i;
+          }
+        }
+        return f.h;
+      });
+}
+
+/// Timeline mutation pair: add_row over every row, then sub_clamp_row of
+/// the same demands (usage returns to start modulo dust clamping).
+Row reserve_release_row() {
+  const std::size_t rows = scaled(4096);
+  const std::size_t iters = 200;
+  const std::vector<double> base = random_usage_rows(rows, 0xa3);
+  util::Xoshiro256 rng(0xa4);
+  std::vector<double> demand(kStride, 0.0);
+  for (std::size_t l = 0; l < 4; ++l) demand[l] = util::uniform(rng, 0.0, 0.4);
+  return run_kernel_row(
+      "reserve_release", rows, [&](const simd::Kernels& k) {
+        std::vector<double> usage = base;
+        bool ok = true;
+        for (std::size_t it = 0; it < iters; ++it) {
+          for (std::size_t i = 0; i < rows; ++i) {
+            k.add_row(usage.data() + i * kStride, demand.data(), kStride);
+          }
+          for (std::size_t i = 0; i < rows; ++i) {
+            ok &= k.sub_clamp_row(usage.data() + i * kStride, demand.data(),
+                                  kStride, 1e-6);
+          }
+        }
+        Fnv f;
+        f.mix_doubles(usage);
+        f.mix_u64(ok ? 1 : 0);
+        return f.h;
+      });
+}
+
+/// CADP inner loop: dp_relax across a deterministic item set on one pooled
+/// dp row, exactly the loop knapsack.cpp's dp_table runs per item.
+Row cadp_dp_row() {
+  const std::size_t cap = scaled(4096);
+  const std::size_t items = 2000;
+  util::Xoshiro256 rng(0xa5);
+  std::vector<std::size_t> sizes(items);
+  std::vector<double> profits(items);
+  for (std::size_t j = 0; j < items; ++j) {
+    sizes[j] = 1 + util::uniform_index(rng, cap);
+    profits[j] = util::uniform(rng, 0.1, 10.0);
+  }
+  return run_kernel_row("cadp_dp", cap, [&](const simd::Kernels& k) {
+    std::vector<double> dp(cap + 1, 0.0);
+    for (std::size_t j = 0; j < items; ++j) {
+      k.dp_relax(dp.data(), cap, sizes[j], profits[j]);
+    }
+    Fnv f;
+    f.mix_doubles(dp);
+    return f.h;
+  });
+}
+
+// --- end-to-end rows ------------------------------------------------------
+
+/// Dense-backfill replay on a real ResourceProfile: earliest_fit + reserve
+/// with periodic exact-endpoint releases, placements checksummed.
+Row profile_replay_row() {
+  const std::size_t jobs = scaled(6000);
+  struct Job {
+    double duration;
+    std::vector<double> demand;
+  };
+  util::Xoshiro256 rng(0xa6);
+  std::vector<Job> plan;
+  plan.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    Job job;
+    job.duration = util::uniform(rng, 0.5, 4.0);
+    job.demand.resize(4);
+    for (double& d : job.demand) d = util::uniform(rng, 0.05, 0.45);
+    plan.push_back(std::move(job));
+  }
+  return run_level_row("profile_replay", jobs, [&] {
+    ResourceProfile profile(4);
+    Fnv f;
+    std::vector<std::pair<Time, std::size_t>> placed;  // (start, plan idx)
+    placed.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      const Job& job = plan[j];
+      const Time s = profile.earliest_fit(0.0, job.duration, job.demand);
+      profile.reserve(s, job.duration, job.demand);
+      placed.emplace_back(s, j);
+      f.mix_double(s);
+      if (j % 4 == 3) {
+        // Exact-endpoint release of the oldest still-held reservation —
+        // the fault-requeue path (sub_clamp + headroom refresh + coalesce).
+        const auto [rs, ri] = placed[placed.size() / 2];
+        profile.release(rs, plan[ri].duration, plan[ri].demand);
+        f.mix_double(profile.usage_at(rs, static_cast<int>(ri % 4)));
+      }
+    }
+    f.mix_u64(profile.num_breakpoints());
+    return f.h;
+  });
+}
+
+/// CADP end-to-end: solve_cadp selections across several instances.
+Row cadp_select_row() {
+  const std::size_t items = scaled(300);
+  util::Xoshiro256 rng(0xa7);
+  std::vector<std::vector<knapsack::Item>> instances;
+  for (int inst = 0; inst < 4; ++inst) {
+    std::vector<knapsack::Item> v;
+    v.reserve(items);
+    for (std::size_t j = 0; j < items; ++j) {
+      knapsack::Item it;
+      it.size = util::uniform(rng, 0.01, 0.5);
+      it.profit = util::uniform(rng, 0.1, 5.0);
+      it.tag = static_cast<std::int32_t>(j);
+      v.push_back(it);
+    }
+    instances.push_back(std::move(v));
+  }
+  return run_level_row("cadp_select", items, [&] {
+    Fnv f;
+    for (const auto& inst : instances) {
+      const knapsack::Selection sel =
+          knapsack::solve_cadp(inst, /*capacity=*/1.0, /*eps=*/0.05);
+      for (std::int32_t tag : sel.tags) {
+        f.mix_u64(static_cast<std::uint64_t>(tag));
+      }
+      f.mix_double(sel.total_profit);
+      f.mix_double(sel.total_size);
+    }
+    return f.h;
+  });
+}
+
+// --- driver ---------------------------------------------------------------
+
+int run(int argc, char** argv) {
+  print_header("micro_kernels",
+               "SIMD kernel layer (util/simd.hpp) scalar vs vector paths");
+  std::printf("compiled=%s available=%s dispatch=%s\n",
+              simd::avx2_compiled() ? "avx2" : "scalar-only",
+              simd::avx2_available() ? "avx2" : "scalar-only",
+              simd::level_name(simd::active_level()));
+
+  const std::vector<std::string> filter(argv + 1, argv + argc);
+  const auto wanted = [&](const char* name) {
+    if (filter.empty()) return true;
+    for (const std::string& f : filter) {
+      if (f == name) return true;
+    }
+    return false;
+  };
+
+  std::vector<Row> rows;
+  if (wanted("min_headroom")) rows.push_back(min_headroom_row());
+  if (wanted("feasibility_scan")) rows.push_back(feasibility_scan_row());
+  if (wanted("reserve_release")) rows.push_back(reserve_release_row());
+  if (wanted("cadp_dp")) rows.push_back(cadp_dp_row());
+  if (wanted("profile_replay")) rows.push_back(profile_replay_row());
+  if (wanted("cadp_select")) rows.push_back(cadp_select_row());
+
+  if (filter.empty()) {
+    const std::string path = results_json_path("profile");
+    // micro_profile co-owns this file: splice its workload rows back in so
+    // running the kernel bench never discards the workload trajectory.
+    const std::string workloads = read_json_section(path, "workloads");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"schema_version\": 2,\n"
+                   "  \"bench\": \"micro_kernels\",\n"
+                   "  \"config\": {\"seed\": %llu, \"scale\": %s},\n"
+                   "  %s,\n",
+                   static_cast<unsigned long long>(util::bench_seed()),
+                   json_num(util::bench_scale()).c_str(),
+                   provenance_json().c_str());
+      if (!workloads.empty()) {
+        std::fprintf(f, "  \"workloads\": %s,\n", workloads.c_str());
+      }
+      std::fputs("  \"kernels\": [\n", f);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"kind\": \"%s\", \"n\": %zu, "
+                     "\"scalar_ms\": %.3f, \"simd_ms\": %.3f, "
+                     "\"speedup\": %.2f, \"identical\": %s}%s\n",
+                     r.name.c_str(), r.kind.c_str(), r.n, r.scalar_ms,
+                     r.simd_ms, r.speedup(),
+                     r.identical() ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fputs("  ]\n}\n", f);
+      std::fclose(f);
+      std::printf("json summary written to %s\n", path.c_str());
+    }
+
+    // Checksums only (no timings): byte-identical across SIMD ON/OFF
+    // builds of one tree — the CI cross-build identity diff target.
+    const std::string sums_path = "results/KERNEL_checksums.txt";
+    std::FILE* sf = std::fopen(sums_path.c_str(), "w");
+    if (sf != nullptr) {
+      for (const Row& r : rows) {
+        std::fprintf(sf, "%-16s scalar=%016llx simd=%016llx\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.scalar_sum),
+                     static_cast<unsigned long long>(r.simd_sum));
+      }
+      std::fclose(sf);
+      std::printf("checksums written to %s\n", sums_path.c_str());
+    }
+  } else {
+    std::printf("row filter active: result files not rewritten\n");
+  }
+
+  for (const Row& r : rows) {
+    if (!r.identical()) {
+      std::printf("FAIL: %s checksums diverged between kernel paths\n",
+                  r.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mris::bench
+
+int main(int argc, char** argv) { return mris::bench::run(argc, argv); }

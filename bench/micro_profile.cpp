@@ -322,6 +322,9 @@ int run() {
       run_workload("fault_churn", fault_churn_ops(scaled(12000), seed + 2)));
 
   const std::string path = results_json_path("profile");
+  // micro_kernels co-owns this file: splice its per-kernel rows back in so
+  // running the workload bench never discards the kernel trajectory.
+  const std::string kernels = read_json_section(path, "kernels");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f != nullptr) {
     std::fprintf(f,
@@ -329,14 +332,11 @@ int run() {
                  "  \"schema_version\": 2,\n"
                  "  \"bench\": \"micro_profile\",\n"
                  "  \"config\": {\"seed\": %llu, \"scale\": %s},\n"
-                 "  \"provenance\": {\"git_sha\": \"%s\", "
-                 "\"compiler\": \"%s\", \"flags\": \"%s\"},\n"
+                 "  %s,\n"
                  "  \"workloads\": [\n",
                  static_cast<unsigned long long>(seed),
                  json_num(util::bench_scale()).c_str(),
-                 json_escape(MRIS_BENCH_GIT_SHA).c_str(),
-                 json_escape(MRIS_BENCH_COMPILER).c_str(),
-                 json_escape(MRIS_BENCH_FLAGS).c_str());
+                 provenance_json().c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const WorkloadResult& r = results[i];
       std::fprintf(f,
@@ -347,7 +347,11 @@ int run() {
                    r.legacy_ms / r.rewrite_ms, r.identical ? "true" : "false",
                    i + 1 < results.size() ? "," : "");
     }
-    std::fputs("  ]\n}\n", f);
+    std::fputs("  ]", f);
+    if (!kernels.empty()) {
+      std::fprintf(f, ",\n  \"kernels\": %s", kernels.c_str());
+    }
+    std::fputs("\n}\n", f);
     std::fclose(f);
     std::printf("json summary written to %s\n", path.c_str());
   }

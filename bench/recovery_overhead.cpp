@@ -175,16 +175,13 @@ int run() {
                  "  \"bench\": \"recovery_overhead\",\n"
                  "  \"config\": {\"seed\": %llu, \"reps\": %zu, "
                  "\"scale\": %s},\n"
-                 "  \"provenance\": {\"git_sha\": \"%s\", "
-                 "\"compiler\": \"%s\", \"flags\": \"%s\"},\n"
+                 "  %s,\n"
                  "  \"overhead_target_pct\": 10,\n"
                  "  \"workloads\": [\n",
                  static_cast<unsigned long long>(util::bench_seed()),
                  util::bench_reps(),
                  bench::json_num(util::bench_scale()).c_str(),
-                 bench::json_escape(MRIS_BENCH_GIT_SHA).c_str(),
-                 bench::json_escape(MRIS_BENCH_COMPILER).c_str(),
-                 bench::json_escape(MRIS_BENCH_FLAGS).c_str());
+                 bench::provenance_json().c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const ArmResult& r = results[i];
       std::fprintf(

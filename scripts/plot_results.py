@@ -23,6 +23,10 @@ time — series whose name is the prefix or starts with "<prefix>:":
         results/results_fault_degradation.csv
     ./scripts/plot_results.py --metric XOVER-AWCT \
         results/results_fault_degradation.csv
+
+`BENCH_profile.json` carries per-workload and per-kernel speedup rows
+(micro_profile's `workloads`, micro_kernels' `kernels`) instead of x/y
+series; those files render as a horizontal speedup bar chart.
 """
 import argparse
 import collections
@@ -58,7 +62,6 @@ def load_series_json(path):
         raise SystemExit(f"{path}: unsupported schema_version "
                          f"{doc.get('schema_version')!r}")
     if "series" not in doc:
-        # e.g. BENCH_profile.json carries per-workload timings, not series.
         raise SystemExit(f"{path}: no 'series' array to plot "
                          f"(bench {doc.get('bench')!r})")
     data = collections.OrderedDict()
@@ -69,6 +72,46 @@ def load_series_json(path):
     return data
 
 
+def speedup_rows(doc):
+    """Extracts (label, speedup) rows from a BENCH file that carries
+    per-workload / per-kernel timing rows instead of x/y series
+    (BENCH_profile.json: micro_profile's `workloads` vs LegacyProfile,
+    micro_kernels' `kernels` scalar vs SIMD dispatch)."""
+    rows = []
+    for w in doc.get("workloads", []):
+        if "speedup" in w:
+            rows.append(("workload:" + w["name"], w["speedup"]))
+    for k in doc.get("kernels", []):
+        prefix = "e2e:" if k.get("kind") == "end_to_end" else "kernel:"
+        rows.append((prefix + k["name"], k["speedup"]))
+    return rows
+
+
+def plot_speedup_bars(path, rows, args, plt):
+    fig, ax = plt.subplots(figsize=(7, 0.5 + 0.4 * len(rows)))
+    labels = [name for name, _ in rows]
+    values = [v for _, v in rows]
+    pos = range(len(rows))
+    colors = ["tab:blue" if l.startswith("workload:") else
+              "tab:green" if l.startswith("kernel:") else "tab:orange"
+              for l in labels]
+    ax.barh(pos, values, color=colors)
+    ax.axvline(1.0, color="black", linewidth=0.8)
+    ax.set_yticks(list(pos), labels=labels, fontsize=8)
+    ax.invert_yaxis()
+    for p, v in zip(pos, values):
+        ax.text(v, p, f" {v:.2f}x", va="center", fontsize=8)
+    title = (os.path.basename(path)
+             .removeprefix("BENCH_").removesuffix(".json"))
+    ax.set_title(title)
+    ax.set_xlabel("speedup (x, higher is better)")
+    ax.grid(True, axis="x", alpha=0.3)
+    out = os.path.splitext(path)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def load_series(path):
     if path.endswith(".json"):
         return load_series_json(path)
@@ -76,6 +119,13 @@ def load_series(path):
 
 
 def plot_file(path, args, plt):
+    if path.endswith(".json"):
+        with open(path) as f:
+            doc = json.load(f)
+        rows = speedup_rows(doc)
+        if rows and "series" not in doc:
+            plot_speedup_bars(path, rows, args, plt)
+            return
     data = load_series(path)
     if args.metric:
         data = collections.OrderedDict(

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/simd.hpp"
 
 namespace mris::knapsack {
 
@@ -44,16 +45,16 @@ std::vector<double> dp_table(const std::vector<Item>& items,
                              std::size_t lo, std::size_t hi,
                              std::int64_t cap) {
   std::vector<double> dp = acquire_dp(static_cast<std::size_t>(cap) + 1);
+  const util::simd::Kernels& k = util::simd::active();
   for (std::size_t i = lo; i < hi; ++i) {
     const std::int64_t s = sizes[i];
     const double p = items[i].profit;
     if (s > cap || p <= 0.0) continue;
-    for (std::int64_t c = cap; c >= s; --c) {
-      const double cand = dp[static_cast<std::size_t>(c - s)] + p;
-      if (cand > dp[static_cast<std::size_t>(c)]) {
-        dp[static_cast<std::size_t>(c)] = cand;
-      }
-    }
+    // Branchless descending relaxation dp[c] = max(dp[c], dp[c-s] + p) for
+    // c = cap..s over the contiguous pooled row; bit-identical to the
+    // scalar compare-and-store loop (see util/simd.hpp dp_relax).
+    k.dp_relax(dp.data(), static_cast<std::size_t>(cap),
+               static_cast<std::size_t>(s), p);
   }
   return dp;
 }

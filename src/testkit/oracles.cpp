@@ -22,6 +22,7 @@
 #include "testkit/streams.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace mris::testkit {
 
@@ -496,6 +497,53 @@ OracleResult shard_equivalence(const Instance& inst,
   return {};
 }
 
+// ---- SIMD dispatch identity ----------------------------------------------
+
+/// Differential oracle for the SIMD kernel layer (DESIGN.md §"SIMD
+/// kernels"): the dispatch level is pure implementation detail, so a run
+/// under the scalar kernels and a run under the AVX2 kernels must place
+/// every job bit-identically — same machine, same start, for any
+/// scheduler.  On builds or CPUs without AVX2 the second run stays on the
+/// scalar kernels and the check holds trivially (still a useful replay of
+/// the engine's own determinism).
+OracleResult simd_identity(const Instance& inst,
+                           const exp::SchedulerSpec& spec, const Params&) {
+  if (inst.num_jobs() == 0 || inst.num_machines() == 0) return {};
+  namespace simd = util::simd;
+  const simd::Level before = simd::active_level();
+  const exp::EngineConfig config;
+  simd::set_level(simd::Level::kScalar);
+  Schedule s_scalar;
+  const exp::EvalResult r_scalar = exp::evaluate_with_schedule(
+      inst, spec, s_scalar, nullptr, nullptr, config);
+  if (r_scalar.failed) {
+    simd::set_level(before);
+    return fail("scalar-dispatch run failed: " + r_scalar.error);
+  }
+  const bool vectorized = simd::set_level(simd::Level::kAvx2);
+  Schedule s_vector;
+  const exp::EvalResult r_vector = exp::evaluate_with_schedule(
+      inst, spec, s_vector, nullptr, nullptr, config);
+  simd::set_level(before);
+  if (r_vector.failed) {
+    return fail(std::string(vectorized ? "avx2" : "scalar") +
+                "-dispatch run failed: " + r_vector.error);
+  }
+  for (std::size_t i = 0; i < inst.num_jobs(); ++i) {
+    const Assignment& a = s_scalar.assignment(static_cast<JobId>(i));
+    const Assignment& b = s_vector.assignment(static_cast<JobId>(i));
+    if (a.machine != b.machine || a.start != b.start) {
+      return fail("job " + std::to_string(i) + " placed at (m" +
+                  std::to_string(a.machine) + ", t" + fmt(a.start) +
+                  ") under scalar dispatch but (m" +
+                  std::to_string(b.machine) + ", t" + fmt(b.start) +
+                  ") under " + simd::level_name(simd::Level::kAvx2) +
+                  " dispatch");
+    }
+  }
+  return {};
+}
+
 // ---- fixtures ------------------------------------------------------------
 
 OracleResult fixture_triple_heavy(const Instance& inst,
@@ -546,6 +594,7 @@ OracleCatalog OracleCatalog::standard() {
   catalog.add("ratio-awct", ratio_awct);
   catalog.add("ratio-makespan", ratio_makespan);
   catalog.add("shard-equivalence", shard_equivalence);
+  catalog.add("simd-identity", simd_identity);
   return catalog;
 }
 

@@ -46,6 +46,11 @@
 //                              empirical test than against OPT)
 //   ratio-makespan             MRIS only: makespan <= 8R(1+eps) *
 //                              makespan_lower_bound (Lemma 6.9)
+//   shard-equivalence          fault-free runs: 1 shard and N shards place
+//                              every job identically (docs/SHARDING.md)
+//   simd-identity              scalar-dispatch and AVX2-dispatch runs place
+//                              every job bit-identically (DESIGN.md §"SIMD
+//                              kernels"; trivial when AVX2 is unavailable)
 //
 // The fixture catalog adds deliberately broken oracles (used to prove the
 // shrinker and replay pipeline can actually catch, minimize and reproduce

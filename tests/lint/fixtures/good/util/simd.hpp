@@ -1,0 +1,7 @@
+// Path-exemption fixture: this file's path ends in util/simd.hpp, the one
+// place the raw-simd rule licenses vector intrinsics.
+#pragma once
+
+#include <immintrin.h>
+
+inline __m256d add4(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }

@@ -198,6 +198,27 @@ TEST(LintRuleTest, RawIoSparesMethodsHelpersAndRecoveryLayer) {
                   .empty());
 }
 
+TEST(LintRuleTest, FlagsVectorIntrinsicsOutsideSimdLayer) {
+  EXPECT_TRUE(has_rule(lint("#include <immintrin.h>"), "raw-simd"));
+  EXPECT_TRUE(has_rule(lint("__m256d v = _mm256_loadu_pd(p);"), "raw-simd"));
+  EXPECT_TRUE(has_rule(lint("auto m = _mm_set1_pd(x);"), "raw-simd"));
+  EXPECT_TRUE(has_rule(lint("__m512d z;"), "raw-simd"));
+}
+
+TEST(LintRuleTest, RawSimdSparesLookalikesAndTheSimdLayer) {
+  // Identifiers merely containing the prefixes are not intrinsics.
+  EXPECT_TRUE(lint("int comm_mm = 0; double x_mm256 = 1.0;").empty());
+  EXPECT_TRUE(lint("shared_memory__m256 = nullptr;").empty());
+  // The kernel layer itself owns the intrinsics (path-suffix exemption).
+  EXPECT_TRUE(lint_source("src/util/simd.hpp",
+                          "__m256d v = _mm256_add_pd(a, b);\n"
+                          "#pragma once\n")
+                  .empty());
+  // Suppressions work like every other rule.
+  EXPECT_FALSE(has_rule(
+      lint("__m256d v;  // mris-lint: allow(raw-simd)"), "raw-simd"));
+}
+
 TEST(LintRuleTest, HeaderRequiresPragmaOnce) {
   EXPECT_TRUE(has_rule(lint_source("x/h.hpp", "int f();\n"), "pragma-once", 1));
   EXPECT_TRUE(lint_source("x/h.hpp", "#pragma once\nint f();\n").empty());

@@ -1,0 +1,78 @@
+// Differential scalar-vs-SIMD fuzz: every adversarial family, R = 1..8,
+// run through the simd-identity oracle — a scalar-dispatch run and an
+// AVX2-dispatch run of the same (instance, scheduler) must place every job
+// bit-identically (the exactness contract of DESIGN.md §"SIMD kernels").
+// A mismatch is ddmin-shrunk and archived as a ready-to-commit .corpus
+// file in the testkit artifacts directory, like every other fuzz suite.
+//
+// On builds or CPUs without AVX2 the oracle degenerates to scalar-vs-scalar
+// and the suite becomes a determinism replay — still green, just not
+// informative about the vector kernels.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/streams.hpp"
+
+namespace mris::testkit {
+namespace {
+
+/// Sweeps one scheduler across every family at a fixed resource dimension,
+/// shrinking and archiving the first scalar-vs-SIMD divergence.
+void fuzz_simd_identity(const std::string& scheduler, int resources,
+                        std::size_t seeds) {
+  const OracleCatalog catalog = OracleCatalog::standard();
+  for (Family family : all_families()) {
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      GenConfig config;
+      config.num_jobs = 24;
+      config.resources = resources;
+      const Instance inst = make_family_instance(family, config, seed);
+      const CheckReport report =
+          check_and_minimize(catalog, "simd-identity", inst, scheduler, {});
+      EXPECT_TRUE(report.ok)
+          << family_name(family) << " R=" << resources << " seed " << seed
+          << ": " << report.message;
+    }
+  }
+}
+
+TEST(SimdFuzz, PlacementsIdenticalAcrossResourceDimensions) {
+  // R = 1..8 covers every stride shape the kernels see: sub-lane rows
+  // (R < 4 pad to one lane), exactly one lane (R = 4), and two lanes with
+  // and without padding (R = 5..8).
+  for (int resources = 1; resources <= 8; ++resources) {
+    fuzz_simd_identity("mris", resources, fuzz_iters(1));
+  }
+}
+
+TEST(SimdFuzz, PlacementsIdenticalOnFeasibilityEdgeFamilies) {
+  // The families that live on the exactness contract's edges get extra
+  // seeds and the full scheduler lineup: near-capacity demands make the
+  // headroom fast path and the tolerance check disagree by construction
+  // pressure, ulp-boundary durations land reservation endpoints on
+  // rounding boundaries.
+  const OracleCatalog catalog = OracleCatalog::standard();
+  for (Family family : {Family::kNearCapacity, Family::kUlpBoundary}) {
+    for (const char* scheduler : {"mris", "pq-wsjf", "tetris", "hybrid"}) {
+      for (int resources : {1, 3, 4, 5, 8}) {
+        for (std::uint64_t seed = 0; seed < fuzz_iters(2); ++seed) {
+          GenConfig config;
+          config.num_jobs = 24;
+          config.resources = resources;
+          const Instance inst = make_family_instance(family, config, seed);
+          const CheckReport report = check_and_minimize(
+              catalog, "simd-identity", inst, scheduler, {});
+          EXPECT_TRUE(report.ok)
+              << family_name(family) << " " << scheduler << " R=" << resources
+              << " seed " << seed << ": " << report.message;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mris::testkit

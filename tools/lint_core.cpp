@@ -80,6 +80,22 @@ bool has_begin_access(const std::string& line, const std::string& name) {
   return false;
 }
 
+/// True when `line` contains an x86 vector-intrinsic token: an identifier
+/// starting `_mm` (`_mm_`, `_mm256_add_pd`, `_mm512_...`) or a vector
+/// register type `__m128`/`__m256`/`__m512` (any element suffix).
+bool has_vector_intrinsic(const std::string& line) {
+  static const std::vector<std::string> kPrefixes = {"_mm", "__m128", "__m256",
+                                                     "__m512"};
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    if (!is_word_char(line[pos])) continue;
+    if (pos > 0 && is_word_char(line[pos - 1])) continue;  // mid-identifier
+    for (const std::string& prefix : kPrefixes) {
+      if (line.compare(pos, prefix.size(), prefix) == 0) return true;
+    }
+  }
+  return false;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -319,6 +335,10 @@ std::vector<Finding> lint_source(const std::string& path,
   // retry/backoff, CRC framing, and fsync batching.  Raw writes anywhere
   // else bypass those guarantees.
   const bool raw_io_exempt = path.find("sim/recovery/") != std::string::npos;
+  // The SIMD kernel layer owns vector intrinsics: it pairs every AVX2
+  // kernel with a scalar reference and an identity proof.  Intrinsics
+  // anywhere else dodge that contract (and its fuzz coverage).
+  const bool raw_simd_exempt = ends_with(path, "util/simd.hpp");
 
   if (is_header) {
     const bool has_pragma =
@@ -427,6 +447,19 @@ std::vector<Finding> lint_source(const std::string& path,
       ctx.report(lineno, "stdout",
                  "library code must not write to stdout; return data and "
                  "let binaries print");
+    }
+
+    if (!raw_simd_exempt) {
+      if (line.find("immintrin.h") != std::string::npos ||
+          line.find("x86intrin.h") != std::string::npos ||
+          line.find("emmintrin.h") != std::string::npos ||
+          line.find("xmmintrin.h") != std::string::npos ||
+          has_vector_intrinsic(line)) {
+        ctx.report(lineno, "raw-simd",
+                   "x86 vector intrinsics outside src/util/simd.hpp; add a "
+                   "kernel to the dispatch table there (scalar reference + "
+                   "identity fuzz) instead of open-coding intrinsics");
+      }
     }
 
     if (!raw_io_exempt) {

@@ -32,6 +32,8 @@ constexpr const char* kRuleHelp =
     "  stdout            std::cout/printf in library code\n"
     "  raw-io            fwrite/fsync/pwrite/::write outside "
     "src/sim/recovery/\n"
+    "  raw-simd          immintrin.h / _mm* intrinsics outside "
+    "src/util/simd.hpp\n"
     "suppress with '// mris-lint: allow(<rule>)' on or above the line,\n"
     "or '// mris-lint: allow-file(<rule>)' in the first 10 lines.\n";
 
