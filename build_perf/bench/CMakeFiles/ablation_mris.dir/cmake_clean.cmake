@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mris.dir/ablation_mris.cpp.o"
+  "CMakeFiles/ablation_mris.dir/ablation_mris.cpp.o.d"
+  "ablation_mris"
+  "ablation_mris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions.dir/extensions.cpp.o"
+  "CMakeFiles/extensions.dir/extensions.cpp.o.d"
+  "extensions"
+  "extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sorting.dir/fig1_sorting.cpp.o"
+  "CMakeFiles/fig1_sorting.dir/fig1_sorting.cpp.o.d"
+  "fig1_sorting"
+  "fig1_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

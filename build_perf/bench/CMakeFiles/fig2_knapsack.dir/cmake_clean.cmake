@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_knapsack.dir/fig2_knapsack.cpp.o"
+  "CMakeFiles/fig2_knapsack.dir/fig2_knapsack.cpp.o.d"
+  "fig2_knapsack"
+  "fig2_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_arrival_rate.dir/fig3_arrival_rate.cpp.o"
+  "CMakeFiles/fig3_arrival_rate.dir/fig3_arrival_rate.cpp.o.d"
+  "fig3_arrival_rate"
+  "fig3_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_queuing_delay.dir/fig5_queuing_delay.cpp.o"
+  "CMakeFiles/fig5_queuing_delay.dir/fig5_queuing_delay.cpp.o.d"
+  "fig5_queuing_delay"
+  "fig5_queuing_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_queuing_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

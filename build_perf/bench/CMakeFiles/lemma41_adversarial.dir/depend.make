@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma41_adversarial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_knapsack.dir/micro_knapsack.cpp.o"
+  "CMakeFiles/micro_knapsack.dir/micro_knapsack.cpp.o.d"
+  "micro_knapsack"
+  "micro_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

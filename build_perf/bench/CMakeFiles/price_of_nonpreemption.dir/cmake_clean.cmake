@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_of_nonpreemption.dir/price_of_nonpreemption.cpp.o"
+  "CMakeFiles/price_of_nonpreemption.dir/price_of_nonpreemption.cpp.o.d"
+  "price_of_nonpreemption"
+  "price_of_nonpreemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_of_nonpreemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

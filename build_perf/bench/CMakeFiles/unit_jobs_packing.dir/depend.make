@@ -1,0 +1,2 @@
+# Empty dependencies file for unit_jobs_packing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build_perf/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(kernel_identity "/root/repo/build_perf/bench/micro_kernels")
+set_tests_properties(kernel_identity PROPERTIES  ENVIRONMENT "MRIS_REPS=1;MRIS_BENCH_SCALE=0.25" LABELS "bench" WORKING_DIRECTORY "/root/repo/build_perf/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;56;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scheduling_tour.dir/cluster_scheduling_tour.cpp.o"
+  "CMakeFiles/cluster_scheduling_tour.dir/cluster_scheduling_tour.cpp.o.d"
+  "cluster_scheduling_tour"
+  "cluster_scheduling_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scheduling_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

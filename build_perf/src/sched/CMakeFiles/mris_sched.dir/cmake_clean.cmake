@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_sched.dir/bfexec.cpp.o"
+  "CMakeFiles/mris_sched.dir/bfexec.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/bounds.cpp.o"
+  "CMakeFiles/mris_sched.dir/bounds.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/drf.cpp.o"
+  "CMakeFiles/mris_sched.dir/drf.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/fluid.cpp.o"
+  "CMakeFiles/mris_sched.dir/fluid.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/heuristics.cpp.o"
+  "CMakeFiles/mris_sched.dir/heuristics.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/hybrid.cpp.o"
+  "CMakeFiles/mris_sched.dir/hybrid.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/mris.cpp.o"
+  "CMakeFiles/mris_sched.dir/mris.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/optimal.cpp.o"
+  "CMakeFiles/mris_sched.dir/optimal.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/pq.cpp.o"
+  "CMakeFiles/mris_sched.dir/pq.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/tetris.cpp.o"
+  "CMakeFiles/mris_sched.dir/tetris.cpp.o.d"
+  "CMakeFiles/mris_sched.dir/vector_packing.cpp.o"
+  "CMakeFiles/mris_sched.dir/vector_packing.cpp.o.d"
+  "libmris_sched.a"
+  "libmris_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/checkpoint/checkpoint.cpp" "src/sim/CMakeFiles/mris_sim.dir/checkpoint/checkpoint.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/checkpoint/checkpoint.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/mris_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/mris_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/mris_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/faults/crash.cpp" "src/sim/CMakeFiles/mris_sim.dir/faults/crash.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/faults/crash.cpp.o.d"
+  "/root/repo/src/sim/recovery/journal.cpp" "src/sim/CMakeFiles/mris_sim.dir/recovery/journal.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/recovery/journal.cpp.o.d"
+  "/root/repo/src/sim/recovery/snapshot.cpp" "src/sim/CMakeFiles/mris_sim.dir/recovery/snapshot.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/recovery/snapshot.cpp.o.d"
+  "/root/repo/src/sim/recovery/state_io.cpp" "src/sim/CMakeFiles/mris_sim.dir/recovery/state_io.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/recovery/state_io.cpp.o.d"
+  "/root/repo/src/sim/resource_profile.cpp" "src/sim/CMakeFiles/mris_sim.dir/resource_profile.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/resource_profile.cpp.o.d"
+  "/root/repo/src/sim/shard.cpp" "src/sim/CMakeFiles/mris_sim.dir/shard.cpp.o" "gcc" "src/sim/CMakeFiles/mris_sim.dir/shard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_perf/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mris_testkit.
+# This may be replaced when dependencies are built.

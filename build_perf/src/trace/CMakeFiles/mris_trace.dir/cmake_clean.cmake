@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_trace.dir/azure.cpp.o"
+  "CMakeFiles/mris_trace.dir/azure.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/azure_sqlite.cpp.o"
+  "CMakeFiles/mris_trace.dir/azure_sqlite.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/generator.cpp.o"
+  "CMakeFiles/mris_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/io.cpp.o"
+  "CMakeFiles/mris_trace.dir/io.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/sampling.cpp.o"
+  "CMakeFiles/mris_trace.dir/sampling.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/statistics.cpp.o"
+  "CMakeFiles/mris_trace.dir/statistics.cpp.o.d"
+  "CMakeFiles/mris_trace.dir/workload.cpp.o"
+  "CMakeFiles/mris_trace.dir/workload.cpp.o.d"
+  "libmris_trace.a"
+  "libmris_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

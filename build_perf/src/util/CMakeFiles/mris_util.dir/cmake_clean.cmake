@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_util.dir/contracts.cpp.o"
+  "CMakeFiles/mris_util.dir/contracts.cpp.o.d"
+  "CMakeFiles/mris_util.dir/csv.cpp.o"
+  "CMakeFiles/mris_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mris_util.dir/env.cpp.o"
+  "CMakeFiles/mris_util.dir/env.cpp.o.d"
+  "CMakeFiles/mris_util.dir/flags.cpp.o"
+  "CMakeFiles/mris_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mris_util.dir/stats.cpp.o"
+  "CMakeFiles/mris_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mris_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mris_util.dir/thread_pool.cpp.o.d"
+  "libmris_util.a"
+  "libmris_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

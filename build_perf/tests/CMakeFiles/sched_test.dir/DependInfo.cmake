@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/baselines_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/baselines_test.cpp.o.d"
+  "/root/repo/tests/sched/bounds_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/bounds_test.cpp.o.d"
+  "/root/repo/tests/sched/drf_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/drf_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/drf_test.cpp.o.d"
+  "/root/repo/tests/sched/eventscan_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/eventscan_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/eventscan_test.cpp.o.d"
+  "/root/repo/tests/sched/fluid_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/fluid_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/fluid_test.cpp.o.d"
+  "/root/repo/tests/sched/heuristics_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o.d"
+  "/root/repo/tests/sched/hybrid_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/hybrid_test.cpp.o.d"
+  "/root/repo/tests/sched/mris_structure_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/mris_structure_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/mris_structure_test.cpp.o.d"
+  "/root/repo/tests/sched/mris_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/mris_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/mris_test.cpp.o.d"
+  "/root/repo/tests/sched/optimal_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/optimal_test.cpp.o.d"
+  "/root/repo/tests/sched/pq_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/pq_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/pq_test.cpp.o.d"
+  "/root/repo/tests/sched/vector_packing_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/vector_packing_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/vector_packing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_perf/src/exp/CMakeFiles/mris_exp.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/testkit/CMakeFiles/mris_testkit.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sched/CMakeFiles/mris_sched.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sim/CMakeFiles/mris_sim.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/knapsack/CMakeFiles/mris_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/trace/CMakeFiles/mris_trace.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

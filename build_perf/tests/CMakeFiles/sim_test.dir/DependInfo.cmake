@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/checkpoint_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/sim/cluster_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o.d"
+  "/root/repo/tests/sim/crash_recovery_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/crash_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/crash_recovery_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/event_log_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/event_log_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_log_test.cpp.o.d"
+  "/root/repo/tests/sim/faults_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/faults_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/faults_test.cpp.o.d"
+  "/root/repo/tests/sim/fuzz_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/fuzz_test.cpp.o.d"
+  "/root/repo/tests/sim/profile_oracle_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/profile_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/profile_oracle_test.cpp.o.d"
+  "/root/repo/tests/sim/profile_timeline_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/profile_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/profile_timeline_test.cpp.o.d"
+  "/root/repo/tests/sim/prune_requeue_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/prune_requeue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/prune_requeue_test.cpp.o.d"
+  "/root/repo/tests/sim/recovery_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/recovery_test.cpp.o.d"
+  "/root/repo/tests/sim/release_invariant_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/release_invariant_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/release_invariant_test.cpp.o.d"
+  "/root/repo/tests/sim/resource_profile_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/resource_profile_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/resource_profile_test.cpp.o.d"
+  "/root/repo/tests/sim/shard_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/shard_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/shard_test.cpp.o.d"
+  "/root/repo/tests/sim/simd_fuzz_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/simd_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simd_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_perf/src/exp/CMakeFiles/mris_exp.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/testkit/CMakeFiles/mris_testkit.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sched/CMakeFiles/mris_sched.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sim/CMakeFiles/mris_sim.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/knapsack/CMakeFiles/mris_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/trace/CMakeFiles/mris_trace.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/testkit/corpus_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/corpus_test.cpp.o.d"
+  "/root/repo/tests/testkit/generators_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/generators_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/generators_test.cpp.o.d"
+  "/root/repo/tests/testkit/oracles_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/oracles_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/oracles_test.cpp.o.d"
+  "/root/repo/tests/testkit/ratio_audit_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/ratio_audit_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/ratio_audit_test.cpp.o.d"
+  "/root/repo/tests/testkit/replay_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/replay_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/replay_test.cpp.o.d"
+  "/root/repo/tests/testkit/shrinker_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/shrinker_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/shrinker_test.cpp.o.d"
+  "/root/repo/tests/testkit/streams_test.cpp" "tests/CMakeFiles/testkit_test.dir/testkit/streams_test.cpp.o" "gcc" "tests/CMakeFiles/testkit_test.dir/testkit/streams_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_perf/src/exp/CMakeFiles/mris_exp.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/testkit/CMakeFiles/mris_testkit.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sched/CMakeFiles/mris_sched.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/sim/CMakeFiles/mris_sim.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/knapsack/CMakeFiles/mris_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/trace/CMakeFiles/mris_trace.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_perf/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testkit_test.dir/testkit/corpus_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/corpus_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/generators_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/generators_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/oracles_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/oracles_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/ratio_audit_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/ratio_audit_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/replay_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/replay_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/shrinker_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/shrinker_test.cpp.o.d"
+  "CMakeFiles/testkit_test.dir/testkit/streams_test.cpp.o"
+  "CMakeFiles/testkit_test.dir/testkit/streams_test.cpp.o.d"
+  "testkit_test"
+  "testkit_test.pdb"
+  "testkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

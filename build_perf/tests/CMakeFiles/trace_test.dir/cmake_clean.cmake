@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/azure_sqlite_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/azure_sqlite_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/azure_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/azure_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/generator_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/generator_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/io_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/io_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/sampling_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/sampling_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/statistics_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/statistics_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/workload_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/workload_test.cpp.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

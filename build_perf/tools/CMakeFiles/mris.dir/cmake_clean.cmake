@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris.dir/mris_cli.cpp.o"
+  "CMakeFiles/mris.dir/mris_cli.cpp.o.d"
+  "mris"
+  "mris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

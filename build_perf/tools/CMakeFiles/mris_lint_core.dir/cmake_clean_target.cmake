@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmris_lint_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_ratio.dir/empirical_ratio.cpp.o"
+  "CMakeFiles/empirical_ratio.dir/empirical_ratio.cpp.o.d"
+  "empirical_ratio"
+  "empirical_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_scale.dir/engine_scale.cpp.o"
+  "CMakeFiles/engine_scale.dir/engine_scale.cpp.o.d"
+  "engine_scale"
+  "engine_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_degradation.dir/fault_degradation.cpp.o"
+  "CMakeFiles/fault_degradation.dir/fault_degradation.cpp.o.d"
+  "fault_degradation"
+  "fault_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_sorting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_machines.dir/fig4_machines.cpp.o"
+  "CMakeFiles/fig4_machines.dir/fig4_machines.cpp.o.d"
+  "fig4_machines"
+  "fig4_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_patience.dir/fig7_patience.cpp.o"
+  "CMakeFiles/fig7_patience.dir/fig7_patience.cpp.o.d"
+  "fig7_patience"
+  "fig7_patience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_patience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

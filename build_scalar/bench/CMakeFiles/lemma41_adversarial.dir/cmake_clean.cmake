@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma41_adversarial.dir/lemma41_adversarial.cpp.o"
+  "CMakeFiles/lemma41_adversarial.dir/lemma41_adversarial.cpp.o.d"
+  "lemma41_adversarial"
+  "lemma41_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma41_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

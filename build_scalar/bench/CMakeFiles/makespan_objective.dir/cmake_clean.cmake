@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makespan_objective.dir/makespan_objective.cpp.o"
+  "CMakeFiles/makespan_objective.dir/makespan_objective.cpp.o.d"
+  "makespan_objective"
+  "makespan_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makespan_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_profile.dir/micro_profile.cpp.o"
+  "CMakeFiles/micro_profile.dir/micro_profile.cpp.o.d"
+  "micro_profile"
+  "micro_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for price_of_nonpreemption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_overhead.dir/recovery_overhead.cpp.o"
+  "CMakeFiles/recovery_overhead.dir/recovery_overhead.cpp.o.d"
+  "recovery_overhead"
+  "recovery_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_jobs_packing.dir/unit_jobs_packing.cpp.o"
+  "CMakeFiles/unit_jobs_packing.dir/unit_jobs_packing.cpp.o.d"
+  "unit_jobs_packing"
+  "unit_jobs_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_jobs_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

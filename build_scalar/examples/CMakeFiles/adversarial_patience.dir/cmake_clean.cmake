@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_patience.dir/adversarial_patience.cpp.o"
+  "CMakeFiles/adversarial_patience.dir/adversarial_patience.cpp.o.d"
+  "adversarial_patience"
+  "adversarial_patience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_patience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_comparison.dir/exact_comparison.cpp.o"
+  "CMakeFiles/exact_comparison.dir/exact_comparison.cpp.o.d"
+  "exact_comparison"
+  "exact_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/src/exp/CMakeFiles/mris_exp.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/sched/CMakeFiles/mris_sched.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/sim/CMakeFiles/mris_sim.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/knapsack/CMakeFiles/mris_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/trace/CMakeFiles/mris_trace.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/mris_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/mris_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/mris_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/mris_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/mris_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/mris_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/core/CMakeFiles/mris_core.dir/schedule_io.cpp.o" "gcc" "src/core/CMakeFiles/mris_core.dir/schedule_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

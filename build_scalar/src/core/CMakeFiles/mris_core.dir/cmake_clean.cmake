@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_core.dir/instance.cpp.o"
+  "CMakeFiles/mris_core.dir/instance.cpp.o.d"
+  "CMakeFiles/mris_core.dir/metrics.cpp.o"
+  "CMakeFiles/mris_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mris_core.dir/schedule.cpp.o"
+  "CMakeFiles/mris_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/mris_core.dir/schedule_io.cpp.o"
+  "CMakeFiles/mris_core.dir/schedule_io.cpp.o.d"
+  "libmris_core.a"
+  "libmris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_exp.dir/ascii.cpp.o"
+  "CMakeFiles/mris_exp.dir/ascii.cpp.o.d"
+  "CMakeFiles/mris_exp.dir/gantt.cpp.o"
+  "CMakeFiles/mris_exp.dir/gantt.cpp.o.d"
+  "CMakeFiles/mris_exp.dir/runner.cpp.o"
+  "CMakeFiles/mris_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/mris_exp.dir/schedulers.cpp.o"
+  "CMakeFiles/mris_exp.dir/schedulers.cpp.o.d"
+  "libmris_exp.a"
+  "libmris_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

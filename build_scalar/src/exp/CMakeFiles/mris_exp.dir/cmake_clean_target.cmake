@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmris_exp.a"
+)

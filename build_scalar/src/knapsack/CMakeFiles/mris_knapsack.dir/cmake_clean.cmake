@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_knapsack.dir/knapsack.cpp.o"
+  "CMakeFiles/mris_knapsack.dir/knapsack.cpp.o.d"
+  "libmris_knapsack.a"
+  "libmris_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

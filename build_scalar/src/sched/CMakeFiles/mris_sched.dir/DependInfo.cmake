@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bfexec.cpp" "src/sched/CMakeFiles/mris_sched.dir/bfexec.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/bfexec.cpp.o.d"
+  "/root/repo/src/sched/bounds.cpp" "src/sched/CMakeFiles/mris_sched.dir/bounds.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/bounds.cpp.o.d"
+  "/root/repo/src/sched/drf.cpp" "src/sched/CMakeFiles/mris_sched.dir/drf.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/drf.cpp.o.d"
+  "/root/repo/src/sched/fluid.cpp" "src/sched/CMakeFiles/mris_sched.dir/fluid.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/fluid.cpp.o.d"
+  "/root/repo/src/sched/heuristics.cpp" "src/sched/CMakeFiles/mris_sched.dir/heuristics.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/heuristics.cpp.o.d"
+  "/root/repo/src/sched/hybrid.cpp" "src/sched/CMakeFiles/mris_sched.dir/hybrid.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sched/mris.cpp" "src/sched/CMakeFiles/mris_sched.dir/mris.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/mris.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/sched/CMakeFiles/mris_sched.dir/optimal.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/optimal.cpp.o.d"
+  "/root/repo/src/sched/pq.cpp" "src/sched/CMakeFiles/mris_sched.dir/pq.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/pq.cpp.o.d"
+  "/root/repo/src/sched/tetris.cpp" "src/sched/CMakeFiles/mris_sched.dir/tetris.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/tetris.cpp.o.d"
+  "/root/repo/src/sched/vector_packing.cpp" "src/sched/CMakeFiles/mris_sched.dir/vector_packing.cpp.o" "gcc" "src/sched/CMakeFiles/mris_sched.dir/vector_packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/src/sim/CMakeFiles/mris_sim.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/knapsack/CMakeFiles/mris_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

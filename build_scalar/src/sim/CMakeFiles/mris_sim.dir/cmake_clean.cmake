@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_sim.dir/checkpoint/checkpoint.cpp.o"
+  "CMakeFiles/mris_sim.dir/checkpoint/checkpoint.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/cluster.cpp.o"
+  "CMakeFiles/mris_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/engine.cpp.o"
+  "CMakeFiles/mris_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/faults.cpp.o"
+  "CMakeFiles/mris_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/faults/crash.cpp.o"
+  "CMakeFiles/mris_sim.dir/faults/crash.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/recovery/journal.cpp.o"
+  "CMakeFiles/mris_sim.dir/recovery/journal.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/recovery/snapshot.cpp.o"
+  "CMakeFiles/mris_sim.dir/recovery/snapshot.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/recovery/state_io.cpp.o"
+  "CMakeFiles/mris_sim.dir/recovery/state_io.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/resource_profile.cpp.o"
+  "CMakeFiles/mris_sim.dir/resource_profile.cpp.o.d"
+  "CMakeFiles/mris_sim.dir/shard.cpp.o"
+  "CMakeFiles/mris_sim.dir/shard.cpp.o.d"
+  "libmris_sim.a"
+  "libmris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

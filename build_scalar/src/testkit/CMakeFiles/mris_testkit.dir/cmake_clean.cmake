@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_testkit.dir/corpus.cpp.o"
+  "CMakeFiles/mris_testkit.dir/corpus.cpp.o.d"
+  "CMakeFiles/mris_testkit.dir/generators.cpp.o"
+  "CMakeFiles/mris_testkit.dir/generators.cpp.o.d"
+  "CMakeFiles/mris_testkit.dir/oracles.cpp.o"
+  "CMakeFiles/mris_testkit.dir/oracles.cpp.o.d"
+  "CMakeFiles/mris_testkit.dir/shrinker.cpp.o"
+  "CMakeFiles/mris_testkit.dir/shrinker.cpp.o.d"
+  "CMakeFiles/mris_testkit.dir/streams.cpp.o"
+  "CMakeFiles/mris_testkit.dir/streams.cpp.o.d"
+  "libmris_testkit.a"
+  "libmris_testkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_testkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

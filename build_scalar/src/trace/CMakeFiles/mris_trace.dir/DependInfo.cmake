@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/azure.cpp" "src/trace/CMakeFiles/mris_trace.dir/azure.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/azure.cpp.o.d"
+  "/root/repo/src/trace/azure_sqlite.cpp" "src/trace/CMakeFiles/mris_trace.dir/azure_sqlite.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/azure_sqlite.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/mris_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/mris_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/sampling.cpp" "src/trace/CMakeFiles/mris_trace.dir/sampling.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/sampling.cpp.o.d"
+  "/root/repo/src/trace/statistics.cpp" "src/trace/CMakeFiles/mris_trace.dir/statistics.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/statistics.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/mris_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/mris_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/src/core/CMakeFiles/mris_core.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/src/util/CMakeFiles/mris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/instance_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/instance_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/schedule_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/schedule_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/schedule_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/schedule_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

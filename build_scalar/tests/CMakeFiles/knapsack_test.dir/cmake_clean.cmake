@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_bnb_test.cpp.o"
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_bnb_test.cpp.o.d"
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_property_test.cpp.o"
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_property_test.cpp.o.d"
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_test.cpp.o"
+  "CMakeFiles/knapsack_test.dir/knapsack/knapsack_test.cpp.o.d"
+  "knapsack_test"
+  "knapsack_test.pdb"
+  "knapsack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knapsack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/bounds_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/bounds_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/drf_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/drf_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/eventscan_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/eventscan_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/fluid_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/fluid_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/hybrid_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/hybrid_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/mris_structure_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/mris_structure_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/mris_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/mris_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/optimal_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/optimal_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/pq_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/pq_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/vector_packing_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/vector_packing_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

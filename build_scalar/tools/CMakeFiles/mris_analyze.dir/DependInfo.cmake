@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mris_analyze/mris_analyze.cpp" "tools/CMakeFiles/mris_analyze.dir/mris_analyze/mris_analyze.cpp.o" "gcc" "tools/CMakeFiles/mris_analyze.dir/mris_analyze/mris_analyze.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/tools/CMakeFiles/mris_analyze_core.dir/DependInfo.cmake"
+  "/root/repo/build_scalar/tools/CMakeFiles/mris_lint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_analyze.dir/mris_analyze/mris_analyze.cpp.o"
+  "CMakeFiles/mris_analyze.dir/mris_analyze/mris_analyze.cpp.o.d"
+  "mris_analyze"
+  "mris_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mris_analyze/frontend.cpp" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/frontend.cpp.o" "gcc" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/frontend.cpp.o.d"
+  "/root/repo/tools/mris_analyze/layering.cpp" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/layering.cpp.o" "gcc" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/layering.cpp.o.d"
+  "/root/repo/tools/mris_analyze/taint.cpp" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/taint.cpp.o" "gcc" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/taint.cpp.o.d"
+  "/root/repo/tools/mris_analyze/threadsafety.cpp" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/threadsafety.cpp.o" "gcc" "tools/CMakeFiles/mris_analyze_core.dir/mris_analyze/threadsafety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_scalar/tools/CMakeFiles/mris_lint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/frontend.cpp.o"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/frontend.cpp.o.d"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/layering.cpp.o"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/layering.cpp.o.d"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/taint.cpp.o"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/taint.cpp.o.d"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/threadsafety.cpp.o"
+  "CMakeFiles/mris_analyze_core.dir/mris_analyze/threadsafety.cpp.o.d"
+  "libmris_analyze_core.a"
+  "libmris_analyze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_analyze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_lint.dir/mris_lint.cpp.o"
+  "CMakeFiles/mris_lint.dir/mris_lint.cpp.o.d"
+  "mris_lint"
+  "mris_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mris_lint_core.dir/lint_core.cpp.o"
+  "CMakeFiles/mris_lint_core.dir/lint_core.cpp.o.d"
+  "libmris_lint_core.a"
+  "libmris_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mris_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
