@@ -42,31 +42,51 @@ Instance Instance::normalized() const {
   return Instance(std::move(scaled), num_machines_, num_resources_);
 }
 
+namespace {
+
+/// The per-job slice of the model invariants, shared between whole-instance
+/// validation and streaming append.
+std::string check_job(const Job& j, std::size_t i, int num_resources) {
+  std::ostringstream who;
+  who << "job " << i;
+  if (j.id != static_cast<JobId>(i))
+    return who.str() + ": id must equal its index in the instance";
+  if (!(j.processing > 0.0) || !std::isfinite(j.processing))
+    return who.str() + ": processing time must be positive and finite";
+  if (!(j.weight > 0.0) || !std::isfinite(j.weight))
+    return who.str() + ": weight must be positive and finite";
+  if (j.release < 0.0 || !std::isfinite(j.release))
+    return who.str() + ": release time must be non-negative and finite";
+  if (j.demand.size() != static_cast<std::size_t>(num_resources))
+    return who.str() + ": demand vector length must equal num_resources";
+  for (double d : j.demand) {
+    if (d < 0.0 || d > 1.0 || !std::isfinite(d))
+      return who.str() + ": each demand must lie in [0, 1]";
+  }
+  if (j.total_demand() <= 0.0)
+    return who.str() + ": at least one resource demand must be positive";
+  return {};
+}
+
+}  // namespace
+
 std::string Instance::check_invariants() const {
   if (num_machines_ < 1) return "number of machines must be >= 1";
   if (num_resources_ < 1) return "number of resources must be >= 1";
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const Job& j = jobs_[i];
-    std::ostringstream who;
-    who << "job " << i;
-    if (j.id != static_cast<JobId>(i))
-      return who.str() + ": id must equal its index in the instance";
-    if (!(j.processing > 0.0) || !std::isfinite(j.processing))
-      return who.str() + ": processing time must be positive and finite";
-    if (!(j.weight > 0.0) || !std::isfinite(j.weight))
-      return who.str() + ": weight must be positive and finite";
-    if (j.release < 0.0 || !std::isfinite(j.release))
-      return who.str() + ": release time must be non-negative and finite";
-    if (j.demand.size() != static_cast<std::size_t>(num_resources_))
-      return who.str() + ": demand vector length must equal num_resources";
-    for (double d : j.demand) {
-      if (d < 0.0 || d > 1.0 || !std::isfinite(d))
-        return who.str() + ": each demand must lie in [0, 1]";
-    }
-    if (j.total_demand() <= 0.0)
-      return who.str() + ": at least one resource demand must be positive";
+    const std::string err = check_job(jobs_[i], i, num_resources_);
+    if (!err.empty()) return err;
   }
   return {};
+}
+
+JobId Instance::append(Job job) {
+  const std::size_t i = jobs_.size();
+  job.id = static_cast<JobId>(i);
+  const std::string err = check_job(job, i, num_resources_);
+  if (!err.empty()) throw std::invalid_argument("Instance::append: " + err);
+  jobs_.push_back(std::move(job));
+  return static_cast<JobId>(i);
 }
 
 InstanceBuilder& InstanceBuilder::add(Time release, Time processing,

@@ -40,6 +40,13 @@ class Instance {
   /// by the same factor to preserve the relative geometry of the instance.
   Instance normalized() const;
 
+  /// Appends one job for streaming admission (sim::StreamEngine): the id is
+  /// assigned as the new index (whatever `job.id` held is overwritten), the
+  /// job is validated against the same model invariants the constructor
+  /// enforces, and its new id is returned.  Throws std::invalid_argument on
+  /// violation, leaving the instance unchanged.
+  JobId append(Job job);
+
   /// Checks all model invariants; returns an empty string when valid,
   /// otherwise a human-readable description of the first violation.
   std::string check_invariants() const;

@@ -46,6 +46,10 @@ class Schedule {
   /// scheduler-facing commits remain irrevocable.
   void unassign(JobId id);
 
+  /// Grows the schedule by `n` unassigned slots — the streaming-admission
+  /// engine (sim::StreamEngine) extends the schedule as jobs arrive.
+  void append(std::size_t n = 1) { assignments_.resize(assignments_.size() + n); }
+
   /// True when every job has an assignment.
   bool complete() const noexcept;
 

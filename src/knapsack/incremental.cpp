@@ -1,0 +1,85 @@
+#include "knapsack/incremental.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace mris::knapsack {
+
+namespace {
+
+/// Bit-pattern equality: the memo must only hit when solve_cadp would see
+/// byte-identical inputs (0.0 == -0.0 under operator== but they are
+/// different inputs; NaNs never compare equal but a repeated NaN input is
+/// the same problem).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+bool IncrementalCadp::matches(const std::vector<Item>& items, double capacity,
+                              double eps) const {
+  if (!valid_ || items.size() != key_items_.size() ||
+      !same_bits(capacity, key_capacity_) || !same_bits(eps, key_eps_)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& a = items[i];
+    const Item& b = key_items_[i];
+    if (a.tag != b.tag || !same_bits(a.size, b.size) ||
+        !same_bits(a.profit, b.profit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void IncrementalCadp::store(const std::vector<Item>& items, double capacity,
+                            double eps) {
+  key_items_ = items;
+  key_capacity_ = capacity;
+  key_eps_ = eps;
+  valid_ = true;
+}
+
+const Selection& IncrementalCadp::solve(const std::vector<Item>& items,
+                                        double capacity, double eps) {
+  ++stats_.solves;
+  if (matches(items, capacity, eps)) {
+    ++stats_.memo_hits;
+    return cached_;
+  }
+  cached_ = solve_cadp(items, capacity, eps);
+  ++stats_.full_solves;
+  store(items, capacity, eps);
+  return cached_;
+}
+
+void IncrementalCadp::prepare(const std::vector<Item>& items, double capacity,
+                              double eps) {
+  if (matches(items, capacity, eps)) return;  // already warm
+  cached_ = solve_cadp(items, capacity, eps);
+  ++stats_.full_solves;
+  ++stats_.speculative;
+  store(items, capacity, eps);
+}
+
+void IncrementalCadp::note_arrival(std::size_t expected_items, double eps) {
+  if (expected_items == 0 || !(eps > 0.0) || !(eps < 1.0)) return;
+  // The next solve's scaled capacity is floor(zeta / K) with
+  // K = eps * zeta / n — i.e. floor(n / eps), independent of zeta.  The
+  // Hirschberg recursion holds at most two rows live at a time.
+  const double cells =
+      std::floor(static_cast<double>(expected_items) / eps) + 1.0;
+  reserve_dp_rows(static_cast<std::size_t>(cells), 2);
+  ++stats_.rows_reserved;
+}
+
+void IncrementalCadp::invalidate() {
+  valid_ = false;
+  key_items_.clear();
+  cached_ = Selection{};
+}
+
+}  // namespace mris::knapsack

@@ -1,0 +1,89 @@
+// Incremental CADP for streaming admission (docs/DAEMON.md).
+//
+// The daemon wakes the scheduler at every interval boundary, and each
+// wakeup's knapsack is a fresh O(n^2 / eps) CADP solve.  This class makes
+// the *decision path* cheap without changing a single selected byte, via
+// three mechanisms:
+//
+//  1. Memoized revalidation — the last solved (items, capacity, eps)
+//     problem and its Selection are kept; a solve() whose inputs match
+//     bit-for-bit returns the cached selection after an O(n) comparison.
+//  2. Speculative pre-solve — prepare() runs the full solve off the
+//     critical path (the daemon calls it through OnlineScheduler::on_idle
+//     while waiting for the next admission frame), so the wakeup that
+//     follows is a memo hit: O(n) on the decision path instead of
+//     O(n^2 / eps).
+//  3. Pooled-row growth on arrival — note_arrival() pre-grows the
+//     thread-local pooled DP rows (knapsack::reserve_dp_rows) to the
+//     scaled capacity the *next* solve will need, floor(n / eps) + 1
+//     cells, so row reallocation happens at admission time, not at the
+//     wakeup.
+//
+// Why not update the DP table itself across arrivals?  It is provably
+// impossible under exact CADP semantics: the Ibarra–Kim grid is
+// K = eps * zeta / n, so admitting one job rescales EVERY item's integer
+// size (n changed — and between wakeups zeta changes too), invalidating
+// every row of every table.  And even for a hypothetical fixed grid,
+// Hirschberg recovery splits at midpoints of the ORIGINAL item array with
+// a first-maximizer tie-break, so appending items shifts split points and
+// can flip equal-profit optima — breaking the byte-identity that the
+// engine's replay/recovery machinery depends on.  Hence: stage, memoize,
+// and speculate around the exact solve rather than approximating inside
+// it.  The incremental-CADP differential test asserts byte-identical
+// selections against a from-scratch solve_cadp on randomized arrival
+// streams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "knapsack/knapsack.hpp"
+
+namespace mris::knapsack {
+
+struct IncrementalStats {
+  std::size_t solves = 0;        ///< solve() calls
+  std::size_t memo_hits = 0;     ///< solve() satisfied by the memo
+  std::size_t full_solves = 0;   ///< from-scratch solve_cadp runs (any path)
+  std::size_t speculative = 0;   ///< prepare() calls that ran a solve
+  std::size_t rows_reserved = 0; ///< note_arrival() pooled-row growths
+};
+
+class IncrementalCadp {
+ public:
+  /// The exact solve_cadp(items, capacity, eps) selection — from the memo
+  /// when the problem matches the last one solved bit-for-bit, freshly
+  /// solved (and memoized) otherwise.  The reference is valid until the
+  /// next solve()/prepare()/invalidate() call.
+  const Selection& solve(const std::vector<Item>& items, double capacity,
+                         double eps);
+
+  /// Speculatively solves (and memoizes) off the critical path; a no-op
+  /// when the memo already matches.  Same exactness contract as solve().
+  void prepare(const std::vector<Item>& items, double capacity, double eps);
+
+  /// Admission-time hook: pre-grows the pooled DP rows for a future solve
+  /// over `expected_items` items (scaled capacity floor(n/eps), so
+  /// floor(n/eps)+1 row cells).  Never affects results.
+  void note_arrival(std::size_t expected_items, double eps);
+
+  /// Drops the memo (e.g. after a recovery restore, where the cache would
+  /// be stale-cold anyway — never required for correctness).
+  void invalidate();
+
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool matches(const std::vector<Item>& items, double capacity,
+               double eps) const;
+  void store(const std::vector<Item>& items, double capacity, double eps);
+
+  bool valid_ = false;
+  std::vector<Item> key_items_;
+  double key_capacity_ = 0.0;
+  double key_eps_ = 0.0;
+  Selection cached_;
+  IncrementalStats stats_;
+};
+
+}  // namespace mris::knapsack

@@ -388,4 +388,18 @@ const char* backend_name(Backend backend) {
   return "?";
 }
 
+void reserve_dp_rows(std::size_t cells, std::size_t rows) {
+  auto& pool = dp_pool();
+  while (pool.size() < rows) pool.emplace_back();
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (pool[i].capacity() < cells) pool[i].reserve(cells);
+  }
+}
+
+std::size_t pooled_dp_row_capacity() {
+  std::size_t cap = 0;
+  for (const auto& row : dp_pool()) cap = std::max(cap, row.capacity());
+  return cap;
+}
+
 }  // namespace mris::knapsack

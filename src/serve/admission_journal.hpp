@@ -1,0 +1,94 @@
+// Replayable admission journal for the scheduler daemon (docs/DAEMON.md).
+//
+// The engine's write-ahead event journal (recovery/journal.hpp) records
+// what the engine *decided*; it cannot reconstruct the job parameters a
+// batch instance would have carried, because a streaming run never holds
+// the full job set.  The admission journal closes that gap: every ACCEPTED
+// Job frame is appended — durably, before the engine sees the admission —
+// so a restarted daemon can rebuild the exact instance prefix and replay
+// the stream deterministically.
+//
+// File layout ("MRAJ"), same primitive encoding as recovery/state_io.hpp:
+//
+//   header   u32 magic · u32 version · u64 config fingerprint
+//   record*  u32 size · payload · u32 crc32(payload)
+//   payload  u64 seq · f64 release · f64 processing · f64 weight ·
+//            i32 tenant · u32 R · R x f64 demand
+//
+// Torn-record truncation mirrors the event journal: on read, the journal
+// ends at the first short/oversized/CRC-failing record; a record is either
+// durable in full or it never happened.  Because appends are write-ahead
+// (synced before StreamEngine::admit), the admission journal is always at
+// or ahead of the event journal — resume can re-admit its tail and let the
+// engine's replay cross-check confirm the decisions.
+//
+// The config fingerprint (machines, resources, scheduler name) refuses to
+// replay a journal into a differently-configured daemon.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace mris::serve {
+
+inline constexpr std::uint32_t kAdmissionMagic = 0x4A41524Du;  // "MRAJ"
+inline constexpr std::uint32_t kAdmissionVersion = 1;
+
+struct AdmissionRecord {
+  std::uint64_t seq = 0;
+  Job job;  ///< id unset (assigned at re-admission)
+};
+
+/// Append-only admission journal writer.  Unlike the event journal's
+/// batched fsync, every append() is synced before returning — admissions
+/// are orders of magnitude rarer than engine events, and the write-ahead
+/// contract (journal first, engine second) is what makes resume exact.
+/// IO failure throws std::runtime_error: a daemon that cannot make an
+/// admission durable must not make the admission.
+class AdmissionJournalWriter {
+ public:
+  AdmissionJournalWriter() = default;
+  ~AdmissionJournalWriter();
+
+  AdmissionJournalWriter(const AdmissionJournalWriter&) = delete;
+  AdmissionJournalWriter& operator=(const AdmissionJournalWriter&) = delete;
+
+  /// Creates/truncates the journal and writes the header.
+  void open_fresh(const std::string& path, std::uint64_t fingerprint);
+
+  /// Re-opens an existing journal (already truncated to `valid_bytes` by
+  /// the reader) for append.
+  void open_append(const std::string& path);
+
+  /// Durably appends one accepted admission (write + flush + fsync).
+  void append(std::uint64_t seq, const Job& job);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+struct AdmissionLog {
+  bool ok = false;  ///< header present and well-formed
+  std::string error;
+  std::uint64_t fingerprint = 0;
+  std::vector<AdmissionRecord> records;
+  std::uint64_t valid_bytes = 0;  ///< header + intact records
+  std::uint64_t torn_bytes = 0;   ///< discarded by the truncation rule
+};
+
+/// Reads an admission journal, applying the torn-record truncation rule
+/// (never throws; a missing/garbled file reports ok=false).
+AdmissionLog read_admission_journal(const std::string& path);
+
+/// Truncates the file to `valid_bytes` (making a torn-tail cut permanent).
+bool truncate_admission_journal(const std::string& path,
+                                std::uint64_t valid_bytes);
+
+}  // namespace mris::serve

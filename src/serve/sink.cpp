@@ -1,0 +1,110 @@
+#include "serve/sink.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace mris::serve {
+
+namespace {
+
+/// Shortest exact decimal form of a double (%.17g round-trips every value;
+/// the fixed precision keeps output byte-stable across runs and resumes).
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool has_job(EventRecord::Kind k) {
+  switch (k) {
+    case EventRecord::Kind::kArrival:
+    case EventRecord::Kind::kCompletion:
+    case EventRecord::Kind::kCommit:
+    case EventRecord::Kind::kJobFailed:
+    case EventRecord::Kind::kRequeue:
+    case EventRecord::Kind::kRetryReady:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool has_machine(EventRecord::Kind k) {
+  switch (k) {
+    case EventRecord::Kind::kCompletion:
+    case EventRecord::Kind::kCommit:
+    case EventRecord::Kind::kMachineDown:
+    case EventRecord::Kind::kMachineUp:
+    case EventRecord::Kind::kJobFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void PlacementChecksum::note(JobId job, MachineId machine, Time start) {
+  const auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xFFu;
+      state_ *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(machine)));
+  mix(std::bit_cast<std::uint64_t>(start));
+}
+
+void CsvSink::event(const EventRecord& rec) {
+  if (!wrote_header_) {
+    out_ << "kind,t,job,machine,start\n";
+    wrote_header_ = true;
+  }
+  out_ << event_kind_name(rec.kind) << ',' << fmt(rec.t) << ',';
+  if (has_job(rec.kind)) out_ << rec.job;
+  out_ << ',';
+  if (has_machine(rec.kind)) out_ << rec.machine;
+  out_ << ',';
+  if (rec.kind == EventRecord::Kind::kCommit) out_ << fmt(rec.start);
+  out_ << '\n';
+}
+
+void CsvSink::flush() { out_.flush(); }
+
+void JsonlSink::event(const EventRecord& rec) {
+  out_ << "{\"kind\":\"" << event_kind_name(rec.kind) << "\",\"t\":"
+       << fmt(rec.t);
+  if (has_job(rec.kind)) out_ << ",\"job\":" << rec.job;
+  if (has_machine(rec.kind)) out_ << ",\"machine\":" << rec.machine;
+  if (rec.kind == EventRecord::Kind::kCommit) {
+    out_ << ",\"start\":" << fmt(rec.start);
+  }
+  out_ << "}\n";
+}
+
+void JsonlSink::flush() { out_.flush(); }
+
+SinkKind parse_sink_kind(const std::string& name) {
+  if (name == "null") return SinkKind::kNull;
+  if (name == "csv") return SinkKind::kCsv;
+  if (name == "jsonl") return SinkKind::kJsonl;
+  throw std::invalid_argument("unknown sink '" + name +
+                              "' (valid: null, csv, jsonl)");
+}
+
+std::unique_ptr<MetricsSink> make_sink(SinkKind kind, std::ostream& out) {
+  switch (kind) {
+    case SinkKind::kNull:
+      return std::make_unique<NullSink>();
+    case SinkKind::kCsv:
+      return std::make_unique<CsvSink>(out);
+    case SinkKind::kJsonl:
+      return std::make_unique<JsonlSink>(out);
+  }
+  throw std::logic_error("make_sink: unknown kind");
+}
+
+}  // namespace mris::serve

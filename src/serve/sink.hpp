@@ -1,0 +1,87 @@
+// Pluggable per-decision metric sinks for the scheduler daemon
+// (docs/DAEMON.md).
+//
+// The daemon hangs a sink off RunOptions::on_record, so every EventRecord
+// the engine emits — commits included — streams out as it happens, with
+// nothing buffered engine-side (the daemon's memory stays bounded no
+// matter how long it runs).  The design follows the usual
+// simulator-output-service shape (an interface the run loop pushes rows
+// into, with interchangeable backends) rather than post-run log dumps.
+//
+// Determinism contract: a sink's output is a pure function of the record
+// stream.  Combined with the engine's replay guarantee (on_record re-fires
+// for the replayed tail on resume) and the event journal prefix (which the
+// daemon feeds back through the sink for pre-snapshot history), a resumed
+// daemon's sink file is byte-identical to an uninterrupted run's — the
+// crash-recovery test diffs exactly that.  Numbers are printed with %.17g,
+// enough digits to round-trip any double exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace mris::serve {
+
+/// FNV-1a accumulator over committed placements, in commit order: each
+/// commit mixes (job, machine, IEEE bit pattern of start).  Streaming and
+/// batch runs of the same workload must agree on this value — the bench
+/// and the CI soak gate on it.
+class PlacementChecksum {
+ public:
+  void note(JobId job, MachineId machine, Time start);
+  std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// Receives every EventRecord the engine emits, in emission order.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void event(const EventRecord& rec) = 0;
+  virtual void flush() {}
+};
+
+/// Discards everything (bench baseline: sink cost excluded).
+class NullSink : public MetricsSink {
+ public:
+  void event(const EventRecord&) override {}
+};
+
+/// One CSV row per record: kind,t,job,machine,start.  Header on first row.
+class CsvSink : public MetricsSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void event(const EventRecord& rec) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+  bool wrote_header_ = false;
+};
+
+/// One JSON object per line: {"kind":...,"t":...,...}.  Job/machine/start
+/// fields appear only where the kind defines them.
+class JsonlSink : public MetricsSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void event(const EventRecord& rec) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+enum class SinkKind { kNull, kCsv, kJsonl };
+
+/// Parses "null" / "csv" / "jsonl"; throws std::invalid_argument otherwise.
+SinkKind parse_sink_kind(const std::string& name);
+
+std::unique_ptr<MetricsSink> make_sink(SinkKind kind, std::ostream& out);
+
+}  // namespace mris::serve

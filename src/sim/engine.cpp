@@ -106,10 +106,11 @@ EventRecord to_record(const Event& e, Time now) {
 class Engine final : public EngineContext {
  public:
   Engine(const Instance& inst, OnlineScheduler& scheduler,
-         const RunOptions& options)
+         const RunOptions& options, bool streaming = false)
       : inst_(inst),
         scheduler_(scheduler),
         options_(options),
+        streaming_(streaming),
         cluster_(inst.num_machines(), inst.num_resources()),
         schedule_(inst.num_jobs()),
         released_(inst.num_jobs(), false),
@@ -121,9 +122,45 @@ class Engine final : public EngineContext {
         epoch_(inst.num_jobs(), 0),
         machine_down_flag_(static_cast<std::size_t>(inst.num_machines()), 0),
         down_until_(static_cast<std::size_t>(inst.num_machines()), 0.0),
-        live_(static_cast<std::size_t>(inst.num_machines())) {}
+        live_(static_cast<std::size_t>(inst.num_machines())) {
+    if (options_.prune_every < 1) {
+      throw std::invalid_argument("RunOptions::prune_every must be >= 1");
+    }
+  }
 
   RunResult run();
+
+  // Streaming driver (StreamEngine) ------------------------------------
+
+  /// Fault validation, recovery setup, and fresh-run seeding; returns true
+  /// when engine state was restored from a snapshot.  run() calls this too.
+  bool prepare() MRIS_REQUIRES(shard_mutex_);
+
+  /// Processes the next event.  Returns false — consuming nothing — when
+  /// the queue is empty or (with `bounded`) the next event's key is at or
+  /// past (stop, kArrival), the slot an arrival at `stop` would occupy.
+  bool step(Time stop, bool bounded) MRIS_REQUIRES(shard_mutex_);
+
+  /// Final feasibility checks + result assembly (the run() postlude).
+  RunResult finalize() MRIS_REQUIRES(shard_mutex_);
+
+  /// Admits job `id` of the (externally grown) instance mid-run: extends
+  /// every per-job array and schedules the arrival.  The arrival key must
+  /// not precede the last processed event key — events must stay
+  /// non-decreasing, or the run is not replayable.
+  void admit(JobId id) MRIS_REQUIRES(shard_mutex_);
+
+  void idle() { scheduler_.on_idle(*this); }
+
+  bool restored() const noexcept { return restored_; }
+  std::size_t events_processed() const noexcept { return processed_; }
+  std::size_t replay_remaining() const noexcept {
+    return verify_tail_.size() - verify_pos_;
+  }
+  const recovery::RecoveryStats& stats() const noexcept
+      MRIS_REQUIRES(shard_mutex_) {
+    return rec_stats_;
+  }
 
   // EngineContext -----------------------------------------------------
   Time now() const override { return now_; }
@@ -362,6 +399,10 @@ class Engine final : public EngineContext {
   /// nondeterministic, and aborts loudly rather than completing wrong.
   void record(const EventRecord& rec) MRIS_REQUIRES(shard_mutex_) {
     if (options_.record_events) log_.push_back(rec);
+    // The streaming daemon's metric sinks: unbuffered, so they re-fire
+    // during a resume's journal-tail replay and the sink output of a
+    // resumed run is byte-identical to an uninterrupted one.
+    if (options_.on_record) options_.on_record(rec);
     if (rec_ == nullptr) return;
     if (verify_pos_ < verify_tail_.size()) {
       if (recovery::encode_event_record(rec) !=
@@ -390,14 +431,22 @@ class Engine final : public EngineContext {
     fp.mix(std::string_view(scheduler_.name()));
     fp.mix(static_cast<std::uint64_t>(inst_.num_machines()));
     fp.mix(static_cast<std::uint64_t>(inst_.num_resources()));
-    fp.mix(static_cast<std::uint64_t>(inst_.num_jobs()));
-    for (const Job& j : inst_.jobs()) {
-      fp.mix(static_cast<std::uint64_t>(j.id));
-      fp.mix(j.release);
-      fp.mix(j.processing);
-      fp.mix(j.weight);
-      fp.mix(static_cast<std::uint64_t>(j.tenant));
-      for (double d : j.demand) fp.mix(d);
+    if (streaming_) {
+      // The job set is not known upfront and grows between the crashed and
+      // the resumed process, so it cannot be part of the identity; job data
+      // integrity is the admission journal's contract (serve/journal.hpp,
+      // per-record CRC + its own config fingerprint).
+      fp.mix(std::string_view("stream-v1"));
+    } else {
+      fp.mix(static_cast<std::uint64_t>(inst_.num_jobs()));
+      for (const Job& j : inst_.jobs()) {
+        fp.mix(static_cast<std::uint64_t>(j.id));
+        fp.mix(j.release);
+        fp.mix(j.processing);
+        fp.mix(j.weight);
+        fp.mix(static_cast<std::uint64_t>(j.tenant));
+        for (double d : j.demand) fp.mix(d);
+      }
     }
     fp.mix(static_cast<std::uint64_t>(options_.record_events ? 1 : 0));
     fp.mix(static_cast<std::uint64_t>(faults_ != nullptr ? 1 : 0));
@@ -430,6 +479,11 @@ class Engine final : public EngineContext {
   /// timelines, the schedule, and the scheduler's own state.
   void save_engine_state(recovery::StateWriter& w) const
       MRIS_REQUIRES(shard_mutex_) {
+    // Streaming payloads lead with the admitted-job count: a resuming
+    // daemon must rebuild the instance prefix from its admission journal
+    // *before* the engine can restore (every per-job array below is sized
+    // by it).  serve::peek_snapshot_jobs reads exactly this field.
+    if (streaming_) w.u64(inst_.num_jobs());
     w.f64(now_);
     w.u64(seq_);
     w.u64(processed_);
@@ -522,6 +576,11 @@ class Engine final : public EngineContext {
 
   void restore_engine_state(recovery::StateReader& r)
       MRIS_REQUIRES(shard_mutex_) {
+    if (streaming_ && r.u64() != inst_.num_jobs()) {
+      throw std::runtime_error(
+          "recovery: instance prefix does not match the snapshot's "
+          "admitted-job count (admission journal out of sync)");
+    }
     now_ = r.f64();
     seq_ = r.u64();
     processed_ = r.u64();
@@ -796,11 +855,23 @@ class Engine final : public EngineContext {
   Cluster cluster_;
   Schedule schedule_;
 
-  /// Completions between committed-horizon prunes: each prune pays one
-  /// O(B) compaction per machine, so batching keeps it amortized O(1) per
-  /// breakpoint while still bounding B by the live reservations.
-  static constexpr int kPruneEvery = 32;
+  /// Completions between committed-horizon prunes (RunOptions::prune_every):
+  /// each prune pays one O(B) compaction per machine, so batching keeps it
+  /// amortized O(1) per breakpoint while still bounding B by the live
+  /// reservations.
   int completions_since_prune_ = 0;
+
+  /// Streaming-admission mode (StreamEngine): arrivals come from admit()
+  /// instead of upfront seeding, and the fingerprint/snapshot format
+  /// adapts (see compute_fingerprint / save_engine_state).
+  const bool streaming_;
+  bool restored_ = false;
+  /// Key of the last processed event — admit() must never schedule an
+  /// arrival into the processed past.  A snapshot restore resets this to
+  /// (now_, kCompletion), the weakest key any still-queued event at now_
+  /// can hold.
+  Time last_t_ = 0.0;
+  EventKind last_kind_ = EventKind::kCompletion;
 
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
@@ -850,9 +921,17 @@ class Engine final : public EngineContext {
   std::vector<std::vector<LiveRes>> live_;  ///< per machine, commit order
 };
 
-RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
+bool Engine::prepare() MRIS_REQUIRES(shard_mutex_) {
   if (options_.faults) {
     options_.faults->validate(inst_.num_machines(), inst_.num_jobs());
+    if (streaming_ && !options_.faults->stretch.empty()) {
+      // A per-job stretch table needs the full job set upfront, which a
+      // streaming run by definition does not have.  Outages, injected
+      // failures and checkpoint policies are all job-set-independent.
+      throw std::invalid_argument(
+          "streaming: per-job straggler stretch tables are not supported "
+          "(the job set is unknown upfront)");
+    }
     if (!options_.faults->empty()) faults_ = options_.faults;
   }
 
@@ -860,19 +939,31 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
   // snapshot cut, in which case fresh-run seeding must not happen: the
   // restored queue already holds the unprocessed events, and on_start has
   // already run in the lost process.
-  bool restored = false;
-  if (options_.recovery != nullptr) restored = setup_recovery();
+  if (options_.recovery != nullptr) restored_ = setup_recovery();
 
-  if (!restored) {
+  if (restored_) {
+    // Still-queued events at now_ may hold any kind, so the weakest key at
+    // now_ is the only safe lower bound for future admissions.
+    last_t_ = now_;
+    last_kind_ = EventKind::kCompletion;
+  } else {
+    if (streaming_ && inst_.num_jobs() != 0) {
+      throw std::logic_error(
+          "streaming: a fresh (non-resumed) run must start from an empty "
+          "instance; pre-admitted jobs are only valid under a snapshot");
+    }
     // Materialize the effective-job views only when faults can actually
     // fire; fault-free runs keep serving inst_ jobs untouched.
     if (faults_) effective_ = inst_.jobs();
     remaining_ = inst_.num_jobs();
 
-    // Seed arrival events.
-    for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
-      const Job& j = inst_.jobs()[i];
-      push({j.release, EventKind::kArrival, seq_++, j.id});
+    // Seed arrival events (streaming runs admit them one at a time
+    // instead, through admit()).
+    if (!streaming_) {
+      for (std::size_t i = 0; i < inst_.num_jobs(); ++i) {
+        const Job& j = inst_.jobs()[i];
+        push({j.release, EventKind::kArrival, seq_++, j.id});
+      }
     }
     // Seed crash/repair events.  Capacity is blocked only when a crash is
     // *processed*, so calendars never leak future outages to schedulers.
@@ -886,21 +977,74 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
 
     scheduler_.on_start(*this);
   }
+  return restored_;
+}
 
-  while (!queue_.empty()) {
+void Engine::admit(JobId id) MRIS_REQUIRES(shard_mutex_) {
+  MRIS_EXPECT(streaming_, "admit() is only valid on a streaming engine");
+  if (id < 0 || static_cast<std::size_t>(id) >= inst_.num_jobs() ||
+      static_cast<std::size_t>(id) != released_.size()) {
+    throw std::logic_error(
+        "admit: job id must be the next unadmitted instance index");
+  }
+  const Job& j = inst_.job(id);
+  // An arrival whose key precedes the last processed event's key would
+  // rewrite already-processed history — the stream must deliver frames in
+  // release order, ahead of the simulation frontier.
+  if (j.release < last_t_ ||
+      (j.release == last_t_ && EventKind::kArrival < last_kind_)) {
+    throw std::logic_error(
+        "admit: release " + std::to_string(j.release) +
+        " lies in the already-processed past (frontier t=" +
+        std::to_string(last_t_) + ")");
+  }
+  schedule_.append();
+  released_.push_back(0);
+  committed_.push_back(0);
+  retries_.push_back(0);
+  injected_.push_back(0);
+  residual_.push_back(ResidualWork{});
+  gate_.push_back(0.0);
+  epoch_.push_back(0);
+  if (faults_) effective_.push_back(j);
+  ++remaining_;
+  push({j.release, EventKind::kArrival, seq_++, id});
+}
+
+RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
+  prepare();
+  while (step(0.0, /*bounded=*/false)) {
+  }
+  return finalize();
+}
+
+bool Engine::step(Time stop, bool bounded) MRIS_REQUIRES(shard_mutex_) {
+  if (queue_.empty()) return false;
+  if (bounded) {
+    const Event& top = queue_.top();
+    // Stop at the first event that would sort at/after an arrival at
+    // `stop` — exactly where a batch engine would interleave it.
+    if (!(top.t < stop ||
+          (top.t == stop && top.kind < EventKind::kArrival))) {
+      return false;
+    }
+  }
+  {
     const Event e = queue_.top();
     queue_.pop();
     MRIS_INVARIANT(e.t >= now_ - 1e-9,
                    "events must be non-decreasing in time");
     now_ = std::max(now_, e.t);
+    last_t_ = e.t;
+    last_kind_ = e.kind;
     if (faults_) {
       if (e.kind == EventKind::kCompletion &&
           e.aux != epoch_[static_cast<std::size_t>(e.job)]) {
-        continue;  // superseded by a requeue/cancel
+        return true;  // superseded by a requeue/cancel
       }
       if (e.kind == EventKind::kRetryReady &&
           (committed_[static_cast<std::size_t>(e.job)] || gated(e.job))) {
-        continue;  // committed meanwhile, or lost again with a later gate
+        return true;  // committed meanwhile, or lost again with a later gate
       }
       if (e.kind == EventKind::kCompletion) {
         // Straggler check: if the declared completion passes without the
@@ -912,7 +1056,7 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
         });
         MRIS_INVARIANT(it != lv.end(),
                        "live completion without a reservation");
-        if (it == lv.end()) continue;  // unreachable unless in count mode
+        if (it == lv.end()) return true;  // unreachable unless in count mode
         if (!it->extended) {
           const Job& j = inst_.job(e.job);
           // Only the residual work stretches; the restore prefix is a fixed
@@ -931,7 +1075,7 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
             it->extended = true;
             push({actual_end, EventKind::kCompletion, seq_++, e.job, e.machine,
                   e.aux});
-            continue;  // not done yet; the real completion fires later
+            return true;  // not done yet; the real completion fires later
           }
           it->extended = true;  // declared == actual; nothing to extend
         }
@@ -954,7 +1098,7 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
     if (rec_ != nullptr && verify_pos_ < verify_tail_.size()) {
       ++rec_stats_.resume_replayed_events;
     }
-    if (options_.record_events || rec_ != nullptr) {
+    if (options_.record_events || rec_ != nullptr || options_.on_record) {
       record(to_record(e, now_));
     }
     switch (e.kind) {
@@ -1015,7 +1159,7 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
         // Committed-horizon compaction: commits are rejected below
         // now - 1e-9, so calendar history before that is dead weight for
         // every future query.  Batched so the memmove cost amortizes.
-        if (++completions_since_prune_ >= kPruneEvery) {
+        if (++completions_since_prune_ >= options_.prune_every) {
           completions_since_prune_ = 0;
           cluster_.prune_before(std::max(0.0, now_ - 1e-9));
         }
@@ -1120,7 +1264,10 @@ RunResult Engine::run() MRIS_REQUIRES(shard_mutex_) {
       note_degradation();
     }
   }
+  return true;
+}
 
+RunResult Engine::finalize() MRIS_REQUIRES(shard_mutex_) {
   if (!schedule_.complete()) {
     throw std::runtime_error("run_online: schedule incomplete after run");
   }
@@ -1166,6 +1313,96 @@ RunResult run_online(const Instance& inst, OnlineScheduler& scheduler,
   }
   Engine engine(inst, scheduler, options);
   return engine.run();
+}
+
+struct StreamEngine::Impl {
+  Instance& inst;
+  Engine engine;
+  bool started = false;
+  bool finished = false;
+
+  Impl(Instance& i, OnlineScheduler& s, const RunOptions& o)
+      : inst(i), engine(i, s, o, /*streaming=*/true) {}
+
+  void require_live(const char* what) const {
+    if (!started) {
+      throw std::logic_error(std::string("StreamEngine::") + what +
+                             ": start() has not been called");
+    }
+    if (finished) {
+      throw std::logic_error(std::string("StreamEngine::") + what +
+                             ": the run is already finished");
+    }
+  }
+};
+
+StreamEngine::StreamEngine(Instance& inst, OnlineScheduler& scheduler,
+                           const RunOptions& options) {
+  if (options.shards != 0) {
+    // The sharded engine drains whole epochs at barriers; an admission
+    // stream needs the single-loop engine's event-granular frontier.
+    throw std::invalid_argument(
+        "StreamEngine: streaming admission requires shards == 0");
+  }
+  impl_ = std::make_unique<Impl>(inst, scheduler, options);
+}
+
+StreamEngine::~StreamEngine() = default;
+
+void StreamEngine::start() {
+  if (impl_->started) {
+    throw std::logic_error("StreamEngine::start: called twice");
+  }
+  impl_->started = true;
+  impl_->engine.prepare();
+}
+
+bool StreamEngine::resumed_from_snapshot() const {
+  return impl_->engine.restored();
+}
+
+JobId StreamEngine::admit(const Job& job) {
+  impl_->require_live("admit");
+  const JobId id = impl_->inst.append(job);
+  impl_->engine.admit(id);
+  return id;
+}
+
+void StreamEngine::run_until_release(Time release) {
+  impl_->require_live("run_until_release");
+  while (impl_->engine.step(release, /*bounded=*/true)) {
+  }
+}
+
+RunResult StreamEngine::finish() {
+  impl_->require_live("finish");
+  impl_->finished = true;
+  while (impl_->engine.step(0.0, /*bounded=*/false)) {
+  }
+  return impl_->engine.finalize();
+}
+
+void StreamEngine::idle() {
+  impl_->require_live("idle");
+  impl_->engine.idle();
+}
+
+Time StreamEngine::now() const { return impl_->engine.now(); }
+
+std::size_t StreamEngine::jobs_admitted() const {
+  return impl_->inst.num_jobs();
+}
+
+std::size_t StreamEngine::events_processed() const {
+  return impl_->engine.events_processed();
+}
+
+std::size_t StreamEngine::replay_remaining() const {
+  return impl_->engine.replay_remaining();
+}
+
+const recovery::RecoveryStats& StreamEngine::recovery_stats() const {
+  return impl_->engine.stats();
 }
 
 }  // namespace mris

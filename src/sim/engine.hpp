@@ -27,6 +27,7 @@
 // schedules by residual work without scheduler-side changes.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -84,6 +85,15 @@ class OnlineScheduler {
   virtual void on_retry_ready(EngineContext& ctx, JobId job) {
     on_arrival(ctx, job);
   }
+
+  /// The streaming driver (StreamEngine::idle, docs/DAEMON.md) has no frame
+  /// to feed and no event to process: free compute time.  A scheduler may
+  /// use it to warm caches for the *next* decision (MRIS pre-solves the
+  /// armed interval's knapsack, sched/mris.hpp), but MUST NOT change any
+  /// observable decision state — batch runs never call this, and streaming
+  /// runs must stay byte-identical to batch (the streaming-equivalence
+  /// oracle enforces exactly that).
+  virtual void on_idle(EngineContext& /*ctx*/) {}
 
   // Durability hooks (docs/RECOVERY.md).  Whole-engine snapshots embed the
   // scheduler's internal state so a resumed run continues with the exact
@@ -227,6 +237,21 @@ struct RunOptions {
   /// shards == 0; 1 = drain inline on the calling thread).  Never affects
   /// results — only wall-clock time.
   int threads = 1;
+
+  /// Completions between committed-horizon calendar prunes
+  /// (Cluster::prune_before).  Pruning only discards capacity history the
+  /// engine already refuses to commit into (below now), so the cadence
+  /// never affects results — only the memory bound: a long-running daemon
+  /// holds O(backlog) calendar rather than O(all history).  Must be >= 1.
+  int prune_every = 32;
+
+  /// Per-record observer, invoked for every EventRecord the engine emits
+  /// (commits included) in emission order — the streaming daemon's metric
+  /// sinks hang off this.  Unlike record_events it buffers nothing, so a
+  /// long-running run stays bounded-memory.  During a snapshot/journal
+  /// resume the hook re-fires for the replayed tail, letting a sink rebuild
+  /// its output byte-identically to an uninterrupted run.
+  std::function<void(const EventRecord&)> on_record;
 };
 
 /// Simulates `scheduler` on `inst` from t=0 until every job is committed
@@ -234,5 +259,79 @@ struct RunOptions {
 /// (no future events while jobs remain unassigned).
 RunResult run_online(const Instance& inst, OnlineScheduler& scheduler,
                      const RunOptions& options = {});
+
+/// Streaming admission driver over the single-loop engine (docs/DAEMON.md):
+/// the job set is NOT known upfront — jobs are appended one frame at a time
+/// by a long-running daemon, and the engine advances between admissions.
+///
+/// Equivalence contract: feeding the jobs of an instance in release order
+/// (ties in id order) through
+///
+///   start(); for each job j: run_until_release(r_j); admit(j);  finish();
+///
+/// produces byte-identical results to run_online() on the batch instance.
+/// Why: the engines pop events in (t, kind, seq) order and seq only breaks
+/// ties *within* one (t, kind) class; run_until_release(r) stops strictly
+/// before key (r, arrival), so an arrival admitted then occupies the same
+/// relative position it would have had if seeded at t=0 — and every
+/// downstream event order follows inductively.  The streaming-equivalence
+/// testkit oracle checks this end to end, faults and checkpointing included.
+///
+/// Restrictions vs run_online(): shards must be 0, and a fault plan must
+/// not carry per-job stretch factors (a per-job table needs the full job
+/// set upfront; outages, injected failures and checkpoint policies are
+/// all supported).  With RunOptions::recovery the snapshot payload is
+/// prefixed with the admitted-job count so a resuming daemon can rebuild
+/// the instance prefix before restoring (serve/daemon.hpp drives this).
+class StreamEngine {
+ public:
+  /// `inst` is the growing job store (usually empty at a fresh start; the
+  /// already-admitted prefix when resuming): admit() appends to it.  It and
+  /// `scheduler`/`options` must outlive the engine.
+  StreamEngine(Instance& inst, OnlineScheduler& scheduler,
+               const RunOptions& options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Initializes recovery (possibly restoring a snapshot of a previous
+  /// daemon at its cut) and fires on_start on a fresh run.  Call once,
+  /// before anything else.
+  void start();
+
+  /// True after start() when the run resumed from a whole-engine snapshot —
+  /// the caller must then skip re-admitting the restored prefix.
+  bool resumed_from_snapshot() const;
+
+  /// Appends the job to the instance (the id is assigned, `job.id` is
+  /// ignored) and schedules its arrival.  Admissions must be fed in
+  /// non-decreasing release order and the release must not lie in the
+  /// already-processed past (throws std::logic_error otherwise).
+  JobId admit(const Job& job);
+
+  /// Processes every event strictly before key (release, arrival): the
+  /// point in the event order where an arrival at `release` would slot in.
+  void run_until_release(Time release);
+
+  /// Drains all remaining events and finishes the run (final feasibility
+  /// checks included).  The engine is spent afterwards.
+  RunResult finish();
+
+  /// Forwards to OnlineScheduler::on_idle — the daemon calls this when its
+  /// frame source has nothing to deliver yet.
+  void idle();
+
+  Time now() const;
+  std::size_t jobs_admitted() const;    ///< == inst.num_jobs()
+  std::size_t events_processed() const;
+  /// Journal records still to be re-derived and verified (resume only).
+  std::size_t replay_remaining() const;
+  const recovery::RecoveryStats& recovery_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace mris

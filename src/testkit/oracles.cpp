@@ -544,6 +544,127 @@ OracleResult simd_identity(const Instance& inst,
   return {};
 }
 
+// ---- streaming equivalence -----------------------------------------------
+
+/// Byte-compares two full runs: event stream, placements, and attempts.
+std::string diff_runs(const RunResult& a, const RunResult& b,
+                      std::size_t num_jobs) {
+  if (a.num_events != b.num_events) {
+    return "event counts differ: " + std::to_string(a.num_events) + " vs " +
+           std::to_string(b.num_events);
+  }
+  if (a.log.size() != b.log.size()) {
+    return "event log lengths differ: " + std::to_string(a.log.size()) +
+           " vs " + std::to_string(b.log.size());
+  }
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    const EventRecord& x = a.log[i];
+    const EventRecord& y = b.log[i];
+    if (x.kind != y.kind || x.t != y.t || x.job != y.job ||
+        x.machine != y.machine || x.start != y.start) {
+      return "event " + std::to_string(i) + " differs: " +
+             event_kind_name(x.kind) + "@t" + fmt(x.t) + " vs " +
+             event_kind_name(y.kind) + "@t" + fmt(y.t);
+    }
+  }
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    const auto id = static_cast<JobId>(i);
+    const Assignment& x = a.schedule.assignment(id);
+    const Assignment& y = b.schedule.assignment(id);
+    if (x.machine != y.machine || x.start != y.start) {
+      return "job " + std::to_string(i) + " placed at (m" +
+             std::to_string(x.machine) + ", t" + fmt(x.start) +
+             ") in batch but (m" + std::to_string(y.machine) + ", t" +
+             fmt(y.start) + ") in the stream";
+    }
+  }
+  if (a.attempts.size() != b.attempts.size()) return "attempt counts differ";
+  for (std::size_t i = 0; i < a.attempts.size(); ++i) {
+    const Attempt& x = a.attempts[i];
+    const Attempt& y = b.attempts[i];
+    if (x.job != y.job || x.machine != y.machine || x.start != y.start ||
+        x.end != y.end || x.outcome != y.outcome) {
+      return "attempt " + std::to_string(i) + " differs";
+    }
+  }
+  return {};
+}
+
+/// Streaming-vs-batch oracle (docs/DAEMON.md): admitting an instance's
+/// jobs one frame at a time through StreamEngine — in release order, ties
+/// in id order, exactly as the daemon drives it — must reproduce
+/// run_online() byte-for-byte: same event stream, same placements, same
+/// attempts.  Machine outages, injected failures and checkpoint policies
+/// all ride along (per-job straggler stretch tables are cleared — a
+/// per-job table needs the full job set upfront, which a stream by
+/// definition lacks).  On fault-free instances the batch side additionally
+/// runs sharded, so streamed placements are pinned across shard counts
+/// through the shard-equivalence guarantee.  The engine's idle hook fires
+/// between every admission, proving on_idle cannot leak into decisions.
+OracleResult streaming_equivalence(const Instance& inst,
+                                   const exp::SchedulerSpec& spec,
+                                   const Params& params) {
+  if (inst.num_machines() == 0) return {};
+  FaultPlan plan = fault_plan_from_params(inst, params);
+  plan.stretch.clear();
+  if (!plan.empty()) plan.validate(inst.num_machines(), inst.num_jobs());
+
+  // Canonical admission order: by release, ties in prior id order.  Both
+  // sides run the reindexed instance so job ids agree.
+  std::vector<Job> ordered = inst.jobs();
+  std::stable_sort(
+      ordered.begin(), ordered.end(),
+      [](const Job& a, const Job& b) { return a.release < b.release; });
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    ordered[i].id = static_cast<JobId>(i);
+  }
+  const Instance batch_inst(ordered, inst.num_machines(),
+                            inst.num_resources());
+
+  RunOptions opts;
+  opts.record_events = true;
+  opts.faults = plan.empty() ? nullptr : &plan;
+
+  const auto batch_scheduler = exp::make_scheduler(spec, batch_inst);
+  const RunResult batch = run_online(batch_inst, *batch_scheduler, opts);
+
+  Instance grow(std::vector<Job>{}, inst.num_machines(),
+                inst.num_resources());
+  const auto stream_scheduler = exp::make_scheduler(spec, batch_inst);
+  StreamEngine engine(grow, *stream_scheduler, opts);
+  engine.start();
+  for (const Job& j : ordered) {
+    engine.run_until_release(j.release);
+    engine.idle();  // must never change a decision; exercised on purpose
+    engine.admit(j);
+  }
+  const RunResult stream = engine.finish();
+
+  const std::string diff = diff_runs(batch, stream, batch_inst.num_jobs());
+  if (!diff.empty()) return fail("stream vs batch: " + diff);
+
+  if (plan.empty() && batch_inst.num_jobs() > 0) {
+    exp::EngineConfig sharded;
+    sharded.shards = std::min(4, batch_inst.num_machines());
+    sharded.threads = 2;
+    Schedule s_sharded;
+    const exp::EvalResult r = exp::evaluate_with_schedule(
+        batch_inst, spec, s_sharded, nullptr, nullptr, sharded);
+    if (r.failed) return fail("sharded batch run failed: " + r.error);
+    for (std::size_t i = 0; i < batch_inst.num_jobs(); ++i) {
+      const auto id = static_cast<JobId>(i);
+      const Assignment& x = stream.schedule.assignment(id);
+      const Assignment& y = s_sharded.assignment(id);
+      if (x.machine != y.machine || x.start != y.start) {
+        return fail("job " + std::to_string(i) +
+                    " diverges between the stream and the " +
+                    std::to_string(sharded.shards) + "-shard batch run");
+      }
+    }
+  }
+  return {};
+}
+
 // ---- fixtures ------------------------------------------------------------
 
 OracleResult fixture_triple_heavy(const Instance& inst,
@@ -595,6 +716,7 @@ OracleCatalog OracleCatalog::standard() {
   catalog.add("ratio-makespan", ratio_makespan);
   catalog.add("shard-equivalence", shard_equivalence);
   catalog.add("simd-identity", simd_identity);
+  catalog.add("streaming-equivalence", streaming_equivalence);
   return catalog;
 }
 

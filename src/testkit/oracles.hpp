@@ -51,6 +51,16 @@
 //   simd-identity              scalar-dispatch and AVX2-dispatch runs place
 //                              every job bit-identically (DESIGN.md §"SIMD
 //                              kernels"; trivial when AVX2 is unavailable)
+//   streaming-equivalence      admitting the jobs one frame at a time
+//                              through StreamEngine (release order, idle
+//                              hook fired between admissions — the daemon's
+//                              drive pattern, docs/DAEMON.md) reproduces
+//                              run_online() byte-for-byte: event stream,
+//                              placements, attempts; outages/injected
+//                              failures/checkpointing via the usual fault
+//                              params (straggler stretch cleared: per-job
+//                              tables need the full job set), plus a
+//                              sharded-batch cross-check when fault-free
 //
 // The fixture catalog adds deliberately broken oracles (used to prove the
 // shrinker and replay pipeline can actually catch, minimize and reproduce

@@ -1,0 +1,148 @@
+// Differential test for IncrementalCadp (knapsack/incremental.hpp): across
+// randomized arrival streams — items appended one at a time, capacity and
+// eps drifting between solves, interleaved prepare()/note_arrival()/
+// invalidate() calls — every solve() must return a Selection byte-identical
+// to a from-scratch solve_cadp on the same inputs.  The class is a pure
+// decision-path accelerator; if any byte differs, the daemon's replay and
+// recovery guarantees collapse.
+#include "knapsack/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "testkit/generators.hpp"
+#include "testkit/streams.hpp"
+#include "util/rng.hpp"
+
+namespace mris::knapsack {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_identical(const Selection& got, const Selection& want,
+                      const std::string& where) {
+  ASSERT_EQ(got.tags, want.tags) << where;
+  EXPECT_TRUE(same_bits(got.total_profit, want.total_profit)) << where;
+  EXPECT_TRUE(same_bits(got.total_size, want.total_size)) << where;
+}
+
+/// Items derived from a generated instance, in job order — the same
+/// (volume, weight, id) triples MRIS hands to the knapsack.
+std::vector<Item> items_from_family(testkit::Family family,
+                                    std::uint64_t seed, std::size_t jobs) {
+  testkit::GenConfig config;
+  config.num_jobs = jobs;
+  const Instance inst = testkit::make_family_instance(family, config, seed);
+  std::vector<Item> items;
+  for (const Job& j : inst.jobs()) {
+    items.push_back(Item{j.volume(), j.weight, j.id});
+  }
+  return items;
+}
+
+TEST(IncrementalCadpTest, ArrivalStreamsMatchFromScratchSolves) {
+  const std::size_t iters = testkit::fuzz_iters(4);
+  for (testkit::Family family :
+       {testkit::Family::kMixed, testkit::Family::kKnapsackTies,
+        testkit::Family::kNearCapacity}) {
+    for (std::uint64_t seed = 0; seed < iters; ++seed) {
+      const std::vector<Item> all = items_from_family(family, seed, 24);
+      util::Xoshiro256 rng = testkit::make_stream(seed, "inc-cadp-stream");
+      IncrementalCadp inc;
+      std::vector<Item> items;
+      double capacity = 1.0;
+      for (const Item& item : all) {
+        // Arrival: append the item, drift the capacity, pre-grow rows.
+        items.push_back(item);
+        capacity += item.size * (0.5 + 0.001 * util::uniform_index(rng, 500));
+        const double eps = 0.1 + 0.05 * util::uniform_index(rng, 8);
+        inc.note_arrival(items.size() + 1, eps);
+
+        // Sometimes speculate before the wakeup, sometimes drop the memo —
+        // neither may change the solved bytes.
+        const std::size_t dice = util::uniform_index(rng, 4);
+        if (dice == 0) inc.prepare(items, capacity, eps);
+        if (dice == 1) inc.invalidate();
+
+        const Selection& got = inc.solve(items, capacity, eps);
+        const Selection want = solve_cadp(items, capacity, eps);
+        expect_identical(got, want,
+                         std::string(testkit::family_name(family)) +
+                             " seed " + std::to_string(seed) + " n=" +
+                             std::to_string(items.size()));
+
+        // Re-solving the identical problem must hit the memo and still
+        // return identical bytes.
+        const std::size_t hits_before = inc.stats().memo_hits;
+        expect_identical(inc.solve(items, capacity, eps), want, "memo re-solve");
+        EXPECT_EQ(inc.stats().memo_hits, hits_before + 1);
+      }
+    }
+  }
+}
+
+TEST(IncrementalCadpTest, PreparedSolveIsAMemoHit) {
+  const std::vector<Item> items =
+      items_from_family(testkit::Family::kMixed, 17, 16);
+  IncrementalCadp inc;
+  inc.prepare(items, 4.0, 0.25);
+  EXPECT_EQ(inc.stats().speculative, 1u);
+  EXPECT_EQ(inc.stats().full_solves, 1u);
+
+  const Selection& got = inc.solve(items, 4.0, 0.25);
+  EXPECT_EQ(inc.stats().solves, 1u);
+  EXPECT_EQ(inc.stats().memo_hits, 1u);
+  EXPECT_EQ(inc.stats().full_solves, 1u);  // no second from-scratch run
+  expect_identical(got, solve_cadp(items, 4.0, 0.25), "prepared solve");
+
+  // A second prepare() on the identical problem is a no-op.
+  inc.prepare(items, 4.0, 0.25);
+  EXPECT_EQ(inc.stats().speculative, 1u);
+}
+
+TEST(IncrementalCadpTest, AnyInputChangeMissesTheMemo) {
+  std::vector<Item> items =
+      items_from_family(testkit::Family::kKnapsackTies, 3, 12);
+  IncrementalCadp inc;
+  inc.solve(items, 3.0, 0.25);
+  const std::size_t base = inc.stats().full_solves;
+
+  // Capacity, eps, item count, and a single item field each force a fresh
+  // solve — matches() must compare bit-for-bit.
+  inc.solve(items, 3.5, 0.25);
+  EXPECT_EQ(inc.stats().full_solves, base + 1);
+  inc.solve(items, 3.5, 0.5);
+  EXPECT_EQ(inc.stats().full_solves, base + 2);
+  items.push_back(Item{0.5, 1.0, 99});
+  inc.solve(items, 3.5, 0.5);
+  EXPECT_EQ(inc.stats().full_solves, base + 3);
+  items.back().profit += 1e-9;
+  const Selection want = solve_cadp(items, 3.5, 0.5);
+  expect_identical(inc.solve(items, 3.5, 0.5), want, "perturbed item");
+  EXPECT_EQ(inc.stats().full_solves, base + 4);
+
+  inc.invalidate();
+  inc.solve(items, 3.5, 0.5);
+  EXPECT_EQ(inc.stats().full_solves, base + 5);  // memo dropped
+}
+
+TEST(IncrementalCadpTest, NoteArrivalGrowsPooledRows) {
+  IncrementalCadp inc;
+  const std::size_t before = pooled_dp_row_capacity();
+  // floor(4096 / 0.1) + 1 cells — far beyond any prior test's reservation.
+  inc.note_arrival(4096, 0.1);
+  EXPECT_GE(pooled_dp_row_capacity(), 40961u);
+  EXPECT_GE(pooled_dp_row_capacity(), before);
+  EXPECT_EQ(inc.stats().rows_reserved, 1u);
+  // Degenerate inputs must be safe no-ops.
+  inc.note_arrival(0, 0.1);
+  inc.note_arrival(16, 0.0);
+}
+
+}  // namespace
+}  // namespace mris::knapsack

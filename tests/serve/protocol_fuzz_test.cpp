@@ -1,0 +1,237 @@
+// Seeded byte-level fuzz of the daemon admission protocol
+// (serve/protocol.hpp): encode a generated instance to wire bytes, apply a
+// seeded mutation (bit flip, truncation, frame duplication, frame swap,
+// garbage injection), and feed the result to the decoder.  The contract
+// under attack: a mutated stream either still decodes to the exact
+// original job sequence (the mutation missed every validated byte — rare,
+// CRC-guarded) or raises ProtocolError; it never crashes, never loops, and
+// never yields a silently different job.
+//
+// The property is registered as an oracle ("serve-protocol-robust") on a
+// test-local catalog and driven through check_and_minimize, so any failure
+// is ddmin-shrunk and archived as a ready-to-commit .corpus artifact — the
+// same failure pipeline every other testkit suite funnels through
+// (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/streams.hpp"
+#include "util/rng.hpp"
+
+namespace mris::serve {
+namespace {
+
+using testkit::Family;
+using testkit::GenConfig;
+using testkit::make_family_instance;
+using testkit::make_stream;
+
+/// Jobs of `inst` in the daemon's admission order (release, ties by id).
+std::vector<Job> admission_order(const Instance& inst) {
+  std::vector<Job> jobs = inst.jobs();
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.release < b.release;
+  });
+  return jobs;
+}
+
+enum class Mutation {
+  kBitFlip,
+  kTruncate,
+  kDuplicateFrame,
+  kSwapFrames,
+  kInsertGarbage,
+};
+
+/// Byte offsets where each frame starts (walking the valid encoding).
+std::vector<std::size_t> frame_offsets(const std::string& bytes) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes.size()) {
+    offsets.push_back(pos);
+    const auto* u = reinterpret_cast<const unsigned char*>(bytes.data() + pos);
+    const std::uint32_t size = static_cast<std::uint32_t>(u[0]) |
+                               (static_cast<std::uint32_t>(u[1]) << 8) |
+                               (static_cast<std::uint32_t>(u[2]) << 16) |
+                               (static_cast<std::uint32_t>(u[3]) << 24);
+    pos += 4u + size + 4u;
+  }
+  return offsets;
+}
+
+std::string mutate(const std::string& bytes, Mutation kind,
+                   util::Xoshiro256& rng) {
+  std::string out = bytes;
+  const std::vector<std::size_t> frames = frame_offsets(bytes);
+  switch (kind) {
+    case Mutation::kBitFlip: {
+      if (out.empty()) break;
+      const std::size_t i = util::uniform_index(rng, out.size());
+      out[i] = static_cast<char>(
+          out[i] ^ static_cast<char>(1u << util::uniform_index(rng, 8)));
+      break;
+    }
+    case Mutation::kTruncate: {
+      if (out.empty()) break;
+      out.resize(util::uniform_index(rng, out.size()));
+      break;
+    }
+    case Mutation::kDuplicateFrame: {
+      if (frames.size() < 2) break;
+      const std::size_t f = util::uniform_index(rng, frames.size() - 1);
+      const std::size_t begin = frames[f];
+      const std::size_t end =
+          f + 1 < frames.size() ? frames[f + 1] : bytes.size();
+      out.insert(end, bytes.substr(begin, end - begin));
+      break;
+    }
+    case Mutation::kSwapFrames: {
+      if (frames.size() < 3) break;
+      const std::size_t f = util::uniform_index(rng, frames.size() - 2);
+      const std::size_t a0 = frames[f];
+      const std::size_t a1 = frames[f + 1];
+      const std::size_t b1 =
+          f + 2 < frames.size() ? frames[f + 2] : bytes.size();
+      out = bytes.substr(0, a0) + bytes.substr(a1, b1 - a1) +
+            bytes.substr(a0, a1 - a0) + bytes.substr(b1);
+      break;
+    }
+    case Mutation::kInsertGarbage: {
+      const std::size_t at = util::uniform_index(rng, out.size() + 1);
+      std::string garbage(1 + util::uniform_index(rng, 16), '\0');
+      for (char& c : garbage) {
+        c = static_cast<char>(util::uniform_index(rng, 256));
+      }
+      out.insert(at, garbage);
+      break;
+    }
+  }
+  return out;
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// The fuzz property as a testkit oracle.  Params: `fuzz_seed` seeds the
+/// mutation stream, `mutation` picks the kind (0..4).
+testkit::OracleResult protocol_robust(const Instance& inst,
+                                      const exp::SchedulerSpec&,
+                                      const testkit::Params& params) {
+  const auto seed =
+      static_cast<std::uint64_t>(testkit::param_int(params, "fuzz_seed", 1));
+  const auto kind = static_cast<Mutation>(
+      testkit::param_int(params, "mutation", 0) % 5);
+  const std::vector<Job> jobs = admission_order(inst);
+  const auto resources = static_cast<std::uint32_t>(inst.num_resources());
+  const std::string bytes = encode_stream(jobs, resources);
+  util::Xoshiro256 rng = make_stream(seed, "serve-protocol-fuzz");
+  const std::string mutated = mutate(bytes, kind, rng);
+
+  std::vector<Job> decoded;
+  try {
+    FrameDecoder decoder(resources);
+    decoder.feed(mutated);
+    Frame frame;
+    while (decoder.next(frame)) {
+      if (frame.kind == kFrameJob) decoded.push_back(frame.job.job);
+    }
+    decoder.finish();
+  } catch (const ProtocolError&) {
+    return {};  // explicit rejection is the expected outcome
+  } catch (const std::exception& e) {
+    return testkit::OracleResult{
+        false, std::string("non-protocol exception escaped: ") + e.what()};
+  }
+
+  // The mutation survived decoding: it must have been byte-preserving on
+  // everything validated — the decoded jobs must equal the originals.
+  if (decoded.size() != jobs.size()) {
+    return testkit::OracleResult{
+        false, "mutated stream decoded to " + std::to_string(decoded.size()) +
+                   " jobs instead of " + std::to_string(jobs.size())};
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!same_bits(decoded[i].release, jobs[i].release) ||
+        !same_bits(decoded[i].processing, jobs[i].processing) ||
+        !same_bits(decoded[i].weight, jobs[i].weight) ||
+        decoded[i].tenant != jobs[i].tenant ||
+        decoded[i].demand != jobs[i].demand) {
+      return testkit::OracleResult{
+          false, "mutated stream silently changed job " + std::to_string(i)};
+    }
+  }
+  return {};
+}
+
+testkit::OracleCatalog fuzz_catalog() {
+  testkit::OracleCatalog catalog;  // test-local; no standard oracles needed
+  catalog.add("serve-protocol-robust", protocol_robust);
+  return catalog;
+}
+
+TEST(ProtocolFuzzTest, MutatedStreamsAreRejectedOrByteIdentical) {
+  const testkit::OracleCatalog catalog = fuzz_catalog();
+  const std::size_t iters = testkit::fuzz_iters(6);
+  for (Family family :
+       {Family::kMixed, Family::kReleaseBurst, Family::kUlpBoundary}) {
+    for (std::uint64_t seed = 0; seed < iters; ++seed) {
+      GenConfig config;
+      config.num_jobs = 16;
+      const Instance inst = make_family_instance(family, config, seed);
+      for (int mutation = 0; mutation < 5; ++mutation) {
+        testkit::Params params;
+        params["fuzz_seed"] = std::to_string(seed * 5 + mutation);
+        params["mutation"] = std::to_string(mutation);
+        // Through the shrinking harness: any violation is ddmin-minimized
+        // and archived as a .corpus artifact before the assertion fires.
+        const testkit::CheckReport report = testkit::check_and_minimize(
+            catalog, "serve-protocol-robust", inst, "mris", params);
+        EXPECT_TRUE(report.ok)
+            << testkit::family_name(family) << " seed " << seed
+            << " mutation " << mutation << ": " << report.message
+            << (report.corpus_path.empty()
+                    ? ""
+                    : " (minimized corpus: " + report.corpus_path + ")");
+      }
+    }
+  }
+}
+
+/// Proves the failure pipeline end to end for the serve suite: a
+/// deliberately broken protocol oracle must come back minimized, with a
+/// replayable .corpus artifact on disk.
+TEST(ProtocolFuzzTest, FailuresAreShrunkAndArchived) {
+  testkit::OracleCatalog catalog = fuzz_catalog();
+  catalog.add("serve-fixture-nonempty",
+              [](const Instance& inst, const exp::SchedulerSpec&,
+                 const testkit::Params&) -> testkit::OracleResult {
+                if (inst.num_jobs() >= 1) {
+                  return testkit::OracleResult{
+                      false, "deliberately broken fixture: any nonempty "
+                             "stream fails"};
+                }
+                return {};
+              });
+  GenConfig config;
+  config.num_jobs = 12;
+  const Instance inst = make_family_instance(Family::kMixed, config, 3);
+  const testkit::CheckReport report = testkit::check_and_minimize(
+      catalog, "serve-fixture-nonempty", inst, "mris");
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.corpus_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(report.corpus_path));
+  EXPECT_NE(report.corpus_path.find(".corpus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mris::serve

@@ -89,8 +89,9 @@ TEST(OraclesTest, CatalogNamesAreCompleteAndSorted) {
       "machine-augmentation", "ratio-awct",
       "ratio-makespan",       "resource-permutation",
       "shard-equivalence",    "simd-identity",
-      "time-scaling",         "validator-clean",
-      "validator-clean-faults", "weight-scaling"};
+      "streaming-equivalence", "time-scaling",
+      "validator-clean",      "validator-clean-faults",
+      "weight-scaling"};
   EXPECT_EQ(names, expected);
   // Fixtures extend, never replace.
   const auto with = OracleCatalog::with_fixtures().names();

@@ -30,8 +30,8 @@ std::string json_escape(const std::string& s) {
 
 const std::vector<std::vector<std::string>>& default_layers() {
   static const std::vector<std::vector<std::string>> kLayers = {
-      {"util"},    {"core"},    {"trace"}, {"sim"},
-      {"knapsack", "sched"},    {"testkit"},         {"exp"},
+      {"util"},    {"core"},    {"trace"},   {"sim"},
+      {"knapsack", "sched"},    {"serve"},   {"testkit"}, {"exp"},
   };
   return kLayers;
 }
